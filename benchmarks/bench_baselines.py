@@ -1,0 +1,75 @@
+"""Baselines — microaggregation vs the generalization family.
+
+The paper's Related Work argues microaggregation should beat the
+generalization-based t-closeness algorithms on utility; SABRE is singled
+out ("a greater number of buckets leads to equivalence classes with more
+records and, thus, to more information loss").  This bench puts Algorithm 3
+against SABRE and Mondrian-t on identical (k, t) cells and records class
+counts, average sizes and SSE.
+"""
+
+from __future__ import annotations
+
+from conftest import FULL, write_result
+
+from repro.core import ConfidentialModel, tcloseness_first
+from repro.evaluation import format_table
+from repro.generalization import mondrian_partition, sabre
+from repro.metrics import normalized_sse
+from repro.microagg import aggregate_partition
+
+K = 2
+TS = (0.05, 0.15) if FULL else (0.10,)
+
+
+def test_baselines_vs_tclose_first(benchmark, request):
+    data = request.getfixturevalue("mcd" if FULL else "mcd_half")
+    model = ConfidentialModel(data)
+
+    def run():
+        rows = {}
+        for t in TS:
+            ours = tcloseness_first(data, K, t)
+            rows[("tclose-first", t)] = (
+                ours.partition,
+                float(ours.max_emd),
+            )
+            theirs = sabre(data, K, t)
+            rows[("sabre", t)] = (theirs.partition, float(theirs.max_emd))
+            mond = mondrian_partition(data, K, t=t)
+            emds = model.partition_emds(list(mond.clusters()))
+            rows[("mondrian-t", t)] = (mond, float(emds.max()))
+        return rows
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table_rows = []
+    sse = {}
+    for (method, t), (partition, max_emd) in results.items():
+        release = aggregate_partition(data, partition)
+        score = normalized_sse(data, release)
+        sse[(method, t)] = score
+        table_rows.append(
+            [
+                method,
+                f"{t:g}",
+                partition.n_clusters,
+                f"{partition.mean_size:.1f}",
+                f"{max_emd:.4f}",
+                f"{score:.5f}",
+            ]
+        )
+        assert max_emd <= t + 1e-12, (method, t)
+
+    write_result(
+        "baselines_vs_tclose_first",
+        format_table(
+            ["method", "t", "#classes", "avg size", "max EMD", "SSE"],
+            table_rows,
+        ),
+    )
+
+    # Paper shape: microaggregation dominates the generalization family.
+    for t in TS:
+        assert sse[("tclose-first", t)] <= sse[("sabre", t)] * 1.05, t
+        assert sse[("tclose-first", t)] <= sse[("mondrian-t", t)] * 1.05, t

@@ -1,0 +1,62 @@
+"""Figure 7 — normalized SSE as a function of both k and t (MCD).
+
+Paper reference: Algorithm 3 keeps the lowest SSE across the whole (k, t)
+plane, but its advantage shrinks as k grows (once the user's k exceeds the
+Eq. 3 size, Algorithm 3 loses its smaller-cluster edge while still paying
+the bucket constraint).  Algorithms 1 and 2 show SSE spikes at k values
+that do not divide n = 1,080 (remainder records degrade cluster
+homogeneity); Algorithm 3 is immune because Eq. 4 re-plans the size.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import FULL, write_result
+
+from repro.evaluation import format_table, sweep
+
+KS = (2, 5, 10, 15, 20, 25, 30) if FULL else (2, 10, 30)
+TS = (0.02, 0.09, 0.17, 0.25) if FULL else (0.05, 0.15, 0.25)
+ALGORITHMS = ("merge", "kanon-first", "tclose-first")
+
+
+def test_fig7_sse_surface(benchmark, request):
+    data = request.getfixturevalue("mcd" if FULL else "mcd_half")
+
+    def run():
+        return {
+            algorithm: sweep(data, algorithm, ks=KS, ts=TS)
+            for algorithm in ALGORITHMS
+        }
+
+    grids = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    headers = ["algorithm", "k"] + [f"t={t:g}" for t in TS]
+    rows = []
+    for algorithm in ALGORITHMS:
+        for k in KS:
+            rows.append(
+                [algorithm, k]
+                + [f"{grids[algorithm][(k, t)].sse:.5f}" for t in TS]
+            )
+    write_result("fig7_sse_k_t_surface", format_table(headers, rows))
+
+    # Shape 1: every cell satisfies its model.
+    for algorithm in ALGORITHMS:
+        for cell in grids[algorithm].values():
+            assert cell.satisfies_t, (algorithm, cell.k, cell.t)
+
+    # Shape 2: at the strictest (k, t) corner Algorithm 3 is the best.
+    k, t = KS[0], TS[0]
+    assert (
+        grids["tclose-first"][(k, t)].sse
+        <= min(grids["merge"][(k, t)].sse, grids["kanon-first"][(k, t)].sse) * 1.05
+    )
+
+    # Shape 3: Algorithm 3's SSE grows with k at fixed loose t (the paper's
+    # "advantages diminished when a higher k is required").
+    t = TS[-1]
+    assert (
+        grids["tclose-first"][(KS[-1], t)].sse
+        >= grids["tclose-first"][(KS[0], t)].sse - 1e-9
+    )

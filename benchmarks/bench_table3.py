@@ -1,0 +1,58 @@
+"""Table 3 — Algorithm 3 actual cluster sizes (min/avg) over the (k, t) grid.
+
+Paper reference: because the cluster size is computed analytically before
+clustering, min = avg = max(k, k(t)) in every cell, identically for MCD and
+HCD; the k=2 row reads 49/10/6/4/3/3/2 across the seven t values (1,080 is
+a multiple of each, so clusters are perfectly balanced).  These are *exact*
+expectations — the only data-independent table in the paper — and the
+benchmark asserts them cell by cell.  Algorithm 3 is cheap, so the full
+paper grid runs even at CI scale.
+"""
+
+from __future__ import annotations
+
+from conftest import PAPER_KS, PAPER_TS, write_result
+
+from repro.core import tclose_first_cluster_size
+from repro.evaluation import format_size_table, sweep
+
+KS = PAPER_KS
+TS = PAPER_TS
+
+#: Paper Table 3, k=2 row (identical for MCD and HCD).
+PAPER_K2_ROW = {0.01: 49, 0.05: 10, 0.09: 6, 0.13: 4, 0.17: 3, 0.21: 3, 0.25: 2}
+
+
+def test_table3_cluster_sizes(benchmark, mcd, hcd):
+    def run():
+        return {
+            "MCD": sweep(mcd, "tclose-first", ks=KS, ts=TS),
+            "HCD": sweep(hcd, "tclose-first", ks=KS, ts=TS),
+        }
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    write_result(
+        "table3_algorithm3_sizes", format_size_table(results, ks=KS, ts=TS)
+    )
+
+    n = mcd.n_records
+    for dataset, grid in results.items():
+        for (k, t), cell in grid.items():
+            assert cell.satisfies_t, (dataset, k, t)
+            k_eff = tclose_first_cluster_size(n, t, k)
+            # Exact paper property: min = avg = effective k when k_eff | n.
+            if n % k_eff == 0:
+                assert cell.min_size == k_eff, (dataset, k, t)
+                assert cell.avg_size == k_eff, (dataset, k, t)
+
+    # The published k=2 row, verbatim.
+    for t, expected in PAPER_K2_ROW.items():
+        for dataset in ("MCD", "HCD"):
+            cell = results[dataset][(2, t)]
+            assert cell.min_size == expected, (dataset, t)
+
+    # MCD and HCD are indistinguishable for Algorithm 3 (paper: "there are
+    # no differences between the MCD and HCD data sets").
+    for key in results["MCD"]:
+        assert results["MCD"][key].min_size == results["HCD"][key].min_size
+        assert results["MCD"][key].avg_size == results["HCD"][key].avg_size

@@ -1,0 +1,118 @@
+"""Microaggregation vs the generalization-based state of the art.
+
+The paper's Related Work positions three generalization-family comparators:
+Mondrian adapted to t-closeness, Incognito-style full-domain recoding with
+the t-closeness test, and SABRE (bucketization + redistribution).  This
+example runs all of them against the paper's Algorithm 3 on the Census
+surrogate at the same (k, t) and compares:
+
+* equivalence-class sizes (the paper's Tables 1-3 lens),
+* normalized SSE of a centroid release where one is defined,
+* the Loss Metric of Incognito's chosen recoding.
+
+Expected shape: microaggregation (Algorithm 3) yields the smallest classes
+and lowest SSE; SABRE trails it (greedy buckets => more, larger classes);
+Mondrian-t stops splitting early; Incognito pays full-domain coarsening.
+
+Run:  python examples/baseline_comparison.py
+"""
+
+from repro.core import tcloseness_first
+from repro.data import load_mcd
+from repro.evaluation import format_table
+from repro.generalization import (
+    NumericHierarchy,
+    incognito,
+    mondrian_partition,
+    recoding_loss,
+    sabre,
+)
+from repro.metrics import normalized_sse
+from repro.microagg import aggregate_partition
+from repro.privacy import equivalence_classes
+
+K, T = 3, 0.15
+N = 400
+
+
+def main() -> None:
+    data = load_mcd(n=N)
+    rows = []
+
+    # --- Algorithm 3 (this paper) ---------------------------------------
+    result = tcloseness_first(data, k=K, t=T)
+    release = aggregate_partition(data, result.partition)
+    rows.append(
+        [
+            "tclose-first (paper)",
+            result.partition.n_clusters,
+            f"{result.mean_cluster_size:.1f}",
+            f"{result.max_emd:.4f}",
+            f"{normalized_sse(data, release):.4f}",
+        ]
+    )
+
+    # --- SABRE ------------------------------------------------------------
+    result = sabre(data, k=K, t=T)
+    release = aggregate_partition(data, result.partition)
+    rows.append(
+        [
+            "SABRE",
+            result.partition.n_clusters,
+            f"{result.mean_cluster_size:.1f}",
+            f"{result.max_emd:.4f}",
+            f"{normalized_sse(data, release):.4f}",
+        ]
+    )
+
+    # --- Mondrian-t ---------------------------------------------------------
+    partition = mondrian_partition(data, k=K, t=T)
+    release = aggregate_partition(data, partition)
+    from repro.core import ConfidentialModel
+
+    emds = ConfidentialModel(data).partition_emds(list(partition.clusters()))
+    rows.append(
+        [
+            "Mondrian-t",
+            partition.n_clusters,
+            f"{partition.mean_size:.1f}",
+            f"{emds.max():.4f}",
+            f"{normalized_sse(data, release):.4f}",
+        ]
+    )
+
+    # --- Incognito-t -----------------------------------------------------------
+    hierarchies = {
+        name: NumericHierarchy.from_values(data.values(name), n_levels=5)
+        for name in data.quasi_identifiers
+    }
+    inc = incognito(data, hierarchies, k=K, t=T)
+    classes = inc.release.classes()
+    rows.append(
+        [
+            "Incognito-t",
+            classes.n_clusters,
+            f"{classes.mean_size:.1f}",
+            f"{inc.release.t_level():.4f}",
+            f"(LM={recoding_loss(hierarchies, inc.release.levels):.3f})",
+        ]
+    )
+
+    print(f"MCD surrogate, n={N}, k={K}, t={T}")
+    print(
+        format_table(
+            ["method", "#classes", "avg size", "max EMD", "SSE"],
+            rows,
+        )
+    )
+    print()
+    print(
+        "Incognito reports the Loss Metric of its recoding instead of SSE:\n"
+        "full-domain recoding publishes intervals, not perturbed numbers,\n"
+        "so Eq. (5) does not apply directly — which is itself one of the\n"
+        "granularity drawbacks the paper lists in Section 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,100 @@
+"""Categorical microdata: the paper's "future work" section, implemented.
+
+The paper's conclusions commit to extending the algorithms to categorical
+data via (i) an EMD for categorical values, (ii) categorical centroids, and
+(iii) integrated handling of mixed records.  This library implements all
+three, and this example exercises them on an Adult-census-shaped surrogate:
+
+* mixed quasi-identifiers — numeric age/hours, *ordinal* education,
+  *nominal* race and sex — clustered through the Gower-style embedding;
+* a *nominal* confidential attribute (occupation) protected with
+  Algorithms 1-2 under the equal-ground-distance EMD;
+* an *ordinal* confidential attribute (income class) protected with
+  Algorithm 3, whose bucket construction needs ranked values;
+* the hierarchical EMD of Li et al., shown on an occupation taxonomy.
+
+Run:  python examples/categorical_adult.py
+"""
+
+import numpy as np
+
+from repro.core import kanonymity_first, microaggregation_merge, tcloseness_first
+from repro.data import load_adult
+from repro.distance import Taxonomy, emd_hierarchical
+from repro.metrics import normalized_sse
+from repro.microagg import aggregate_partition
+from repro.privacy import audit
+
+N = 800
+K, T = 4, 0.25
+
+OCCUPATION_TAXONOMY = Taxonomy.from_nested(
+    {
+        "Any": {
+            "White-collar": {
+                "Professional": ["Prof-specialty", "Exec-managerial", "Tech-support"],
+                "Office": ["Adm-clerical", "Sales"],
+            },
+            "Blue-collar": {
+                "Trades": ["Craft-repair", "Machine-op-inspct", "Transport-moving"],
+                "Manual": ["Handlers-cleaners", "Farming-fishing", "Priv-house-serv"],
+            },
+            "Service": ["Other-service", "Protective-serv", "Armed-Forces"],
+        }
+    }
+)
+
+
+def main() -> None:
+    adult = load_adult(n=N)
+    print(f"Adult surrogate: {adult}")
+    print(f"QIs: {adult.quasi_identifiers}")
+    print()
+
+    # --- nominal confidential attribute: Algorithms 1 and 2 -----------------
+    nominal_view = adult.drop(["income_class"])
+    for name, algorithm in (
+        ("merge", microaggregation_merge),
+        ("kanon-first", kanonymity_first),
+    ):
+        result = algorithm(nominal_view, K, T)
+        release = aggregate_partition(nominal_view, result.partition)
+        print(f"occupation (nominal EMD), {name:>11}: {result.summary()}")
+        print(
+            f"{'':>37}SSE = {normalized_sse(nominal_view, release):.4f}"
+        )
+    print()
+
+    # --- ordinal confidential attribute: Algorithm 3 ------------------------
+    ordinal_view = adult.drop(["occupation"])
+    result = tcloseness_first(ordinal_view, K, T)
+    release = aggregate_partition(ordinal_view, result.partition)
+    print(f"income class (ordinal EMD), tclose-first: {result.summary()}")
+    print()
+    print("audit of the income-class release:")
+    print(audit(release).format())
+    print()
+
+    # --- hierarchical EMD demo ----------------------------------------------
+    occupations = adult.labels("occupation")
+    white_collar = [
+        o for o in occupations if o in ("Prof-specialty", "Exec-managerial")
+    ][:30]
+    mixed = occupations[:30].tolist()
+    print("hierarchical EMD against the full occupation column:")
+    print(
+        f"  30 white-collar-only records : "
+        f"{emd_hierarchical(white_collar, occupations, OCCUPATION_TAXONOMY):.4f}"
+    )
+    print(
+        f"  30 arbitrary records         : "
+        f"{emd_hierarchical(mixed, occupations, OCCUPATION_TAXONOMY):.4f}"
+    )
+    print(
+        "(a class stuck in one subtree is far from the table even when its\n"
+        " categories differ — the taxonomy is what makes that visible)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,54 @@
+"""Census utility study: how early should t-closeness enter the clustering?
+
+Reproduces, at example scale, the paper's central finding (Section 8.3):
+the earlier the t-closeness constraint is considered during
+microaggregation, the better the utility of the anonymized data — the
+merge-afterwards Algorithm 1 is dominated by the k-anonymity-first
+Algorithm 2, which in turn is dominated by the t-closeness-first
+Algorithm 3, on both cluster sizes and normalized SSE.  The gap narrows on
+the highly correlated data set (HCD), where quasi-identifier homogeneity
+and t-closeness are hardest to reconcile.
+
+Run:  python examples/census_utility_study.py
+"""
+
+from repro.data import load_hcd, load_mcd
+from repro.evaluation import format_series_table, format_size_table, sweep
+
+K = 2
+TS = (0.05, 0.10, 0.15, 0.20, 0.25)
+ALGORITHMS = ("merge", "kanon-first", "tclose-first")
+
+#: Example-scale subsample (the benchmarks run the full 1,080 records).
+N = 360
+
+
+def main() -> None:
+    datasets = {"MCD": load_mcd(n=N), "HCD": load_hcd(n=N)}
+
+    for name, data in datasets.items():
+        print(f"== {name} (n={data.n_records}, k={K}) ==")
+        sse_series = {}
+        size_results = {}
+        for algorithm in ALGORITHMS:
+            grid = sweep(data, algorithm, ks=[K], ts=TS)
+            sse_series[algorithm] = {t: grid[(K, t)].sse for t in TS}
+            size_results[algorithm] = grid
+        print("\nnormalized SSE by t (smaller is better):")
+        print(format_series_table(sse_series, ts=TS))
+        print("\nactual cluster sizes (min/avg) by t:")
+        print(
+            format_size_table(
+                {alg: size_results[alg] for alg in ALGORITHMS}, ks=[K], ts=TS
+            )
+        )
+        print()
+
+    print(
+        "Expected shape (paper, Figure 6): SSE(merge) >= SSE(kanon-first)\n"
+        ">= SSE(tclose-first) for every t, with the gap narrowing on HCD."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,74 @@
+"""Microaggregation as a utility enhancer for differential privacy.
+
+The paper's conclusions point at the bridge between t-closeness and
+ε-differential privacy and propose exploring microaggregation for DP
+releases (worked out by the same authors in VLDB Journal 23(5), 2014).
+The insight: releasing noisy *centroids of k records* instead of noisy
+records divides the Laplace noise scale by k, because one individual can
+move a k-record mean by at most range/k.
+
+This example sweeps k at a fixed privacy budget and shows the U-shaped
+error curve that results: small k ⇒ noise dominates; large k ⇒
+aggregation coarseness dominates; the sweet spot sits in between.
+
+Run:  python examples/differential_privacy_bridge.py
+"""
+
+import numpy as np
+
+from repro.data import load_mcd
+from repro.evaluation import format_table
+from repro.extensions import dp_microaggregated_release, insensitive_partition
+from repro.metrics import normalized_sse
+
+EPSILON = 1.0
+KS = (2, 5, 10, 25, 50, 100, 250)
+N_SEEDS = 5
+
+
+def main() -> None:
+    data = load_mcd()
+    print(f"data: {data};  budget epsilon = {EPSILON}")
+    print()
+
+    rows = []
+    for k in KS:
+        partition = insensitive_partition(data, k)
+        noisy_sses = []
+        for seed in range(N_SEEDS):
+            release = dp_microaggregated_release(
+                data, k, EPSILON, seed=seed, partition=partition
+            )
+            noisy_sses.append(
+                normalized_sse(data, release, names=data.quasi_identifiers)
+            )
+        # Aggregation-only error floor (epsilon -> infinity limit).
+        clean = dp_microaggregated_release(
+            data, k, 1e9, seed=0, partition=partition
+        )
+        floor = normalized_sse(data, clean, names=data.quasi_identifiers)
+        rows.append(
+            [
+                k,
+                f"{float(np.mean(noisy_sses)):.4f}",
+                f"{floor:.4f}",
+                f"{float(np.mean(noisy_sses)) - floor:.4f}",
+            ]
+        )
+
+    print(
+        format_table(
+            ["k", "total SSE", "aggregation floor", "noise share"], rows
+        )
+    )
+    print()
+    print(
+        "Reading: at small k the 'noise share' dominates (sensitivity\n"
+        "range/k is large); at large k the aggregation floor dominates\n"
+        "(centroids of huge clusters).  Microaggregation buys DP utility\n"
+        "exactly in the middle — the paper's proposed research direction."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Hospital discharge release: an end-to-end data-custodian workflow.
+
+Scenario (the paper's Section 8.2 setting): a hospital must publish patient
+discharge records — seven quasi-identifiers (age, zip region, admission
+day, stay length, severity, procedures, payer) plus the confidential
+hospital charge — for health-services research, under a policy of
+k >= 10 and t <= 0.2.
+
+The script walks the full custodian workflow:
+
+1. load the extract and assign disclosure roles,
+2. anonymize with the t-closeness-first algorithm,
+3. verify the release with the independent privacy auditors,
+4. quantify what researchers lose (range-query error, correlation drift),
+5. write the release to CSV.
+
+Run:  python examples/hospital_discharge_release.py
+"""
+
+import tempfile
+from pathlib import Path
+
+from repro import anonymize
+from repro.data import load_patient_discharge, write_csv
+from repro.metrics import correlation_shift, normalized_sse, range_query_error
+from repro.privacy import audit
+
+K, T = 10, 0.20
+
+#: Example-scale subsample of the 23,435-record extract (fast to run);
+#: the figure benchmarks sweep the larger sizes.
+N = 2_000
+
+
+def main() -> None:
+    data = load_patient_discharge(n=N)
+    print(f"extract: {data}")
+    print()
+
+    release, result = anonymize(data, k=K, t=T, method="tclose-first")
+    print("anonymization:", result.summary())
+    print(
+        f"effective cluster size (Eq. 3/4): {result.info['effective_k']} "
+        f"(guaranteed EMD <= {result.info['emd_bound']:.4f})"
+    )
+    print()
+
+    print("privacy audit (verified on the release, not trusted from the run):")
+    print(audit(release, data).format())
+    print()
+
+    queries = range_query_error(data, release, n_queries=300, seed=1)
+    print("researcher impact:")
+    print(f"  normalized SSE            : {normalized_sse(data, release):.4f}")
+    print(f"  range-query rel. error    : {queries.mean_relative_error:.3%}")
+    print(f"  worst correlation drift   : {correlation_shift(data, release):.4f}")
+    print()
+
+    out = Path(tempfile.gettempdir()) / "discharge_release.csv"
+    write_csv(release, out)
+    print(f"release written to {out}")
+
+
+if __name__ == "__main__":
+    main()

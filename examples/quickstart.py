@@ -1,0 +1,40 @@
+"""Quickstart: anonymize a microdata set with k-anonymous t-closeness.
+
+Loads the paper's moderately-correlated Census surrogate (1,080 records),
+runs all three microaggregation algorithms at k=5, t=0.15, and prints what
+each achieved — cluster sizes, the worst equivalence-class EMD, information
+loss, and an independent privacy audit of the best release.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import anonymize
+from repro.data import load_mcd
+from repro.metrics import normalized_sse
+from repro.privacy import audit
+
+K, T = 5, 0.15
+
+
+def main() -> None:
+    data = load_mcd()
+    print(f"original data: {data}")
+    print(f"quasi-identifiers: {data.quasi_identifiers}")
+    print(f"confidential:      {data.confidential}")
+    print()
+
+    releases = {}
+    for method in ("merge", "kanon-first", "tclose-first"):
+        release, result = anonymize(data, k=K, t=T, method=method)
+        releases[method] = release
+        sse = normalized_sse(data, release)
+        print(f"{method:>13}: {result.summary()}")
+        print(f"{'':>13}  normalized SSE = {sse:.4f}")
+    print()
+
+    print("independent audit of the tclose-first release:")
+    print(audit(releases["tclose-first"], data).format())
+
+
+if __name__ == "__main__":
+    main()

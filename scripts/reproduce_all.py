@@ -1,0 +1,68 @@
+"""One-shot reproduction driver.
+
+Runs the entire test suite and benchmark harness (optionally at full paper
+scale) and leaves the regenerated tables under ``benchmarks/results/``.
+This is the command a referee would run.
+
+Usage::
+
+    python scripts/reproduce_all.py            # CI scale, ~5 minutes
+    python scripts/reproduce_all.py --full     # paper grids, ~40 minutes
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parents[1]
+
+
+def run(cmd: list[str], *, env: dict[str, str] | None = None) -> int:
+    """Echo and run one step, streaming output; returns the exit code."""
+    print(f"\n$ {' '.join(cmd)}", flush=True)
+    return subprocess.call(cmd, cwd=REPO, env=env)
+
+
+def main() -> int:
+    """Drive tests, benchmarks and result collection; 0 on full success."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--full",
+        action="store_true",
+        help="run the complete paper grids (REPRO_FULL=1; budget ~40 min)",
+    )
+    parser.add_argument(
+        "--skip-tests", action="store_true", help="benchmarks only"
+    )
+    args = parser.parse_args()
+
+    steps: list[int] = []
+    if not args.skip_tests:
+        steps.append(run([sys.executable, "-m", "pytest", "tests/"]))
+
+    env = dict(os.environ)
+    if args.full:
+        env["REPRO_FULL"] = "1"
+    steps.append(
+        run(
+            [sys.executable, "-m", "pytest", "benchmarks/", "--benchmark-only", "-s"],
+            env=env,
+        )
+    )
+
+    results = REPO / "benchmarks" / "results"
+    if results.is_dir():
+        print(f"\nregenerated tables in {results}:")
+        for path in sorted(results.glob("*.txt")):
+            print(f"  {path.name}")
+    failed = [code for code in steps if code != 0]
+    print("\nALL STEPS PASSED" if not failed else f"\n{len(failed)} STEP(S) FAILED")
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+All metadata lives in pyproject.toml.  This file exists only so that
+``pip install -e . --no-use-pep517`` works in offline environments whose
+setuptools cannot build PEP-517 editable wheels (no ``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

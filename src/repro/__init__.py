@@ -1,0 +1,51 @@
+"""repro — t-closeness through microaggregation.
+
+A from-scratch reproduction of Soria-Comas, Domingo-Ferrer, Sánchez &
+Martínez, *"t-Closeness through Microaggregation: Strict Privacy with
+Enhanced Utility Preservation"* (IEEE TKDE / ICDE 2016): three
+microaggregation algorithms that produce k-anonymous t-close microdata
+releases, plus the substrates they rest on (microdata model, EMD distances,
+MDAV-family partitioners, privacy verifiers, generalization baselines and
+information-loss metrics).
+
+Quickstart
+----------
+>>> from repro import anonymize
+>>> from repro.data import load_mcd
+>>> release, result = anonymize(load_mcd(), k=5, t=0.15, method="tclose-first")
+>>> result.satisfies_t
+True
+"""
+
+from .core import (
+    METHODS,
+    TClosenessAnonymizer,
+    TClosenessResult,
+    anonymize,
+    emd_lower_bound,
+    emd_upper_bound,
+    kanonymity_first,
+    microaggregation_merge,
+    required_cluster_size,
+    tclose_first_cluster_size,
+    tcloseness_first,
+)
+from .data import Microdata
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "anonymize",
+    "TClosenessAnonymizer",
+    "TClosenessResult",
+    "METHODS",
+    "Microdata",
+    "microaggregation_merge",
+    "kanonymity_first",
+    "tcloseness_first",
+    "emd_lower_bound",
+    "emd_upper_bound",
+    "required_cluster_size",
+    "tclose_first_cluster_size",
+    "__version__",
+]

@@ -1,0 +1,33 @@
+"""The paper's contribution: three microaggregation algorithms for t-closeness."""
+
+from .anonymizer import METHODS, TClosenessAnonymizer, anonymize
+from .base import TClosenessResult
+from .bounds import (
+    adjust_cluster_size,
+    emd_lower_bound,
+    emd_upper_bound,
+    required_cluster_size,
+    tclose_first_cluster_size,
+)
+from .confidential import ClusterTrackerSet, ConfidentialModel
+from .kanon_first import kanonymity_first
+from .merge import merge_to_t_closeness, microaggregation_merge
+from .tclose_first import tcloseness_first
+
+__all__ = [
+    "anonymize",
+    "TClosenessAnonymizer",
+    "TClosenessResult",
+    "METHODS",
+    "microaggregation_merge",
+    "merge_to_t_closeness",
+    "kanonymity_first",
+    "tcloseness_first",
+    "ConfidentialModel",
+    "ClusterTrackerSet",
+    "emd_lower_bound",
+    "emd_upper_bound",
+    "required_cluster_size",
+    "adjust_cluster_size",
+    "tclose_first_cluster_size",
+]

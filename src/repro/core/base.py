@@ -1,0 +1,78 @@
+"""Shared result type for the three t-closeness microaggregation algorithms."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..microagg.partition import Partition
+
+
+@dataclass(frozen=True)
+class TClosenessResult:
+    """Outcome of one anonymization run.
+
+    Attributes
+    ----------
+    algorithm:
+        ``"merge"`` (Algorithm 1), ``"kanon-first"`` (Algorithm 2) or
+        ``"tclose-first"`` (Algorithm 3).
+    k:
+        Requested k-anonymity level.
+    t:
+        Requested t-closeness level.
+    partition:
+        Final cluster assignment (every cluster has >= k records).
+    cluster_emds:
+        Per-cluster EMD to the full table (max over confidential
+        attributes), indexed by cluster id.
+    info:
+        Algorithm-specific diagnostics — e.g. ``n_merges`` for the merging
+        phase, ``n_swaps`` for Algorithm 2, ``effective_k`` for Algorithm 3.
+    """
+
+    algorithm: str
+    k: int
+    t: float
+    partition: Partition
+    cluster_emds: np.ndarray
+    info: dict = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if len(self.cluster_emds) != self.partition.n_clusters:
+            raise ValueError(
+                f"{len(self.cluster_emds)} EMD values for "
+                f"{self.partition.n_clusters} clusters"
+            )
+
+    @property
+    def max_emd(self) -> float:
+        """Worst per-cluster EMD — the achieved t-closeness level."""
+        return float(np.max(self.cluster_emds))
+
+    @property
+    def satisfies_t(self) -> bool:
+        """Whether every cluster meets the requested threshold."""
+        return bool(self.max_emd <= self.t + 1e-12)
+
+    @property
+    def min_cluster_size(self) -> int:
+        """The paper's "minimum actual microaggregation level" (Tables 1-3)."""
+        return self.partition.min_size
+
+    @property
+    def mean_cluster_size(self) -> float:
+        """The paper's "average actual microaggregation level" (Tables 1-3)."""
+        return self.partition.mean_size
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (
+            f"{self.algorithm}: k={self.k} t={self.t:g} -> "
+            f"{self.partition.n_clusters} clusters "
+            f"(min size {self.min_cluster_size}, "
+            f"avg size {self.mean_cluster_size:.1f}), "
+            f"max EMD {self.max_emd:.4f} "
+            f"({'t-close' if self.satisfies_t else 'NOT t-close'})"
+        )

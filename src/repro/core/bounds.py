@@ -1,0 +1,108 @@
+"""Analytic EMD bounds and cluster-size selection (Propositions 1-2, Eqs. 3-4).
+
+These are the closed-form results that make the paper's t-closeness-first
+algorithm (Algorithm 3) possible: instead of *checking* EMD cluster by
+cluster, the algorithm derives — before clustering — the cluster size that
+*guarantees* every cluster built by its bucket construction is t-close.
+
+All formulas are stated for the rank-based EMD (each of the n records is a
+bin of mass 1/n; the ground distance between ranks i and j is
+``|i - j| / (n - 1)``), which is how the paper proves them.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def emd_lower_bound(n: int, k: int) -> float:
+    """Proposition 1: minimum achievable EMD of any k-record cluster.
+
+    ``EMD_A(C, T) >= (n + k)(n - k) / (4 n (n - 1) k)`` for every cluster C
+    of k records drawn from a data set T of n distinctly ranked values; the
+    bound is tight when k divides n (take the median of each of the k
+    consecutive n/k-blocks).
+    """
+    _validate(n, k)
+    if n == 1:
+        return 0.0
+    return (n + k) * (n - k) / (4.0 * n * (n - 1) * k)
+
+
+def emd_upper_bound(n: int, k: int) -> float:
+    """Proposition 2: maximum EMD of a one-record-per-bucket cluster.
+
+    If T is split into k consecutive (by confidential rank) buckets of n/k
+    records and C takes exactly one record from each bucket, then
+    ``EMD(C, T) <= (n - k) / (2 (n - 1) k)`` — no matter which record is
+    picked in each bucket.  This freedom of choice is what lets Algorithm 3
+    pick bucket representatives by quasi-identifier proximity.
+    """
+    _validate(n, k)
+    if n == 1:
+        return 0.0
+    return (n - k) / (2.0 * (n - 1) * k)
+
+
+def required_cluster_size(n: int, t: float, k: int = 1) -> int:
+    """Equation (3): the cluster size Algorithm 3 must use.
+
+    Solving Proposition 2's bound ``(n - k')/(2(n - 1)k') <= t`` for the
+    bucket count k' gives ``k' >= n / (2(n - 1)t + 1)``; combined with the
+    caller's k-anonymity requirement the cluster size is
+    ``max(k, ceil(n / (2(n - 1)t + 1)))``.
+
+    Parameters
+    ----------
+    n:
+        Number of records in the data set.
+    t:
+        Desired t-closeness level (``t >= 0``; ``t = 0`` forces one single
+        cluster of all n records).
+    k:
+        Desired k-anonymity level (the floor on the answer).
+    """
+    _validate(n, k)
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    denominator = 2.0 * (n - 1) * t + 1.0
+    needed = math.ceil(n / denominator - 1e-12)  # tolerate float round-off
+    return min(n, max(k, needed))
+
+
+def adjust_cluster_size(n: int, k: int) -> int:
+    """Equation (4): absorb an oversized remainder by growing k.
+
+    With cluster size k, Algorithm 3 forms ``floor(n/k)`` clusters and has
+    ``r = n mod k`` leftover records, each parked as a second record of a
+    middle bucket.  That only works while ``r <= floor(n/k)`` (at most one
+    extra record per cluster); otherwise every cluster would receive more
+    than one extra and the honest thing is to increase k:
+    ``k <- k + floor(r / floor(n/k))``.  Applied iteratively until the
+    remainder fits (the paper applies it once, which suffices for all its
+    parameter choices; iteration covers the general case).
+    """
+    _validate(n, k)
+    while True:
+        n_clusters = n // k
+        if n_clusters == 0:  # pragma: no cover - excluded by _validate (k <= n)
+            return n
+        r = n % k
+        bump = r // n_clusters
+        if bump == 0:
+            return k
+        k = min(n, k + bump)
+        if k == n:
+            return n
+
+
+def tclose_first_cluster_size(n: int, t: float, k: int = 1) -> int:
+    """The effective cluster size Algorithm 3 uses: Eq. (3) then Eq. (4)."""
+    return adjust_cluster_size(n, required_cluster_size(n, t, k))
+
+
+def _validate(n: int, k: int) -> None:
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")

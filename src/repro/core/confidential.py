@@ -1,0 +1,151 @@
+"""Uniform EMD evaluation over a dataset's confidential attributes.
+
+The three anonymization algorithms need to answer the same two questions
+for arbitrary record subsets:
+
+* "what is this cluster's EMD to the whole table?" — where EMD is the
+  ordered EMD for numeric/ordinal confidential attributes and the
+  equal-ground-distance EMD for nominal ones, maximized over attributes
+  when a data set declares several confidential columns;
+* (Algorithm 2 only) "how would the EMD change if record *b* in the
+  cluster were replaced by record *a*?" — evaluated for every member b at
+  once, thousands of times, so it must be incremental.
+
+:class:`ConfidentialModel` wraps a dataset and exposes both, hiding the
+attribute-kind dispatch and the tracker bookkeeping.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.attributes import AttributeKind
+from ..data.dataset import Microdata
+from ..distance.emd import (
+    ClusterEMDTracker,
+    NominalClusterTracker,
+    NominalEMDReference,
+    OrderedEMDReference,
+)
+
+
+class ConfidentialModel:
+    """EMD evaluators for every confidential attribute of one dataset.
+
+    Parameters
+    ----------
+    data:
+        Dataset with at least one attribute whose role is ``CONFIDENTIAL``.
+    emd_mode:
+        ``"distinct"`` (Li et al. bins; supports incremental trackers) or
+        ``"rank"`` (the propositions' per-record bins; evaluation only).
+    """
+
+    def __init__(self, data: Microdata, *, emd_mode: str = "distinct") -> None:
+        names = data.confidential
+        if not names:
+            raise ValueError(
+                "dataset declares no confidential attributes; assign roles "
+                "with Microdata.with_roles(confidential=[...])"
+            )
+        self.attribute_names = names
+        self.emd_mode = emd_mode
+        self.n_records = data.n_records
+        self._refs: list[object] = []
+        self._bins: list[np.ndarray | None] = []
+        for name in names:
+            spec = data.spec(name)
+            column = data.values(name)
+            if spec.kind is AttributeKind.NOMINAL:
+                ref = NominalEMDReference(column, spec.n_categories)
+                self._refs.append(ref)
+                self._bins.append(column.astype(np.int64))
+            else:
+                ref = OrderedEMDReference(column.astype(np.float64), mode=emd_mode)
+                self._refs.append(ref)
+                if emd_mode == "distinct":
+                    self._bins.append(ref.bins_of(column.astype(np.float64)))
+                else:
+                    self._bins.append(None)
+        self._values = [data.values(name) for name in names]
+        self._specs = [data.spec(name) for name in names]
+
+    @property
+    def supports_trackers(self) -> bool:
+        """Whether incremental swap evaluation is available (distinct mode)."""
+        return all(b is not None for b in self._bins)
+
+    # -- one-shot evaluation -------------------------------------------------------
+
+    def cluster_emd(self, members: np.ndarray) -> float:
+        """EMD of the cluster given by record indices (max over attributes)."""
+        members = np.asarray(members)
+        if members.size == 0:
+            raise ValueError("cluster must be non-empty")
+        worst = 0.0
+        for ref, bins, values in zip(self._refs, self._bins, self._values):
+            if bins is not None:
+                value = ref.emd_of_bins(bins[members])
+            else:
+                value = ref.emd(values[members])
+            worst = max(worst, value)
+        return worst
+
+    def partition_emds(self, clusters: list[np.ndarray]) -> np.ndarray:
+        """Per-cluster EMD for an explicit list of clusters."""
+        return np.array([self.cluster_emd(members) for members in clusters])
+
+    # -- incremental evaluation (Algorithm 2) -----------------------------------------
+
+    def make_tracker(self, members: np.ndarray) -> "ClusterTrackerSet":
+        """Incremental evaluator seeded with a cluster's record indices."""
+        if not self.supports_trackers:
+            raise ValueError(
+                "incremental trackers require emd_mode='distinct' "
+                "(rank mode has no per-record bins)"
+            )
+        return ClusterTrackerSet(self, np.asarray(members))
+
+
+class ClusterTrackerSet:
+    """Max-over-attributes incremental EMD for one mutable cluster.
+
+    All methods address records by their *record index* in the original
+    dataset; the per-attribute bin translation happens internally.
+    """
+
+    def __init__(self, model: ConfidentialModel, members: np.ndarray) -> None:
+        if members.size == 0:
+            raise ValueError("cluster must be non-empty")
+        self._model = model
+        self._trackers = []
+        for ref, bins in zip(model._refs, model._bins):
+            member_bins = bins[members]
+            if isinstance(ref, NominalEMDReference):
+                self._trackers.append((NominalClusterTracker(ref, member_bins), bins))
+            else:
+                self._trackers.append((ClusterEMDTracker(ref, member_bins), bins))
+
+    @property
+    def emd(self) -> float:
+        """Current cluster EMD (max over confidential attributes)."""
+        return max(tracker.emd for tracker, _ in self._trackers)
+
+    def swap_emds(self, member_records: np.ndarray, new_record: int) -> np.ndarray:
+        """Cluster EMD after replacing each member by ``new_record``.
+
+        Returns one value per entry of ``member_records``; each is the
+        max-over-attributes EMD of the hypothetical cluster.
+        """
+        member_records = np.asarray(member_records)
+        out: np.ndarray | None = None
+        for tracker, bins in self._trackers:
+            scores = tracker.swap_emds(bins[member_records], int(bins[new_record]))
+            out = scores if out is None else np.maximum(out, scores)
+        assert out is not None
+        return out
+
+    def apply_swap(self, removed_record: int, added_record: int) -> None:
+        """Commit the replacement of one member record by another."""
+        for tracker, bins in self._trackers:
+            tracker.apply_swap(int(bins[removed_record]), int(bins[added_record]))

@@ -1,0 +1,175 @@
+"""Algorithm 3 — t-closeness-first microaggregation.
+
+Section 7 of the paper turns t-closeness from a *check* into a
+*construction*:
+
+1. From n, t and the requested k, compute the effective cluster size
+   ``k' = max(k, ceil(n / (2(n-1)t + 1)))`` (Proposition 2 solved for k,
+   Eq. 3), adjusted by Eq. 4 when k' does not divide n.
+2. Sort the records by the confidential attribute and slice them into k'
+   consecutive buckets of ``floor(n/k')`` records; the ``n mod k'``
+   leftovers are parked as extra records of the central bucket(s) — close
+   to the dataset median, where an extra record distorts the EMD least
+   (Figures 3-4).
+3. Build clusters MDAV-style, but pick each cluster's members as *one
+   record per bucket* (the bucket member nearest, in quasi-identifier
+   space, to the cluster's seed record).  Buckets holding extras contribute
+   a second record to at most one cluster each.
+
+Proposition 2 guarantees every such cluster is within
+``(n-k')/(2(n-1)k') <= t`` of the table, so — uniquely among the three
+algorithms — no EMD is ever computed during clustering, and the cost is
+MDAV's O(n^2/k').
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.attributes import AttributeKind
+from ..data.dataset import Microdata
+from ..distance.records import encode_mixed, sq_distances_to
+from ..microagg.partition import Partition
+from .base import TClosenessResult
+from .bounds import emd_upper_bound, tclose_first_cluster_size
+from .confidential import ConfidentialModel
+
+
+def _bucket_sizes(n: int, k_eff: int) -> np.ndarray:
+    """Bucket sizes: floor(n/k') everywhere, extras parked centrally.
+
+    For odd k' all ``n mod k'`` extras go to the middle bucket; for even k'
+    they are split between the two middle buckets (Figures 3 and 4).
+    """
+    base = n // k_eff
+    r = n % k_eff
+    sizes = np.full(k_eff, base, dtype=np.int64)
+    if r:
+        if k_eff % 2 == 1:
+            sizes[(k_eff - 1) // 2] += r
+        else:
+            lower, upper = k_eff // 2 - 1, k_eff // 2
+            sizes[lower] += (r + 1) // 2
+            sizes[upper] += r // 2
+    return sizes
+
+
+def tcloseness_first(
+    data: Microdata,
+    k: int,
+    t: float,
+    *,
+    emd_mode: str = "distinct",
+) -> TClosenessResult:
+    """Algorithm 3: build every cluster t-close by construction.
+
+    Parameters
+    ----------
+    data:
+        Microdata with quasi-identifier roles and exactly one *rankable*
+        (numeric or ordinal) confidential attribute — the bucket
+        construction needs a total order on confidential values.
+    k:
+        Minimum cluster size; the effective size may be larger when t is
+        strict (Eq. 3).
+    t:
+        t-closeness level (``t > 0``; ``t = 0`` degenerates to one cluster).
+    emd_mode:
+        Flavour used for the *reported* per-cluster EMDs (the construction
+        itself never computes EMD).
+
+    Returns
+    -------
+    TClosenessResult
+        ``info`` records ``effective_k`` (the Eq. 3/4 cluster size),
+        ``emd_bound`` (Proposition 2's guarantee for that size) and
+        ``n_extra_records``.
+    """
+    n = data.n_records
+    if n == 0:
+        raise ValueError("dataset is empty")
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+    if t < 0:
+        raise ValueError(f"t must be >= 0, got {t}")
+    if len(data.confidential) != 1:
+        raise ValueError(
+            "tcloseness_first requires exactly one confidential attribute, "
+            f"got {len(data.confidential)}"
+        )
+    conf_name = data.confidential[0]
+    conf_spec = data.spec(conf_name)
+    if conf_spec.kind is AttributeKind.NOMINAL:
+        raise ValueError(
+            f"confidential attribute {conf_name!r} is nominal; Algorithm 3 "
+            "requires rankable (numeric or ordinal) confidential values"
+        )
+
+    k_eff = tclose_first_cluster_size(n, t, k)
+    X = encode_mixed(data, data.quasi_identifiers)
+
+    # Slice records (sorted by confidential value) into k_eff buckets.
+    conf_order = np.argsort(data.values(conf_name), kind="stable")
+    sizes = _bucket_sizes(n, k_eff)
+    boundaries = np.concatenate([[0], np.cumsum(sizes)])
+    pools: list[np.ndarray] = [
+        conf_order[boundaries[i] : boundaries[i + 1]].copy()
+        for i in range(k_eff)
+    ]
+    base = n // k_eff
+    extras_left = sizes - base
+
+    alive = np.ones(n, dtype=bool)
+    clusters: list[np.ndarray] = []
+
+    def build_cluster(seed: int) -> np.ndarray:
+        chosen: list[int] = []
+        extra_taken = False
+        for i in range(k_eff):
+            pool = pools[i]
+            if len(pool) == 0:  # pragma: no cover - construction keeps pools even
+                continue
+            pos = int(np.argmin(sq_distances_to(X[pool], X[seed])))
+            chosen.append(int(pool[pos]))
+            pools[i] = np.delete(pool, pos)
+            # The paper's extra-record rule: a central bucket still holding
+            # leftovers donates a second record, at most once per cluster.
+            if extras_left[i] > 0 and not extra_taken and len(pools[i]):
+                pos = int(np.argmin(sq_distances_to(X[pools[i]], X[seed])))
+                chosen.append(int(pools[i][pos]))
+                pools[i] = np.delete(pools[i], pos)
+                extras_left[i] -= 1
+                extra_taken = True
+        members = np.asarray(chosen, dtype=np.int64)
+        alive[members] = False
+        return members
+
+    while alive.any():
+        alive_idx = np.flatnonzero(alive)
+        centroid = X[alive_idx].mean(axis=0)
+        x0 = int(alive_idx[np.argmax(sq_distances_to(X[alive_idx], centroid))])
+        clusters.append(build_cluster(x0))
+
+        if alive.any():
+            alive_idx = np.flatnonzero(alive)
+            x1 = int(alive_idx[np.argmax(sq_distances_to(X[alive_idx], X[x0]))])
+            clusters.append(build_cluster(x1))
+
+    partition = Partition.from_clusters(clusters, n)
+    partition.validate_min_size(min(k, k_eff))
+    model = ConfidentialModel(data, emd_mode=emd_mode)
+    emds = model.partition_emds(list(partition.clusters()))
+
+    return TClosenessResult(
+        algorithm="tclose-first",
+        k=k,
+        t=t,
+        partition=partition,
+        cluster_emds=emds,
+        info={
+            "effective_k": k_eff,
+            "emd_bound": emd_upper_bound(n, k_eff),
+            "n_extra_records": int(n % k_eff),
+            "emd_mode": emd_mode,
+        },
+    )

@@ -1,0 +1,74 @@
+"""Microdata model and evaluation data sets.
+
+Public surface:
+
+* :class:`~repro.data.dataset.Microdata` — the tabular container.
+* :class:`~repro.data.attributes.AttributeSpec` plus the
+  :func:`~repro.data.attributes.numeric` / :func:`~repro.data.attributes.ordinal`
+  / :func:`~repro.data.attributes.nominal` spec constructors.
+* CSV round-trip via :func:`~repro.data.io.read_csv` /
+  :func:`~repro.data.io.write_csv`.
+* The seeded surrogates for the paper's evaluation data:
+  :func:`~repro.data.census.load_mcd`, :func:`~repro.data.census.load_hcd`,
+  :func:`~repro.data.patient_discharge.load_patient_discharge`, and
+  :func:`~repro.data.adult.load_adult`.
+"""
+
+from .attributes import (
+    AttributeKind,
+    AttributeRole,
+    AttributeSpec,
+    nominal,
+    numeric,
+    ordinal,
+)
+from .adult import ADULT_N, ADULT_SEED, load_adult
+from .census import (
+    CENSUS_N,
+    CENSUS_SEED,
+    HCD_CORRELATION,
+    MCD_CORRELATION,
+    load_census,
+    load_hcd,
+    load_mcd,
+)
+from .dataset import Microdata, SchemaError
+from .io import read_csv, write_csv
+from .patient_discharge import (
+    PATIENT_DISCHARGE_N,
+    PATIENT_DISCHARGE_SEED,
+    PD_CORRELATION,
+    load_patient_discharge,
+)
+from .synthetic import multiple_correlation
+from .toy import load_salary_toy, load_uniform_toy
+
+__all__ = [
+    "AttributeKind",
+    "AttributeRole",
+    "AttributeSpec",
+    "Microdata",
+    "SchemaError",
+    "numeric",
+    "ordinal",
+    "nominal",
+    "read_csv",
+    "write_csv",
+    "load_census",
+    "load_mcd",
+    "load_hcd",
+    "load_patient_discharge",
+    "load_adult",
+    "load_salary_toy",
+    "load_uniform_toy",
+    "multiple_correlation",
+    "CENSUS_N",
+    "CENSUS_SEED",
+    "MCD_CORRELATION",
+    "HCD_CORRELATION",
+    "PATIENT_DISCHARGE_N",
+    "PATIENT_DISCHARGE_SEED",
+    "PD_CORRELATION",
+    "ADULT_N",
+    "ADULT_SEED",
+]

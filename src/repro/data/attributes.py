@@ -1,0 +1,200 @@
+"""Attribute metadata for microdata sets.
+
+A microdata set is a table where each row describes one subject and each
+column one attribute.  Statistical disclosure control classifies attributes
+by how they contribute to disclosure (Hundepool et al., *Statistical
+Disclosure Control*, Wiley 2012):
+
+* **identifiers** unambiguously name the subject (e.g. passport number) and
+  must be dropped before release;
+* **quasi-identifiers** do not identify a subject on their own but may do so
+  in combination (age, zip code, admission date, ...);
+* **confidential** attributes carry the sensitive information the release is
+  meant to convey (diagnosis, income, hospital charge, ...);
+* **non-confidential** attributes are everything else.
+
+This module defines the :class:`AttributeRole` and :class:`AttributeKind`
+enumerations and the :class:`AttributeSpec` record that the rest of the
+library uses to interpret columns.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Sequence
+
+
+class AttributeRole(enum.Enum):
+    """Disclosure role of an attribute in a microdata release."""
+
+    IDENTIFIER = "identifier"
+    QUASI_IDENTIFIER = "quasi_identifier"
+    CONFIDENTIAL = "confidential"
+    OTHER = "other"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class AttributeKind(enum.Enum):
+    """Measurement scale of an attribute.
+
+    * ``NUMERIC``: real-valued; supports means and Euclidean geometry.
+    * ``ORDINAL``: categorical with a meaningful total order (e.g. education
+      level); ranked operations such as the ordered Earth Mover's Distance
+      are valid, arithmetic means are not.
+    * ``NOMINAL``: categorical without order (e.g. occupation); only
+      equality-based operations (mode, equal ground distance) are valid.
+    """
+
+    NUMERIC = "numeric"
+    ORDINAL = "ordinal"
+    NOMINAL = "nominal"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+    @property
+    def is_categorical(self) -> bool:
+        """Whether values are category codes rather than measurements."""
+        return self is not AttributeKind.NUMERIC
+
+    @property
+    def is_rankable(self) -> bool:
+        """Whether values admit a total order (needed by Algorithm 3)."""
+        return self is not AttributeKind.NOMINAL
+
+
+@dataclass(frozen=True)
+class AttributeSpec:
+    """Static description of one microdata column.
+
+    Parameters
+    ----------
+    name:
+        Column name; unique within a :class:`~repro.data.dataset.Microdata`.
+    kind:
+        Measurement scale (:class:`AttributeKind`).
+    role:
+        Disclosure role (:class:`AttributeRole`).
+    categories:
+        For categorical kinds, the ordered tuple of category labels.  Column
+        values are stored as integer codes indexing this tuple.  Must be
+        empty for ``NUMERIC`` attributes.
+    """
+
+    name: str
+    kind: AttributeKind = AttributeKind.NUMERIC
+    role: AttributeRole = AttributeRole.OTHER
+    categories: tuple[str, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("attribute name must be a non-empty string")
+        if not isinstance(self.kind, AttributeKind):
+            raise TypeError(f"kind must be an AttributeKind, got {self.kind!r}")
+        if not isinstance(self.role, AttributeRole):
+            raise TypeError(f"role must be an AttributeRole, got {self.role!r}")
+        if self.kind is AttributeKind.NUMERIC:
+            if self.categories:
+                raise ValueError(
+                    f"numeric attribute {self.name!r} must not define categories"
+                )
+        else:
+            if not self.categories:
+                raise ValueError(
+                    f"categorical attribute {self.name!r} requires categories"
+                )
+            if len(set(self.categories)) != len(self.categories):
+                raise ValueError(
+                    f"attribute {self.name!r} has duplicate categories"
+                )
+        # Normalise to an immutable tuple even if a list was passed.
+        object.__setattr__(self, "categories", tuple(self.categories))
+
+    # -- convenience predicates -------------------------------------------------
+
+    @property
+    def is_numeric(self) -> bool:
+        return self.kind is AttributeKind.NUMERIC
+
+    @property
+    def is_categorical(self) -> bool:
+        return self.kind.is_categorical
+
+    @property
+    def is_quasi_identifier(self) -> bool:
+        return self.role is AttributeRole.QUASI_IDENTIFIER
+
+    @property
+    def is_confidential(self) -> bool:
+        return self.role is AttributeRole.CONFIDENTIAL
+
+    @property
+    def n_categories(self) -> int:
+        """Number of category labels (0 for numeric attributes)."""
+        return len(self.categories)
+
+    # -- derivation helpers -----------------------------------------------------
+
+    def with_role(self, role: AttributeRole) -> "AttributeSpec":
+        """Return a copy of this spec with a different disclosure role."""
+        return replace(self, role=role)
+
+    def code_of(self, label: str) -> int:
+        """Map a category label to its integer code.
+
+        Raises
+        ------
+        KeyError
+            If the label is not one of :attr:`categories`.
+        """
+        try:
+            return self.categories.index(label)
+        except ValueError:
+            raise KeyError(
+                f"{label!r} is not a category of attribute {self.name!r}"
+            ) from None
+
+    def label_of(self, code: int) -> str:
+        """Map an integer code back to its category label."""
+        if not 0 <= code < len(self.categories):
+            raise KeyError(
+                f"code {code} out of range for attribute {self.name!r} "
+                f"({len(self.categories)} categories)"
+            )
+        return self.categories[code]
+
+
+def numeric(name: str, role: AttributeRole = AttributeRole.OTHER) -> AttributeSpec:
+    """Shorthand constructor for a numeric attribute spec."""
+    return AttributeSpec(name=name, kind=AttributeKind.NUMERIC, role=role)
+
+
+def ordinal(
+    name: str,
+    categories: Sequence[str],
+    role: AttributeRole = AttributeRole.OTHER,
+) -> AttributeSpec:
+    """Shorthand constructor for an ordinal attribute spec."""
+    return AttributeSpec(
+        name=name,
+        kind=AttributeKind.ORDINAL,
+        role=role,
+        categories=tuple(categories),
+    )
+
+
+def nominal(
+    name: str,
+    categories: Sequence[str],
+    role: AttributeRole = AttributeRole.OTHER,
+) -> AttributeSpec:
+    """Shorthand constructor for a nominal attribute spec."""
+    return AttributeSpec(
+        name=name,
+        kind=AttributeKind.NOMINAL,
+        role=role,
+        categories=tuple(categories),
+    )

@@ -1,0 +1,366 @@
+"""Numpy-backed microdata container.
+
+:class:`Microdata` is the tabular substrate every algorithm in this library
+operates on.  It stores one numpy array per column plus an
+:class:`~repro.data.attributes.AttributeSpec` per column, and offers the
+row/column selection, role bookkeeping and matrix-extraction operations that
+the anonymization algorithms need.
+
+Numeric columns are stored as ``float64``; categorical columns are stored as
+``int64`` codes into the spec's ``categories`` tuple.  The container is
+value-immutable by convention: every transforming method returns a new
+:class:`Microdata` and the underlying arrays are never mutated in place.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from .attributes import AttributeRole, AttributeSpec
+
+
+class SchemaError(ValueError):
+    """Raised when columns and schema disagree or a column lookup fails."""
+
+
+class Microdata:
+    """An immutable-by-convention microdata table.
+
+    Parameters
+    ----------
+    columns:
+        Mapping from attribute name to a 1-D array-like of values.  Numeric
+        columns are coerced to ``float64``; categorical columns to ``int64``
+        codes (labels are accepted and encoded via the spec).
+    schema:
+        One :class:`AttributeSpec` per column, in presentation order.
+    validate:
+        When true (default), verify schema/column consistency, equal column
+        lengths and categorical code ranges.
+    """
+
+    __slots__ = ("_columns", "_schema", "_index")
+
+    def __init__(
+        self,
+        columns: Mapping[str, np.ndarray],
+        schema: Sequence[AttributeSpec],
+        *,
+        validate: bool = True,
+    ) -> None:
+        self._schema: tuple[AttributeSpec, ...] = tuple(schema)
+        self._index: dict[str, AttributeSpec] = {s.name: s for s in self._schema}
+        if validate and len(self._index) != len(self._schema):
+            names = [s.name for s in self._schema]
+            dupes = sorted({n for n in names if names.count(n) > 1})
+            raise SchemaError(f"duplicate attribute names in schema: {dupes}")
+
+        coerced: dict[str, np.ndarray] = {}
+        for spec in self._schema:
+            if spec.name not in columns:
+                raise SchemaError(f"schema attribute {spec.name!r} missing from columns")
+            coerced[spec.name] = _coerce_column(columns[spec.name], spec)
+        if validate:
+            extra = set(columns) - set(coerced)
+            if extra:
+                raise SchemaError(f"columns without schema entry: {sorted(extra)}")
+            lengths = {name: len(col) for name, col in coerced.items()}
+            if len(set(lengths.values())) > 1:
+                raise SchemaError(f"columns have unequal lengths: {lengths}")
+            for spec in self._schema:
+                if spec.is_categorical:
+                    codes = coerced[spec.name]
+                    if codes.size and (
+                        codes.min() < 0 or codes.max() >= spec.n_categories
+                    ):
+                        raise SchemaError(
+                            f"column {spec.name!r} has codes outside "
+                            f"[0, {spec.n_categories})"
+                        )
+        self._columns = coerced
+
+    # -- construction helpers ---------------------------------------------------
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: Sequence[np.ndarray],
+        schema: Sequence[AttributeSpec],
+    ) -> "Microdata":
+        """Build from a sequence of column arrays parallel to ``schema``."""
+        if len(arrays) != len(schema):
+            raise SchemaError(
+                f"{len(arrays)} arrays provided for {len(schema)} schema entries"
+            )
+        return cls({s.name: a for s, a in zip(schema, arrays)}, schema)
+
+    # -- basic shape ------------------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        """Number of rows."""
+        if not self._schema:
+            return 0
+        return len(self._columns[self._schema[0].name])
+
+    def __len__(self) -> int:
+        return self.n_records
+
+    @property
+    def n_attributes(self) -> int:
+        return len(self._schema)
+
+    @property
+    def schema(self) -> tuple[AttributeSpec, ...]:
+        return self._schema
+
+    @property
+    def attribute_names(self) -> tuple[str, ...]:
+        return tuple(s.name for s in self._schema)
+
+    def spec(self, name: str) -> AttributeSpec:
+        """Return the spec of attribute ``name``."""
+        try:
+            return self._index[name]
+        except KeyError:
+            raise SchemaError(f"no attribute named {name!r}") from None
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._index
+
+    # -- role accessors ----------------------------------------------------------
+
+    def _names_with_role(self, role: AttributeRole) -> tuple[str, ...]:
+        return tuple(s.name for s in self._schema if s.role is role)
+
+    @property
+    def identifiers(self) -> tuple[str, ...]:
+        return self._names_with_role(AttributeRole.IDENTIFIER)
+
+    @property
+    def quasi_identifiers(self) -> tuple[str, ...]:
+        return self._names_with_role(AttributeRole.QUASI_IDENTIFIER)
+
+    @property
+    def confidential(self) -> tuple[str, ...]:
+        return self._names_with_role(AttributeRole.CONFIDENTIAL)
+
+    @property
+    def non_confidential(self) -> tuple[str, ...]:
+        return self._names_with_role(AttributeRole.OTHER)
+
+    # -- value access -------------------------------------------------------------
+
+    def values(self, name: str) -> np.ndarray:
+        """Raw column values: floats for numeric, int codes for categorical.
+
+        The returned array is a read-only view; copy before mutating.
+        """
+        self.spec(name)  # raises SchemaError on unknown name
+        view = self._columns[name].view()
+        view.flags.writeable = False
+        return view
+
+    def labels(self, name: str) -> np.ndarray:
+        """Column values decoded to labels (categorical) or floats (numeric)."""
+        spec = self.spec(name)
+        col = self._columns[name]
+        if spec.is_numeric:
+            return col.copy()
+        cats = np.asarray(spec.categories, dtype=object)
+        return cats[col]
+
+    def matrix(
+        self,
+        names: Sequence[str] | None = None,
+        *,
+        scale: str = "none",
+    ) -> np.ndarray:
+        """Extract columns as a dense ``float64`` matrix of shape (n, len(names)).
+
+        Categorical columns contribute their integer codes (which for ordinal
+        attributes is their rank).
+
+        Parameters
+        ----------
+        names:
+            Columns to extract; defaults to all attributes in schema order.
+        scale:
+            ``"none"`` (raw values), ``"standardize"`` (zero mean / unit
+            variance per column; constant columns stay zero), or ``"range"``
+            (min-max to [0, 1]; constant columns stay zero).
+        """
+        if names is None:
+            names = self.attribute_names
+        cols = [self._columns[self.spec(n).name].astype(np.float64) for n in names]
+        if not cols:
+            return np.empty((self.n_records, 0), dtype=np.float64)
+        mat = np.column_stack(cols)
+        if scale == "none":
+            return mat
+        if scale == "standardize":
+            mean = mat.mean(axis=0)
+            std = mat.std(axis=0)
+            std[std == 0.0] = 1.0
+            return (mat - mean) / std
+        if scale == "range":
+            lo = mat.min(axis=0)
+            span = mat.max(axis=0) - lo
+            span[span == 0.0] = 1.0
+            return (mat - lo) / span
+        raise ValueError(f"unknown scale mode {scale!r}")
+
+    def qi_matrix(self, *, scale: str = "standardize") -> np.ndarray:
+        """Quasi-identifier matrix (the geometry microaggregation clusters on).
+
+        Standardization is the default because quasi-identifiers commonly mix
+        scales (income vs. age) and microaggregation distances would otherwise
+        be dominated by the widest column.
+        """
+        if not self.quasi_identifiers:
+            raise SchemaError("dataset has no quasi-identifier attributes")
+        return self.matrix(self.quasi_identifiers, scale=scale)
+
+    # -- transformation -----------------------------------------------------------
+
+    def subset(self, rows: Iterable[int] | np.ndarray) -> "Microdata":
+        """Return a new Microdata containing the given row indices (in order)."""
+        idx = np.asarray(list(rows) if not isinstance(rows, np.ndarray) else rows)
+        if idx.dtype == bool:
+            if idx.shape != (self.n_records,):
+                raise IndexError(
+                    f"boolean mask of length {idx.size} for {self.n_records} records"
+                )
+        columns = {name: col[idx] for name, col in self._columns.items()}
+        return Microdata(columns, self._schema, validate=False)
+
+    def with_columns(self, replacements: Mapping[str, np.ndarray]) -> "Microdata":
+        """Return a copy with some columns replaced (schema unchanged)."""
+        unknown = set(replacements) - set(self._index)
+        if unknown:
+            raise SchemaError(f"cannot replace unknown columns: {sorted(unknown)}")
+        columns = dict(self._columns)
+        for name, col in replacements.items():
+            columns[name] = _coerce_column(col, self._index[name])
+            if len(columns[name]) != self.n_records:
+                raise SchemaError(
+                    f"replacement column {name!r} has {len(columns[name])} rows, "
+                    f"expected {self.n_records}"
+                )
+        return Microdata(columns, self._schema, validate=False)
+
+    def with_roles(
+        self,
+        *,
+        identifiers: Sequence[str] = (),
+        quasi_identifiers: Sequence[str] = (),
+        confidential: Sequence[str] = (),
+    ) -> "Microdata":
+        """Return a copy with disclosure roles reassigned.
+
+        Attributes named in one of the three arguments get that role;
+        attributes named in none of them are reset to ``OTHER``.
+        """
+        assignment: dict[str, AttributeRole] = {}
+        for names, role in (
+            (identifiers, AttributeRole.IDENTIFIER),
+            (quasi_identifiers, AttributeRole.QUASI_IDENTIFIER),
+            (confidential, AttributeRole.CONFIDENTIAL),
+        ):
+            for name in names:
+                self.spec(name)  # validate existence
+                if name in assignment:
+                    raise SchemaError(f"attribute {name!r} assigned two roles")
+                assignment[name] = role
+        schema = tuple(
+            s.with_role(assignment.get(s.name, AttributeRole.OTHER))
+            for s in self._schema
+        )
+        return Microdata(self._columns, schema, validate=False)
+
+    def drop(self, names: Sequence[str]) -> "Microdata":
+        """Return a copy without the given columns."""
+        for name in names:
+            self.spec(name)
+        keep = [s for s in self._schema if s.name not in set(names)]
+        columns = {s.name: self._columns[s.name] for s in keep}
+        return Microdata(columns, keep, validate=False)
+
+    def drop_identifiers(self) -> "Microdata":
+        """Return a copy without identifier columns (release hygiene)."""
+        return self.drop(self.identifiers) if self.identifiers else self
+
+    def copy(self) -> "Microdata":
+        """Deep copy (new column arrays, same schema objects)."""
+        columns = {name: col.copy() for name, col in self._columns.items()}
+        return Microdata(columns, self._schema, validate=False)
+
+    # -- comparison / repr ---------------------------------------------------------
+
+    def equals(self, other: "Microdata", *, rtol: float = 0.0, atol: float = 0.0) -> bool:
+        """Structural equality (schema and values), with optional tolerance."""
+        if not isinstance(other, Microdata):
+            return False
+        if self._schema != other._schema:
+            return False
+        for name in self.attribute_names:
+            a, b = self._columns[name], other._columns[name]
+            if a.shape != b.shape:
+                return False
+            if rtol == 0.0 and atol == 0.0:
+                if not np.array_equal(a, b):
+                    return False
+            elif not np.allclose(a, b, rtol=rtol, atol=atol):
+                return False
+        return True
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        roles = {
+            "QI": len(self.quasi_identifiers),
+            "conf": len(self.confidential),
+            "id": len(self.identifiers),
+        }
+        role_str = ", ".join(f"{v} {k}" for k, v in roles.items() if v)
+        return (
+            f"Microdata({self.n_records} records x {self.n_attributes} attributes"
+            + (f"; {role_str}" if role_str else "")
+            + ")"
+        )
+
+
+def _coerce_column(values: object, spec: AttributeSpec) -> np.ndarray:
+    """Coerce a raw column to the canonical dtype for its spec."""
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise SchemaError(
+            f"column {spec.name!r} must be 1-D, got shape {arr.shape}"
+        )
+    if spec.is_numeric:
+        try:
+            return np.ascontiguousarray(arr, dtype=np.float64)
+        except (TypeError, ValueError) as exc:
+            raise SchemaError(
+                f"column {spec.name!r} is not numeric: {exc}"
+            ) from exc
+    # Categorical: accept either integer codes or labels.
+    if arr.dtype.kind in "iu":
+        return np.ascontiguousarray(arr, dtype=np.int64)
+    if arr.dtype.kind == "f":
+        codes = arr.astype(np.int64)
+        if not np.array_equal(codes.astype(np.float64), arr):
+            raise SchemaError(
+                f"column {spec.name!r}: float values are not integral codes"
+            )
+        return np.ascontiguousarray(codes)
+    lookup = {label: i for i, label in enumerate(spec.categories)}
+    try:
+        return np.fromiter(
+            (lookup[str(v)] for v in arr), dtype=np.int64, count=len(arr)
+        )
+    except KeyError as exc:
+        raise SchemaError(
+            f"column {spec.name!r} contains a value {exc.args[0]!r} that is "
+            f"not a declared category"
+        ) from None

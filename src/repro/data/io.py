@@ -1,0 +1,123 @@
+"""CSV serialization for :class:`~repro.data.dataset.Microdata`.
+
+Pandas is not part of this library's dependency set, so reading and writing
+go through the standard-library :mod:`csv` module.  The on-disk format is a
+plain header + rows CSV; schema information (kinds, roles, categories) is
+either supplied by the caller or inferred with conservative heuristics.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from .attributes import AttributeKind, AttributeRole, AttributeSpec
+from .dataset import Microdata, SchemaError
+
+
+def write_csv(data: Microdata, path: str | Path) -> None:
+    """Write ``data`` to ``path`` as CSV (categorical columns as labels)."""
+    path = Path(path)
+    decoded = [data.labels(name) for name in data.attribute_names]
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(data.attribute_names)
+        for row in zip(*decoded):
+            writer.writerow(
+                [_format_cell(v, s) for v, s in zip(row, data.schema)]
+            )
+
+
+def _format_cell(value: object, spec: AttributeSpec) -> str:
+    if spec.is_numeric:
+        f = float(value)  # type: ignore[arg-type]
+        if f.is_integer():
+            return str(int(f))
+        return repr(f)
+    return str(value)
+
+
+def read_csv(
+    path: str | Path,
+    schema: Sequence[AttributeSpec] | None = None,
+    *,
+    quasi_identifiers: Sequence[str] = (),
+    confidential: Sequence[str] = (),
+    identifiers: Sequence[str] = (),
+) -> Microdata:
+    """Read a CSV file into a :class:`Microdata`.
+
+    Parameters
+    ----------
+    path:
+        CSV file with a header row.
+    schema:
+        Optional explicit schema.  When omitted, each column is inferred as
+        ``NUMERIC`` if every non-empty cell parses as a float, otherwise as
+        ``NOMINAL`` with categories in order of first appearance.
+    quasi_identifiers, confidential, identifiers:
+        Role assignments applied after loading (only used when ``schema`` is
+        omitted or the caller wants to override roles in one call).
+    """
+    path = Path(path)
+    with path.open(newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"{path} is empty (no header row)") from None
+        rows = [row for row in reader if row]
+    for i, row in enumerate(rows):
+        if len(row) != len(header):
+            raise SchemaError(
+                f"{path}: row {i + 2} has {len(row)} cells, expected {len(header)}"
+            )
+    raw_columns = {
+        name: [row[j] for row in rows] for j, name in enumerate(header)
+    }
+    if schema is None:
+        schema = [_infer_spec(name, raw_columns[name]) for name in header]
+    columns = {}
+    for spec in schema:
+        if spec.name not in raw_columns:
+            raise SchemaError(f"{path}: schema attribute {spec.name!r} not in header")
+        cells = raw_columns[spec.name]
+        if spec.is_numeric:
+            columns[spec.name] = np.array([float(c) for c in cells], dtype=np.float64)
+        else:
+            columns[spec.name] = np.asarray(cells, dtype=object)
+    data = Microdata(columns, schema)
+    if quasi_identifiers or confidential or identifiers:
+        data = data.with_roles(
+            identifiers=identifiers,
+            quasi_identifiers=quasi_identifiers,
+            confidential=confidential,
+        )
+    return data
+
+
+def _infer_spec(name: str, cells: list[str]) -> AttributeSpec:
+    """Infer NUMERIC vs NOMINAL from the cell contents."""
+    is_numeric = True
+    for cell in cells:
+        if cell == "":
+            continue
+        try:
+            float(cell)
+        except ValueError:
+            is_numeric = False
+            break
+    if is_numeric:
+        return AttributeSpec(name=name, kind=AttributeKind.NUMERIC)
+    seen: dict[str, None] = {}
+    for cell in cells:
+        seen.setdefault(cell, None)
+    return AttributeSpec(
+        name=name,
+        kind=AttributeKind.NOMINAL,
+        role=AttributeRole.OTHER,
+        categories=tuple(seen),
+    )

@@ -1,0 +1,40 @@
+"""Distances between records and between confidential-value distributions."""
+
+from .emd import (
+    ClusterEMDTracker,
+    NominalClusterTracker,
+    NominalEMDReference,
+    OrderedEMDReference,
+    emd_hierarchical,
+    emd_nominal,
+    emd_ordered,
+)
+from .records import (
+    centroid,
+    encode_mixed,
+    farthest_index,
+    k_nearest_indices,
+    nearest_index,
+    pairwise_sq_distances,
+    sq_distances_to,
+)
+from .taxonomy import Taxonomy, TaxonomyError
+
+__all__ = [
+    "OrderedEMDReference",
+    "ClusterEMDTracker",
+    "NominalEMDReference",
+    "NominalClusterTracker",
+    "emd_ordered",
+    "emd_nominal",
+    "emd_hierarchical",
+    "Taxonomy",
+    "TaxonomyError",
+    "sq_distances_to",
+    "pairwise_sq_distances",
+    "centroid",
+    "farthest_index",
+    "nearest_index",
+    "k_nearest_indices",
+    "encode_mixed",
+]

@@ -1,0 +1,443 @@
+"""Earth Mover's Distance (EMD) between confidential-attribute distributions.
+
+t-Closeness (Li, Li & Venkatasubramanian, ICDE 2007) compares the
+distribution of the confidential attribute inside an equivalence class
+against its distribution over the whole table.  Three ground distances are
+implemented, matching the original paper and the needs of Soria-Comas et
+al.'s microaggregation algorithms:
+
+``ordered`` (numerical / ordinal attributes)
+    Bins are the sorted attribute values; moving mass from bin *i* to bin
+    *j* costs ``|i - j| / (m - 1)``.  The EMD then has the closed form
+
+    .. math:: EMD(P, Q) = \\frac{1}{m-1} \\sum_{i=1}^{m}
+              \\Bigl| \\sum_{j \\le i} (p_j - q_j) \\Bigr|
+
+    Two flavours are provided.  ``distinct`` mode (the Li et al. definition)
+    uses one bin per *distinct* dataset value.  ``rank`` mode uses one bin
+    per *record* (n bins of mass 1/n), which is the formulation under which
+    the paper's Propositions 1 and 2 are stated; ties are handled by
+    spreading a value's mass uniformly over its tied rank slots.  The two
+    coincide when all dataset values are distinct.
+
+``nominal``
+    Equal ground distance between any two categories; the EMD degenerates
+    to total variation distance, ``0.5 * sum_i |p_i - q_i|``.
+
+``hierarchical``
+    Ground distance derived from a value taxonomy
+    (:class:`~repro.distance.taxonomy.Taxonomy`); mass moving across a
+    subtree boundary pays that subtree's height over the tree height.
+
+The module also provides :class:`OrderedEMDReference` — a precomputed frame
+for evaluating many clusters against one dataset — and
+:class:`ClusterEMDTracker`, an O(m) incremental evaluator for the
+add/remove-one-record updates that dominate Algorithm 2's running time.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from .taxonomy import Taxonomy
+
+
+def _as_1d_float(values: object, name: str) -> np.ndarray:
+    arr = np.asarray(values, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"{name} must be 1-D, got shape {arr.shape}")
+    if arr.size == 0:
+        raise ValueError(f"{name} must be non-empty")
+    return arr
+
+
+class OrderedEMDReference:
+    """Precomputed frame for ordered EMD of clusters against one dataset.
+
+    Builds the bin grid and the dataset's distribution once, then evaluates
+    any cluster in O(c + m) where c is the cluster size and m the number of
+    bins.  All of this library's t-closeness checks and all three paper
+    algorithms funnel through this class.
+
+    Parameters
+    ----------
+    dataset_values:
+        Confidential attribute column of the *entire* original dataset.
+    mode:
+        ``"distinct"`` — one bin per distinct value (Li et al. definition);
+        ``"rank"`` — one bin per record (the propositions' formulation).
+    """
+
+    __slots__ = ("mode", "bin_values", "q", "m", "_denom", "_tie_lo", "_tie_width")
+
+    def __init__(self, dataset_values: Sequence[float], *, mode: str = "distinct") -> None:
+        values = _as_1d_float(dataset_values, "dataset_values")
+        if mode not in ("distinct", "rank"):
+            raise ValueError(f"mode must be 'distinct' or 'rank', got {mode!r}")
+        self.mode = mode
+        n = len(values)
+        if mode == "distinct":
+            self.bin_values, counts = np.unique(values, return_counts=True)
+            self.q = counts.astype(np.float64) / n
+        else:
+            sorted_values = np.sort(values)
+            self.bin_values = sorted_values
+            self.q = np.full(n, 1.0 / n)
+            # Tie bookkeeping: a value occupying sorted slots [lo, lo+width)
+            # spreads its mass uniformly over those slots.
+            uniq, lo, width = np.unique(
+                sorted_values, return_index=True, return_counts=True
+            )
+            self._tie_lo = dict(zip(uniq.tolist(), lo.tolist()))
+            self._tie_width = dict(zip(uniq.tolist(), width.tolist()))
+        self.m = len(self.bin_values)
+        self._denom = float(max(self.m - 1, 1))
+
+    # -- bin mapping -------------------------------------------------------------
+
+    def bins_of(self, values: Sequence[float]) -> np.ndarray:
+        """Map values (which must occur in the dataset) to bin indices.
+
+        Only meaningful in ``distinct`` mode, where every value owns exactly
+        one bin.  Raises if a value is not a dataset value — clusters are
+        subsets of the dataset by construction, so a miss is a caller bug.
+        """
+        if self.mode != "distinct":
+            raise ValueError("bins_of is only defined for mode='distinct'")
+        arr = _as_1d_float(values, "values")
+        idx = np.searchsorted(self.bin_values, arr)
+        idx = np.clip(idx, 0, self.m - 1)
+        if not np.array_equal(self.bin_values[idx], arr):
+            missing = arr[self.bin_values[idx] != arr]
+            raise ValueError(
+                f"{missing.size} value(s) not present in the reference dataset "
+                f"(first: {missing[0]!r})"
+            )
+        return idx
+
+    def histogram(self, values: Sequence[float]) -> np.ndarray:
+        """Cluster distribution (probability mass per bin) for given values."""
+        arr = _as_1d_float(values, "values")
+        c = len(arr)
+        p = np.zeros(self.m)
+        if self.mode == "distinct":
+            np.add.at(p, self.bins_of(arr), 1.0 / c)
+            return p
+        for v in arr.tolist():
+            try:
+                lo = self._tie_lo[v]
+                width = self._tie_width[v]
+            except KeyError:
+                raise ValueError(
+                    f"value {v!r} not present in the reference dataset"
+                ) from None
+            p[lo : lo + width] += 1.0 / (c * width)
+        return p
+
+    # -- EMD evaluation -------------------------------------------------------------
+
+    def emd_of_histogram(self, p: np.ndarray) -> float:
+        """EMD of an explicit cluster histogram against the dataset."""
+        p = np.asarray(p, dtype=np.float64)
+        if p.shape != (self.m,):
+            raise ValueError(f"histogram must have shape ({self.m},), got {p.shape}")
+        return float(np.abs(np.cumsum(p - self.q)).sum() / self._denom)
+
+    def emd(self, cluster_values: Sequence[float]) -> float:
+        """EMD between a cluster's values and the dataset distribution."""
+        return self.emd_of_histogram(self.histogram(cluster_values))
+
+    def emd_of_bins(self, bins: np.ndarray, cluster_size: int | None = None) -> float:
+        """EMD of a cluster given directly as bin indices (``distinct`` mode)."""
+        if self.mode != "distinct":
+            raise ValueError("emd_of_bins is only defined for mode='distinct'")
+        bins = np.asarray(bins)
+        c = cluster_size if cluster_size is not None else len(bins)
+        if c <= 0:
+            raise ValueError("cluster_size must be positive")
+        p = np.bincount(bins, minlength=self.m).astype(np.float64) / c
+        return self.emd_of_histogram(p)
+
+
+class ClusterEMDTracker:
+    """Incremental ordered-EMD evaluator for one mutable cluster.
+
+    Maintains the cumulative difference vector
+    ``D_i = sum_{j<=i} (p_j - q_j)`` so that
+
+    * the current EMD is ``sum|D| / (m-1)`` — O(m);
+    * *evaluating* a swap (replace member ``b`` with candidate ``a``) is a
+      vectorized O(m) per candidate instead of a full recount, and all |C|
+      candidate removals are scored in a single numpy broadcast
+      (:meth:`swap_emds`);
+    * *applying* a swap is an O(m) range update (:meth:`apply_swap`).
+
+    This is the data structure that brings the paper's Algorithm 2 from
+    unusably slow to the O(n^2/k)–O(n^3/k) envelope the paper reports.
+    """
+
+    __slots__ = ("ref", "size", "_delta_cum", "_step")
+
+    def __init__(self, ref: OrderedEMDReference, member_bins: np.ndarray) -> None:
+        if ref.mode != "distinct":
+            raise ValueError("ClusterEMDTracker requires a 'distinct'-mode reference")
+        member_bins = np.asarray(member_bins)
+        if member_bins.size == 0:
+            raise ValueError("cluster must be non-empty")
+        self.ref = ref
+        self.size = int(member_bins.size)
+        p = np.bincount(member_bins, minlength=ref.m).astype(np.float64) / self.size
+        self._delta_cum = np.cumsum(p - ref.q)
+        self._step = 1.0 / self.size
+
+    @property
+    def emd(self) -> float:
+        """Current EMD of the tracked cluster to the dataset."""
+        return float(np.abs(self._delta_cum).sum() / self.ref._denom)
+
+    def emd_with_swap(self, remove_bin: int, add_bin: int) -> float:
+        """EMD if the member at ``remove_bin`` were replaced by ``add_bin``."""
+        if remove_bin == add_bin:
+            return self.emd
+        lo, hi, sign = self._swap_range(remove_bin, add_bin)
+        d = self._delta_cum
+        changed = np.abs(d[lo:hi] + sign * self._step).sum()
+        unchanged = np.abs(d).sum() - np.abs(d[lo:hi]).sum()
+        return float((unchanged + changed) / self.ref._denom)
+
+    def swap_emds(self, remove_bins: np.ndarray, add_bin: int) -> np.ndarray:
+        """EMD for every candidate swap (vectorized over removal candidates).
+
+        Parameters
+        ----------
+        remove_bins:
+            Bin index of each current member considered for removal.
+        add_bin:
+            Bin index of the incoming record.
+
+        Returns
+        -------
+        np.ndarray
+            ``out[j]`` is the cluster EMD after replacing member ``j`` by the
+            incoming record.
+        """
+        remove_bins = np.asarray(remove_bins)
+        idx = np.arange(self.ref.m)
+        # Adding at bin a shifts the cumulative sum up by 1/c for i >= a;
+        # removing at bin b shifts it down by 1/c for i >= b.
+        add_step = (idx >= add_bin).astype(np.float64)
+        remove_steps = (idx[None, :] >= remove_bins[:, None]).astype(np.float64)
+        new_cum = self._delta_cum[None, :] + self._step * (add_step[None, :] - remove_steps)
+        return np.abs(new_cum).sum(axis=1) / self.ref._denom
+
+    def apply_swap(self, remove_bin: int, add_bin: int) -> None:
+        """Commit a swap previously scored by :meth:`swap_emds`."""
+        if remove_bin == add_bin:
+            return
+        lo, hi, sign = self._swap_range(remove_bin, add_bin)
+        self._delta_cum[lo:hi] += sign * self._step
+
+    def _swap_range(self, remove_bin: int, add_bin: int) -> tuple[int, int, float]:
+        for b in (remove_bin, add_bin):
+            if not 0 <= b < self.ref.m:
+                raise IndexError(f"bin {b} out of range [0, {self.ref.m})")
+        if add_bin < remove_bin:
+            return add_bin, remove_bin, +1.0
+        return remove_bin, add_bin, -1.0
+
+
+class NominalEMDReference:
+    """Precomputed frame for equal-ground-distance EMD (total variation).
+
+    The nominal counterpart of :class:`OrderedEMDReference`: for attributes
+    without an order, Li et al. define the ground distance between any two
+    categories as 1, under which the EMD collapses to
+    ``0.5 * sum_i |p_i - q_i|``.
+    """
+
+    __slots__ = ("n_categories", "q", "m")
+
+    def __init__(self, dataset_codes: Sequence[int], n_categories: int) -> None:
+        codes = np.asarray(dataset_codes, dtype=np.int64)
+        if codes.ndim != 1 or codes.size == 0:
+            raise ValueError("dataset_codes must be a non-empty 1-D array")
+        if n_categories < 1:
+            raise ValueError(f"n_categories must be >= 1, got {n_categories}")
+        if codes.min() < 0 or codes.max() >= n_categories:
+            raise ValueError(f"dataset codes outside [0, {n_categories})")
+        self.n_categories = int(n_categories)
+        self.m = self.n_categories
+        self.q = np.bincount(codes, minlength=n_categories) / codes.size
+
+    def bins_of(self, codes: Sequence[int]) -> np.ndarray:
+        """Codes *are* bins for nominal attributes (validated pass-through)."""
+        arr = np.asarray(codes, dtype=np.int64)
+        if arr.size and (arr.min() < 0 or arr.max() >= self.n_categories):
+            raise ValueError(f"codes outside [0, {self.n_categories})")
+        return arr
+
+    def emd(self, cluster_codes: Sequence[int]) -> float:
+        """EMD (total variation) between the cluster and the dataset."""
+        return self.emd_of_bins(self.bins_of(cluster_codes))
+
+    def emd_of_bins(self, bins: np.ndarray, cluster_size: int | None = None) -> float:
+        """EMD of a cluster given as codes (mirrors the ordered API)."""
+        bins = self.bins_of(bins)
+        if bins.size == 0:
+            raise ValueError("cluster must be non-empty")
+        c = cluster_size if cluster_size is not None else len(bins)
+        p = np.bincount(bins, minlength=self.n_categories) / c
+        return float(0.5 * np.abs(p - self.q).sum())
+
+
+class NominalClusterTracker:
+    """Incremental total-variation EMD evaluator for one mutable cluster.
+
+    The nominal counterpart of :class:`ClusterEMDTracker`: scoring a swap
+    only touches the two affected category bins, so evaluating all |C|
+    candidate removals is O(|C|).
+    """
+
+    __slots__ = ("ref", "size", "_diff", "_step")
+
+    def __init__(self, ref: NominalEMDReference, member_bins: np.ndarray) -> None:
+        member_bins = np.asarray(member_bins, dtype=np.int64)
+        if member_bins.size == 0:
+            raise ValueError("cluster must be non-empty")
+        self.ref = ref
+        self.size = int(member_bins.size)
+        p = np.bincount(member_bins, minlength=ref.n_categories) / self.size
+        self._diff = p - ref.q
+        self._step = 1.0 / self.size
+
+    @property
+    def emd(self) -> float:
+        return float(0.5 * np.abs(self._diff).sum())
+
+    def emd_with_swap(self, remove_bin: int, add_bin: int) -> float:
+        """EMD if one member at ``remove_bin`` were replaced by ``add_bin``."""
+        if remove_bin == add_bin:
+            return self.emd
+        d = self._diff
+        delta = (
+            abs(d[add_bin] + self._step)
+            - abs(d[add_bin])
+            + abs(d[remove_bin] - self._step)
+            - abs(d[remove_bin])
+        )
+        return float(self.emd + 0.5 * delta)
+
+    def swap_emds(self, remove_bins: np.ndarray, add_bin: int) -> np.ndarray:
+        """EMD for every candidate swap (vectorized over removals)."""
+        remove_bins = np.asarray(remove_bins, dtype=np.int64)
+        d = self._diff
+        base = self.emd
+        gain_add = abs(d[add_bin] + self._step) - abs(d[add_bin])
+        gain_remove = np.abs(d[remove_bins] - self._step) - np.abs(d[remove_bins])
+        out = base + 0.5 * (gain_add + gain_remove)
+        # A swap that removes and adds the same category is a no-op.
+        out[remove_bins == add_bin] = base
+        return out
+
+    def apply_swap(self, remove_bin: int, add_bin: int) -> None:
+        """Commit a swap previously scored by :meth:`swap_emds`."""
+        if remove_bin == add_bin:
+            return
+        self._diff[add_bin] += self._step
+        self._diff[remove_bin] -= self._step
+
+
+# -- module-level convenience functions -----------------------------------------------
+
+
+def emd_ordered(
+    cluster_values: Sequence[float],
+    dataset_values: Sequence[float],
+    *,
+    mode: str = "distinct",
+) -> float:
+    """One-shot ordered EMD between a cluster and the full dataset.
+
+    Prefer building an :class:`OrderedEMDReference` when evaluating many
+    clusters against the same dataset.
+    """
+    return OrderedEMDReference(dataset_values, mode=mode).emd(cluster_values)
+
+
+def emd_nominal(
+    cluster_codes: Sequence[int],
+    dataset_codes: Sequence[int],
+    n_categories: int,
+) -> float:
+    """Equal-ground-distance EMD (total variation) for nominal attributes."""
+    if n_categories < 1:
+        raise ValueError(f"n_categories must be >= 1, got {n_categories}")
+    cl = np.asarray(cluster_codes, dtype=np.int64)
+    ds = np.asarray(dataset_codes, dtype=np.int64)
+    if cl.size == 0 or ds.size == 0:
+        raise ValueError("cluster and dataset must be non-empty")
+    for arr, label in ((cl, "cluster"), (ds, "dataset")):
+        if arr.min() < 0 or arr.max() >= n_categories:
+            raise ValueError(f"{label} codes outside [0, {n_categories})")
+    p = np.bincount(cl, minlength=n_categories) / cl.size
+    q = np.bincount(ds, minlength=n_categories) / ds.size
+    return float(0.5 * np.abs(p - q).sum())
+
+
+def emd_hierarchical(
+    cluster_labels: Sequence[str],
+    dataset_labels: Sequence[str],
+    taxonomy: Taxonomy,
+) -> float:
+    """Hierarchical EMD of Li et al. for nominal attributes with a taxonomy.
+
+    Computed bottom-up: each internal node N "absorbs" the surplus mass of
+    its children; the cost charged at N is
+    ``node_height(N)/H * min(positive surplus, negative surplus)`` — the
+    mass that must cross N on its way to a sibling subtree.
+    """
+    cluster = list(cluster_labels)
+    dataset = list(dataset_labels)
+    if not cluster or not dataset:
+        raise ValueError("cluster and dataset must be non-empty")
+    leaf_set = set(taxonomy.leaves)
+    for label in cluster + dataset:
+        if label not in leaf_set:
+            raise ValueError(f"label {label!r} is not a leaf of the taxonomy")
+
+    extra: dict[str, float] = {leaf: 0.0 for leaf in taxonomy.leaves}
+    for label in cluster:
+        extra[label] += 1.0 / len(cluster)
+    for label in dataset:
+        extra[label] -= 1.0 / len(dataset)
+
+    total_cost = 0.0
+    # Process internal nodes deepest-first so children are final when read.
+    internal = [
+        node
+        for node in _preorder_nodes(taxonomy)
+        if not taxonomy.is_leaf(node)
+    ]
+    for node in sorted(internal, key=taxonomy.depth, reverse=True):
+        child_extras = [extra[c] for c in taxonomy.children(node)]
+        pos = sum(e for e in child_extras if e > 0)
+        neg = -sum(e for e in child_extras if e < 0)
+        # Mass that stays within this subtree but crosses child boundaries
+        # pays for climbing to this node and back down (Li et al. charge the
+        # node height once per unit of matched surplus).
+        total_cost += (taxonomy.node_height(node) / taxonomy.height) * min(pos, neg)
+        extra[node] = sum(child_extras)
+    return float(total_cost)
+
+
+def _preorder_nodes(taxonomy: Taxonomy) -> list[str]:
+    out = [taxonomy.root]
+    stack = [taxonomy.root]
+    while stack:
+        node = stack.pop()
+        for child in taxonomy.children(node):
+            out.append(child)
+            stack.append(child)
+    return out

@@ -1,0 +1,111 @@
+"""Record-to-record distances for the partition step of microaggregation.
+
+Microaggregation clusters records by similarity of their quasi-identifiers.
+For purely numeric quasi-identifiers the convention (Domingo-Ferrer &
+Mateo-Sanz 2002) is Euclidean distance on standardized attributes; for mixed
+numeric/categorical quasi-identifiers we provide a Gower-compatible
+embedding so the same Euclidean machinery (and thus the same MDAV code)
+applies:
+
+* numeric columns are range-normalized to [0, 1];
+* ordinal columns are mapped to rank / (m - 1) in [0, 1];
+* nominal columns are one-hot encoded and scaled by 1/sqrt(2), so the
+  squared distance between two records differing in that attribute is
+  exactly 1 — the Gower contribution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.attributes import AttributeKind
+from ..data.dataset import Microdata
+
+
+def sq_distances_to(X: np.ndarray, x: np.ndarray) -> np.ndarray:
+    """Squared Euclidean distance from one point ``x`` to every row of ``X``."""
+    X = np.asarray(X, dtype=np.float64)
+    x = np.asarray(x, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    if x.shape != (X.shape[1],):
+        raise ValueError(f"x must have shape ({X.shape[1]},), got {x.shape}")
+    diff = X - x
+    return np.einsum("ij,ij->i", diff, diff)
+
+
+def pairwise_sq_distances(X: np.ndarray) -> np.ndarray:
+    """Full n x n matrix of squared Euclidean distances (for small n)."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2:
+        raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    sq = np.einsum("ij,ij->i", X, X)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+    # Clamp tiny negatives produced by floating point cancellation.
+    np.maximum(d2, 0.0, out=d2)
+    return d2
+
+
+def centroid(X: np.ndarray) -> np.ndarray:
+    """Mean record of a matrix of records."""
+    X = np.asarray(X, dtype=np.float64)
+    if X.ndim != 2 or X.shape[0] == 0:
+        raise ValueError(f"X must be a non-empty 2-D matrix, got shape {X.shape}")
+    return X.mean(axis=0)
+
+
+def farthest_index(X: np.ndarray, x: np.ndarray) -> int:
+    """Index of the row of ``X`` farthest from ``x`` (ties -> lowest index)."""
+    return int(np.argmax(sq_distances_to(X, x)))
+
+
+def nearest_index(X: np.ndarray, x: np.ndarray) -> int:
+    """Index of the row of ``X`` nearest to ``x`` (ties -> lowest index)."""
+    return int(np.argmin(sq_distances_to(X, x)))
+
+
+def k_nearest_indices(X: np.ndarray, x: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` rows of ``X`` nearest to ``x``, nearest first."""
+    if k <= 0:
+        raise ValueError(f"k must be positive, got {k}")
+    d2 = sq_distances_to(X, x)
+    if k >= len(d2):
+        return np.argsort(d2, kind="stable")
+    part = np.argpartition(d2, k - 1)[:k]
+    return part[np.argsort(d2[part], kind="stable")]
+
+
+def encode_mixed(
+    data: Microdata,
+    names: tuple[str, ...] | None = None,
+) -> np.ndarray:
+    """Embed (possibly mixed-type) columns into a Euclidean space.
+
+    Returns a float matrix where squared Euclidean distances reproduce a
+    Gower-style dissimilarity: range-normalized squared difference for
+    numeric, normalized rank difference for ordinal, 0/1 for nominal.
+
+    Purely numeric inputs are standardized instead (zero mean, unit
+    variance), matching the microaggregation literature's convention.
+    """
+    if names is None:
+        names = data.quasi_identifiers or data.attribute_names
+    specs = [data.spec(name) for name in names]
+    if all(s.is_numeric for s in specs):
+        return data.matrix(names, scale="standardize")
+
+    blocks: list[np.ndarray] = []
+    for spec in specs:
+        column = data.values(spec.name).astype(np.float64)
+        if spec.kind is AttributeKind.NUMERIC:
+            lo, hi = column.min(), column.max()
+            span = hi - lo if hi > lo else 1.0
+            blocks.append(((column - lo) / span)[:, None])
+        elif spec.kind is AttributeKind.ORDINAL:
+            denom = max(spec.n_categories - 1, 1)
+            blocks.append((column / denom)[:, None])
+        else:  # NOMINAL: one-hot / sqrt(2) => squared distance 1 across categories
+            onehot = np.zeros((len(column), spec.n_categories))
+            onehot[np.arange(len(column)), column.astype(np.int64)] = 1.0
+            blocks.append(onehot / np.sqrt(2.0))
+    return np.hstack(blocks)

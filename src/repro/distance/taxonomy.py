@@ -1,0 +1,232 @@
+"""Rooted value taxonomies (generalization hierarchies over category labels).
+
+A :class:`Taxonomy` serves two consumers in this library:
+
+* the *hierarchical* Earth Mover's Distance of Li et al. (ICDE 2007), which
+  measures how far probability mass moves through a semantic tree, and
+* the generalization baselines (Incognito, Mondrian, SABRE), which replace a
+  leaf value by one of its ancestors.
+
+Node names must be unique across the whole tree; leaves are the attribute's
+category labels.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+
+class TaxonomyError(ValueError):
+    """Raised for malformed trees or unknown node lookups."""
+
+
+class Taxonomy:
+    """An immutable rooted tree over category labels.
+
+    Build one from a nested mapping, where internal nodes map to their
+    children and leaf lists terminate the recursion::
+
+        Taxonomy.from_nested({
+            "Any": {
+                "Technical": ["engineer", "lawyer"],
+                "Other": ["writer", "dancer"],
+            }
+        })
+    """
+
+    def __init__(
+        self,
+        root: str,
+        children: Mapping[str, Sequence[str]],
+    ) -> None:
+        self._root = root
+        self._children: dict[str, tuple[str, ...]] = {
+            name: tuple(kids) for name, kids in children.items()
+        }
+        self._parent: dict[str, str | None] = {root: None}
+        self._depth: dict[str, int] = {root: 0}
+
+        # Walk the tree once: assign parents/depths, detect cycles/dupes.
+        stack = [root]
+        visited: set[str] = set()
+        while stack:
+            node = stack.pop()
+            if node in visited:
+                raise TaxonomyError(f"node {node!r} appears more than once")
+            visited.add(node)
+            for child in self._children.get(node, ()):
+                if child in self._parent:
+                    raise TaxonomyError(f"node {child!r} appears more than once")
+                self._parent[child] = node
+                self._depth[child] = self._depth[node] + 1
+                stack.append(child)
+
+        unreachable = set(self._children) - visited
+        if unreachable:
+            raise TaxonomyError(
+                f"internal nodes not reachable from root: {sorted(unreachable)}"
+            )
+        self._leaves = tuple(
+            name for name in self._iter_preorder() if not self._children.get(name)
+        )
+        if not self._leaves:
+            raise TaxonomyError("taxonomy has no leaves")
+        self._height = max(self._depth[leaf] for leaf in self._leaves)
+        if self._height == 0:
+            raise TaxonomyError("taxonomy must have height >= 1 (root plus leaves)")
+
+    # -- construction ------------------------------------------------------------
+
+    @classmethod
+    def from_nested(cls, nested: Mapping[str, object]) -> "Taxonomy":
+        """Build from a single-rooted nested dict of dicts/lists."""
+        if len(nested) != 1:
+            raise TaxonomyError(
+                f"nested spec must have exactly one root, got {len(nested)}"
+            )
+        children: dict[str, list[str]] = {}
+
+        def walk(name: str, subtree: object) -> None:
+            if isinstance(subtree, Mapping):
+                children[name] = list(subtree.keys())
+                for child, sub in subtree.items():
+                    walk(str(child), sub)
+            elif isinstance(subtree, (list, tuple)):
+                children[name] = [str(v) for v in subtree]
+            else:
+                raise TaxonomyError(
+                    f"subtree of {name!r} must be a mapping or list, "
+                    f"got {type(subtree).__name__}"
+                )
+
+        ((root, subtree),) = nested.items()
+        walk(str(root), subtree)
+        return cls(str(root), children)
+
+    @classmethod
+    def flat(cls, categories: Sequence[str], root: str = "*") -> "Taxonomy":
+        """A two-level tree: every category hangs directly off the root.
+
+        Under this tree the hierarchical EMD degenerates to the equal-ground
+        -distance (total-variation) EMD, which is the semantics Li et al.
+        prescribe for nominal attributes without a taxonomy.
+        """
+        return cls(root, {root: list(categories)})
+
+    # -- structure queries ---------------------------------------------------------
+
+    @property
+    def root(self) -> str:
+        return self._root
+
+    @property
+    def leaves(self) -> tuple[str, ...]:
+        """Leaf labels in pre-order (stable, deterministic)."""
+        return self._leaves
+
+    @property
+    def height(self) -> int:
+        """Maximum root-to-leaf depth."""
+        return self._height
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._parent
+
+    def is_leaf(self, name: str) -> bool:
+        """Whether ``name`` has no children."""
+        self._check(name)
+        return not self._children.get(name)
+
+    def parent(self, name: str) -> str | None:
+        """Parent node name, or None for the root."""
+        self._check(name)
+        return self._parent[name]
+
+    def children(self, name: str) -> tuple[str, ...]:
+        """Child node names (empty tuple for leaves)."""
+        self._check(name)
+        return self._children.get(name, ())
+
+    def depth(self, name: str) -> int:
+        """Number of edges from the root (root has depth 0)."""
+        self._check(name)
+        return self._depth[name]
+
+    def node_height(self, name: str) -> int:
+        """Height of a node above the leaf level (root has height = height)."""
+        self._check(name)
+        return self._height - self._depth[name]
+
+    def leaves_under(self, name: str) -> tuple[str, ...]:
+        """All leaf labels in the subtree rooted at ``name``."""
+        self._check(name)
+        out = []
+        stack = [name]
+        while stack:
+            node = stack.pop()
+            kids = self._children.get(node, ())
+            if kids:
+                stack.extend(reversed(kids))
+            else:
+                out.append(node)
+        return tuple(out)
+
+    def ancestors(self, name: str) -> tuple[str, ...]:
+        """Chain of ancestors from the node's parent up to the root."""
+        self._check(name)
+        chain = []
+        cursor = self._parent[name]
+        while cursor is not None:
+            chain.append(cursor)
+            cursor = self._parent[cursor]
+        return tuple(chain)
+
+    def lowest_common_ancestor(self, a: str, b: str) -> str:
+        """Deepest node having both ``a`` and ``b`` in its subtree."""
+        self._check(a)
+        self._check(b)
+        seen = {a} | set(self.ancestors(a))
+        cursor: str | None = b
+        while cursor is not None:
+            if cursor in seen:
+                return cursor
+            cursor = self._parent[cursor]
+        raise TaxonomyError(f"{a!r} and {b!r} share no ancestor")  # pragma: no cover
+
+    def generalize(self, leaf: str, levels: int) -> str:
+        """Ancestor of ``leaf`` after climbing ``levels`` edges (capped at root)."""
+        self._check(leaf)
+        if levels < 0:
+            raise TaxonomyError(f"levels must be >= 0, got {levels}")
+        cursor = leaf
+        for _ in range(levels):
+            parent = self._parent[cursor]
+            if parent is None:
+                break
+            cursor = parent
+        return cursor
+
+    def leaf_distance(self, a: str, b: str) -> float:
+        """Ground distance of Li et al.: node height of the LCA over tree height."""
+        if a == b:
+            return 0.0
+        return self.node_height(self.lowest_common_ancestor(a, b)) / self._height
+
+    # -- internals -------------------------------------------------------------------
+
+    def _iter_preorder(self) -> Iterable[str]:
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(self._children.get(node, ())))
+
+    def _check(self, name: str) -> None:
+        if name not in self._parent:
+            raise TaxonomyError(f"unknown taxonomy node {name!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Taxonomy(root={self._root!r}, {len(self._leaves)} leaves, "
+            f"height={self._height})"
+        )

@@ -1,0 +1,13 @@
+"""Experiment harness: parameter sweeps and paper-style table rendering."""
+
+from .sweep import CellResult, run_cell, sweep
+from .tables import format_series_table, format_size_table, format_table
+
+__all__ = [
+    "CellResult",
+    "run_cell",
+    "sweep",
+    "format_table",
+    "format_size_table",
+    "format_series_table",
+]

@@ -1,0 +1,74 @@
+"""Plain-text table rendering in the paper's layout.
+
+The benchmark harness prints its results in the same shape as the paper's
+tables so paper-vs-measured comparison is a visual diff:
+Tables 1-3 are (k rows) x (t columns, one sub-column per dataset) grids of
+"min/avg" cluster sizes; the figures become one-row-per-t series.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .sweep import CellResult
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """Align a header + rows matrix into a monospace table."""
+    cells = [list(map(str, headers))] + [list(map(str, row)) for row in rows]
+    widths = [max(len(row[c]) for row in cells) for c in range(len(headers))]
+    lines = []
+    for r, row in enumerate(cells):
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+        if r == 0:
+            lines.append("  ".join("-" * w for w in widths))
+    return "\n".join(lines)
+
+
+def format_size_table(
+    results: Mapping[str, Mapping[tuple[int, float], CellResult]],
+    ks: Sequence[int],
+    ts: Sequence[float],
+) -> str:
+    """Render a Tables 1-3 style grid.
+
+    Parameters
+    ----------
+    results:
+        ``{dataset_name: {(k, t): CellResult}}`` — typically MCD and HCD.
+    ks, ts:
+        Row and column orders.
+    """
+    datasets = list(results)
+    headers = ["k"] + [f"t={t:g} {d}" for t in ts for d in datasets]
+    rows = []
+    for k in ks:
+        row: list[object] = [f"k={k}"]
+        for t in ts:
+            for dataset in datasets:
+                cell = results[dataset].get((k, t))
+                row.append(cell.size_cell if cell is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def format_series_table(
+    series: Mapping[str, Mapping[float, float]],
+    ts: Sequence[float],
+    *,
+    value_format: str = "{:.4f}",
+    t_label: str = "t",
+) -> str:
+    """Render a Figures 5-6 style series: one row per t, one column per line."""
+    names = list(series)
+    headers = [t_label] + names
+    rows = []
+    for t in ts:
+        row: list[object] = [f"{t:g}"]
+        for name in names:
+            value = series[name].get(t)
+            row.append(value_format.format(value) if value is not None else "-")
+        rows.append(row)
+    return format_table(headers, rows)

@@ -1,0 +1,13 @@
+"""Extensions beyond the paper's evaluation (its §9 research directions)."""
+
+from .dp import (
+    dp_microaggregated_release,
+    expected_noise_reduction,
+    insensitive_partition,
+)
+
+__all__ = [
+    "insensitive_partition",
+    "dp_microaggregated_release",
+    "expected_noise_reduction",
+]

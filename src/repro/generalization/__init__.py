@@ -1,0 +1,28 @@
+"""Generalization/suppression baselines the paper compares against."""
+
+from .hierarchy import AttributeHierarchy, NumericHierarchy, TaxonomyHierarchy
+from .incognito import IncognitoResult, incognito
+from .mondrian import mondrian_partition
+from .recoding import RecodedRelease, recode, recoding_loss
+from .sabre import sabre
+from .suppression import (
+    small_class_mask,
+    suppress_small_classes,
+    suppression_feasible,
+)
+
+__all__ = [
+    "AttributeHierarchy",
+    "NumericHierarchy",
+    "TaxonomyHierarchy",
+    "recode",
+    "recoding_loss",
+    "RecodedRelease",
+    "suppress_small_classes",
+    "small_class_mask",
+    "suppression_feasible",
+    "mondrian_partition",
+    "incognito",
+    "IncognitoResult",
+    "sabre",
+]

@@ -1,0 +1,171 @@
+"""Per-attribute generalization hierarchies.
+
+Generalization-based anonymization (the approach the paper argues
+*against*, and which this package implements as the comparison baseline)
+replaces values by coarser ones along a value generalization hierarchy
+(VGH).  Two hierarchy families cover the usual cases:
+
+* :class:`NumericHierarchy` — dyadic interval hierarchies for numeric
+  attributes: level 0 keeps exact values, level ℓ buckets the attribute's
+  range into ``2^(n_levels - ℓ)`` equal intervals, the top level suppresses
+  to the full range;
+* :class:`TaxonomyHierarchy` — tree hierarchies for categorical attributes,
+  wrapping a :class:`~repro.distance.taxonomy.Taxonomy`: level ℓ climbs ℓ
+  edges toward the root.
+
+Both expose the same interface: ``generalize(values, level)`` maps a column
+to string labels, and ``loss(level)`` scores a level with the Loss Metric
+(LM, Iyengar 2002) — the normalized width of the region a generalized value
+still admits, averaged over records — which the search algorithms use to
+rank feasible generalizations.
+"""
+
+from __future__ import annotations
+
+import abc
+
+import numpy as np
+
+from ..distance.taxonomy import Taxonomy
+
+
+class AttributeHierarchy(abc.ABC):
+    """Common interface of value generalization hierarchies."""
+
+    #: Number of generalization steps above the exact values; valid levels
+    #: are ``0 .. n_levels`` inclusive (``n_levels`` = total suppression).
+    n_levels: int
+
+    def validate_level(self, level: int) -> None:
+        """Raise ValueError unless ``0 <= level <= n_levels``."""
+        if not 0 <= level <= self.n_levels:
+            raise ValueError(
+                f"level must be in [0, {self.n_levels}], got {level}"
+            )
+
+    @abc.abstractmethod
+    def generalize(self, values: np.ndarray, level: int) -> np.ndarray:
+        """Map raw column values to generalized labels (object array)."""
+
+    @abc.abstractmethod
+    def loss(self, level: int) -> float:
+        """Loss Metric of the level in [0, 1] (0 = exact, 1 = suppressed)."""
+
+
+class NumericHierarchy(AttributeHierarchy):
+    """Dyadic interval hierarchy over a closed numeric range.
+
+    Parameters
+    ----------
+    lo, hi:
+        Domain bounds (values outside are clamped into the closed range).
+    n_levels:
+        Number of halving steps: level ℓ uses ``2^(n_levels - ℓ)`` equal
+        bins, so level ``n_levels`` is the single bin [lo, hi].
+    """
+
+    def __init__(self, lo: float, hi: float, n_levels: int = 4) -> None:
+        if not hi > lo:
+            raise ValueError(f"need hi > lo, got [{lo}, {hi}]")
+        if n_levels < 1:
+            raise ValueError(f"n_levels must be >= 1, got {n_levels}")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.n_levels = int(n_levels)
+
+    @classmethod
+    def from_values(cls, values: np.ndarray, n_levels: int = 4) -> "NumericHierarchy":
+        """Fit the domain bounds from a data column."""
+        values = np.asarray(values, dtype=np.float64)
+        if values.size == 0:
+            raise ValueError("cannot fit a hierarchy to an empty column")
+        lo, hi = float(values.min()), float(values.max())
+        if hi == lo:
+            hi = lo + 1.0  # degenerate column: any single bin works
+        return cls(lo, hi, n_levels)
+
+    def n_bins(self, level: int) -> int:
+        """Number of bins at a level (0 = sentinel for exact values)."""
+        self.validate_level(level)
+        if level == 0:
+            return 0  # sentinel: exact values, no binning
+        return 2 ** (self.n_levels - level)
+
+    def bin_indices(self, values: np.ndarray, level: int) -> np.ndarray:
+        """Bin index of each value at the given level (level >= 1)."""
+        self.validate_level(level)
+        if level == 0:
+            raise ValueError("level 0 keeps exact values; no bins")
+        bins = self.n_bins(level)
+        width = (self.hi - self.lo) / bins
+        idx = np.floor((np.asarray(values, float) - self.lo) / width).astype(int)
+        return np.clip(idx, 0, bins - 1)
+
+    def generalize(self, values: np.ndarray, level: int) -> np.ndarray:
+        self.validate_level(level)
+        values = np.asarray(values, dtype=np.float64)
+        if level == 0:
+            return values.astype(object)
+        bins = self.n_bins(level)
+        width = (self.hi - self.lo) / bins
+        idx = self.bin_indices(values, level)
+        labels = np.array(
+            [f"[{self.lo + i * width:g}, {self.lo + (i + 1) * width:g})" for i in range(bins)],
+            dtype=object,
+        )
+        return labels[idx]
+
+    def loss(self, level: int) -> float:
+        self.validate_level(level)
+        if level == 0:
+            return 0.0
+        return 1.0 / self.n_bins(level)
+
+    def interval_midpoints(self, values: np.ndarray, level: int) -> np.ndarray:
+        """Numeric representative (bin midpoint) of each generalized value."""
+        self.validate_level(level)
+        if level == 0:
+            return np.asarray(values, dtype=np.float64).copy()
+        bins = self.n_bins(level)
+        width = (self.hi - self.lo) / bins
+        idx = self.bin_indices(values, level)
+        return self.lo + (idx + 0.5) * width
+
+
+class TaxonomyHierarchy(AttributeHierarchy):
+    """Tree hierarchy for a categorical attribute.
+
+    Level ℓ replaces every leaf by its ancestor ℓ edges up (clamped at the
+    root), so level ``taxonomy.height`` maps everything to the root.
+    The Loss Metric of a generalized node is
+    ``(leaves_under(node) - 1) / (n_leaves - 1)``.
+    """
+
+    def __init__(self, taxonomy: Taxonomy) -> None:
+        self.taxonomy = taxonomy
+        self.n_levels = taxonomy.height
+        self._n_leaves = len(taxonomy.leaves)
+
+    def generalize(self, values: np.ndarray, level: int) -> np.ndarray:
+        self.validate_level(level)
+        values = np.asarray(values)
+        cache: dict[str, str] = {}
+        out = np.empty(len(values), dtype=object)
+        for i, raw in enumerate(values):
+            label = str(raw)
+            if label not in cache:
+                cache[label] = self.taxonomy.generalize(label, level)
+            out[i] = cache[label]
+        return out
+
+    def loss(self, level: int) -> float:
+        self.validate_level(level)
+        if self._n_leaves == 1:
+            return 0.0
+        total = 0.0
+        for leaf in self.taxonomy.leaves:
+            node = self.taxonomy.generalize(leaf, level)
+            total += (len(self.taxonomy.leaves_under(node)) - 1) / (
+                self._n_leaves - 1
+            )
+        return total / self._n_leaves

@@ -1,0 +1,21 @@
+"""Information-loss and analytical-utility metrics."""
+
+from .information_loss import (
+    average_class_size_metric,
+    discernibility,
+    normalized_sse,
+    sse_ratio,
+    within_cluster_sse,
+)
+from .utility import QueryWorkloadReport, correlation_shift, range_query_error
+
+__all__ = [
+    "normalized_sse",
+    "sse_ratio",
+    "discernibility",
+    "average_class_size_metric",
+    "within_cluster_sse",
+    "range_query_error",
+    "QueryWorkloadReport",
+    "correlation_shift",
+]

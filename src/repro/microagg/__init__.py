@@ -1,0 +1,30 @@
+"""Microaggregation substrate: partitioners and aggregation operators."""
+
+from .aggregate import aggregate_partition, cluster_centroids
+from .centroids import (
+    centroid_value,
+    marginality_centroid,
+    nominal_centroid,
+    numeric_centroid,
+    ordinal_centroid,
+)
+from .mdav import mdav
+from .partition import Partition, PartitionError
+from .univariate import optimal_univariate, univariate_sse
+from .vmdav import vmdav
+
+__all__ = [
+    "Partition",
+    "PartitionError",
+    "mdav",
+    "vmdav",
+    "optimal_univariate",
+    "univariate_sse",
+    "aggregate_partition",
+    "cluster_centroids",
+    "centroid_value",
+    "numeric_centroid",
+    "ordinal_centroid",
+    "nominal_centroid",
+    "marginality_centroid",
+]

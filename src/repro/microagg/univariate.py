@@ -1,0 +1,100 @@
+"""Optimal univariate microaggregation (Hansen–Mukherjee).
+
+For a single attribute, the SSE-optimal partition into clusters of size
+between k and 2k-1 can be computed exactly in polynomial time
+(Hansen & Mukherjee, IEEE TKDE 2003): sort the values; optimal clusters are
+intervals of the sorted order; a shortest-path dynamic program over interval
+end points finds the minimum-SSE segmentation in O(n k) after the sort.
+
+Multivariate microaggregation is NP-hard (Oganian & Domingo-Ferrer 2001) —
+which is why the library's default partitioner is the MDAV heuristic — but
+the univariate optimum is valuable as a lower-bound reference in tests and
+ablations.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .partition import Partition
+
+
+def optimal_univariate(values: np.ndarray, k: int) -> Partition:
+    """SSE-optimal partition of a single attribute into clusters of size >= k.
+
+    Parameters
+    ----------
+    values:
+        1-D array of attribute values.
+    k:
+        Minimum cluster size; every optimal cluster has size in [k, 2k-1].
+
+    Returns
+    -------
+    Partition
+        Optimal clusters, mapped back to the original record order.
+    """
+    values = np.asarray(values, dtype=np.float64)
+    if values.ndim != 1:
+        raise ValueError(f"values must be 1-D, got shape {values.shape}")
+    n = values.size
+    if not 1 <= k <= n:
+        raise ValueError(f"k must be in [1, {n}], got {k}")
+
+    order = np.argsort(values, kind="stable")
+    x = values[order]
+
+    # Prefix sums give O(1) SSE of any sorted interval [i, j):
+    # SSE = sum(x^2) - (sum x)^2 / len.
+    pref = np.concatenate([[0.0], np.cumsum(x)])
+    pref_sq = np.concatenate([[0.0], np.cumsum(x * x)])
+
+    def interval_sse(i: int, j: int) -> float:
+        s = pref[j] - pref[i]
+        s2 = pref_sq[j] - pref_sq[i]
+        return s2 - s * s / (j - i)
+
+    # best[j] = minimal SSE of segmenting x[:j]; valid segment lengths are
+    # k..2k-1 (a longer segment can always be split without increasing SSE).
+    best = np.full(n + 1, np.inf)
+    best[0] = 0.0
+    back = np.full(n + 1, -1, dtype=np.int64)
+    for j in range(k, n + 1):
+        lo = max(0, j - (2 * k - 1))
+        hi = j - k
+        for i in range(lo, hi + 1):
+            if not np.isfinite(best[i]):
+                continue
+            cost = best[i] + interval_sse(i, j)
+            if cost < best[j]:
+                best[j] = cost
+                back[j] = i
+    if not np.isfinite(best[n]):
+        # Only possible when n < k was excluded above, so n in [k, 2k);
+        # a single cluster is then the only (and optimal) choice.
+        return Partition.single_cluster(n)  # pragma: no cover - defensive
+
+    # Recover segmentation boundaries.
+    labels_sorted = np.empty(n, dtype=np.int64)
+    bounds = []
+    j = n
+    while j > 0:
+        i = int(back[j])
+        bounds.append((i, j))
+        j = i
+    for g, (i, j) in enumerate(reversed(bounds)):
+        labels_sorted[i:j] = g
+
+    labels = np.empty(n, dtype=np.int64)
+    labels[order] = labels_sorted
+    return Partition(labels)
+
+
+def univariate_sse(values: np.ndarray, partition: Partition) -> float:
+    """Within-cluster SSE of one attribute under a partition (test helper)."""
+    values = np.asarray(values, dtype=np.float64)
+    total = 0.0
+    for members in partition.clusters():
+        cluster = values[members]
+        total += float(((cluster - cluster.mean()) ** 2).sum())
+    return total

@@ -1,0 +1,40 @@
+"""Privacy-model verifiers and disclosure-risk estimation."""
+
+from .audit import PrivacyAudit, audit
+from .kanonymity import equivalence_classes, is_k_anonymous, k_anonymity_level
+from .ldiversity import (
+    distinct_l_diversity,
+    entropy_l_diversity,
+    is_recursive_cl_diverse,
+)
+from .ntcloseness import is_nt_close, nt_closeness_level
+from .psensitive import is_p_sensitive_k_anonymous, p_sensitivity_level
+from .risk import (
+    expected_reidentification_rate,
+    interval_disclosure_rate,
+    record_linkage_risk,
+    reidentification_upper_bound,
+)
+from .tcloseness import class_emds, is_t_close, t_closeness_level
+
+__all__ = [
+    "equivalence_classes",
+    "k_anonymity_level",
+    "is_k_anonymous",
+    "distinct_l_diversity",
+    "entropy_l_diversity",
+    "is_recursive_cl_diverse",
+    "t_closeness_level",
+    "is_t_close",
+    "class_emds",
+    "nt_closeness_level",
+    "is_nt_close",
+    "p_sensitivity_level",
+    "is_p_sensitive_k_anonymous",
+    "expected_reidentification_rate",
+    "record_linkage_risk",
+    "interval_disclosure_rate",
+    "reidentification_upper_bound",
+    "audit",
+    "PrivacyAudit",
+]

@@ -1,0 +1,43 @@
+"""p-Sensitive k-anonymity verification (Truta & Vinay, PDM 2006).
+
+A k-anonymous table is p-sensitive when every equivalence class contains at
+least p *distinct* values for each confidential attribute.  It is the
+weakest of the attribute-disclosure refinements (distinct l-diversity with
+l = p); the paper cites it as the one refinement microaggregation had
+already been adapted to before this work.
+"""
+
+from __future__ import annotations
+
+from ..data.dataset import Microdata
+from ..microagg.partition import Partition
+from .kanonymity import equivalence_classes
+from .ldiversity import distinct_l_diversity
+
+
+def p_sensitivity_level(
+    data: Microdata, *, classes: Partition | None = None
+) -> int:
+    """The largest p such that the release is p-sensitive."""
+    if classes is None:
+        classes = equivalence_classes(data)
+    return distinct_l_diversity(data, classes=classes)
+
+
+def is_p_sensitive_k_anonymous(
+    data: Microdata,
+    p: int,
+    k: int,
+    *,
+    classes: Partition | None = None,
+) -> bool:
+    """Whether the release is simultaneously k-anonymous and p-sensitive."""
+    if p < 1:
+        raise ValueError(f"p must be >= 1, got {p}")
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if classes is None:
+        classes = equivalence_classes(data)
+    if classes.min_size < k:
+        return False
+    return p_sensitivity_level(data, classes=classes) >= p

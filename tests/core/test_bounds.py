@@ -1,0 +1,188 @@
+"""Tests for Propositions 1-2 and Equations 3-4.
+
+The propositions are tested both against hand values and *executably*:
+random clusters must respect the Proposition 1 lower bound, and
+one-record-per-bucket clusters must respect the Proposition 2 upper bound,
+under the rank-based EMD they are stated for.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    adjust_cluster_size,
+    emd_lower_bound,
+    emd_upper_bound,
+    required_cluster_size,
+    tclose_first_cluster_size,
+)
+from repro.distance import emd_ordered
+
+
+class TestFormulas:
+    def test_lower_bound_formula(self):
+        # (n+k)(n-k) / (4 n (n-1) k) with n=12, k=3:
+        # 15*9 / (4*12*11*3) = 135/1584
+        assert emd_lower_bound(12, 3) == pytest.approx(135 / 1584)
+
+    def test_upper_bound_formula(self):
+        # (n-k) / (2 (n-1) k) with n=12, k=3: 9/66
+        assert emd_upper_bound(12, 3) == pytest.approx(9 / 66)
+
+    def test_k_equals_n_gives_zero(self):
+        assert emd_lower_bound(10, 10) == 0.0
+        assert emd_upper_bound(10, 10) == 0.0
+
+    def test_n_one(self):
+        assert emd_lower_bound(1, 1) == 0.0
+        assert emd_upper_bound(1, 1) == 0.0
+
+    def test_upper_dominates_lower(self):
+        for n in (10, 100, 1080):
+            for k in (2, 5, 30):
+                if k > n:
+                    continue
+                assert emd_upper_bound(n, k) >= emd_lower_bound(n, k)
+
+    def test_bounds_decrease_with_k(self):
+        values = [emd_upper_bound(1000, k) for k in range(2, 50)]
+        assert all(a > b for a, b in zip(values, values[1:]))
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="n must be"):
+            emd_lower_bound(0, 1)
+        with pytest.raises(ValueError, match="k must be"):
+            emd_upper_bound(5, 6)
+        with pytest.raises(ValueError, match="k must be"):
+            emd_lower_bound(5, 0)
+
+
+class TestRequiredClusterSize:
+    def test_paper_table3_k2_row(self):
+        """The k=2 row of Table 3: effective sizes 49/10/6/4/3/3/2."""
+        expected = {0.01: 49, 0.05: 10, 0.09: 6, 0.13: 4, 0.17: 3, 0.21: 3, 0.25: 2}
+        for t, size in expected.items():
+            assert tclose_first_cluster_size(1080, t, 2) == size, t
+
+    def test_table3_respects_user_k(self):
+        """For t >= 0.05 and k in {5,...,30} Table 3 shows max(k, k(t))."""
+        for k in (5, 10, 15, 20, 25, 30):
+            assert tclose_first_cluster_size(1080, 0.25, k) == k
+        assert tclose_first_cluster_size(1080, 0.01, 30) == 49
+
+    def test_bound_actually_met(self):
+        """Eq. 3's k satisfies Proposition 2's bound <= t."""
+        for n in (100, 1080, 9999):
+            for t in (0.01, 0.05, 0.2):
+                k = required_cluster_size(n, t)
+                assert emd_upper_bound(n, k) <= t + 1e-12
+
+    def test_minimality(self):
+        """k-1 would violate the bound (when k > 1)."""
+        for n in (100, 1080):
+            for t in (0.01, 0.05, 0.2):
+                k = required_cluster_size(n, t)
+                if k > 1:
+                    assert emd_upper_bound(n, k - 1) > t
+
+    def test_t_zero_forces_single_cluster(self):
+        assert required_cluster_size(500, 0.0) == 500
+
+    def test_large_t_no_constraint(self):
+        assert required_cluster_size(500, 1.0, k=3) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="t must be"):
+            required_cluster_size(10, -0.1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(n=st.integers(2, 5000), t=st.floats(0.001, 0.5), k=st.integers(1, 50))
+    def test_result_in_range_property(self, n, t, k):
+        k = min(k, n)
+        out = required_cluster_size(n, t, k)
+        assert k <= out <= n
+        assert emd_upper_bound(n, out) <= t + 1e-9
+
+
+class TestAdjustClusterSize:
+    def test_divisible_unchanged(self):
+        assert adjust_cluster_size(1080, 10) == 10
+
+    def test_paper_t001_case(self):
+        """n=1080, Eq.3 gives 48; 1080 mod 48 = 24 > floor-share -> k=49."""
+        assert required_cluster_size(1080, 0.01) == 48
+        assert adjust_cluster_size(1080, 48) == 49
+
+    def test_small_remainder_kept(self):
+        # n=1080, k=49: r=2 <= floor(1080/49)=22 clusters -> unchanged.
+        assert adjust_cluster_size(1080, 49) == 49
+
+    def test_oversized_remainder_bumps(self):
+        # n=10, k=4: floor=2 clusters, r=2 -> bump by 1.
+        assert adjust_cluster_size(10, 4) == 5
+
+    def test_k_equals_n(self):
+        assert adjust_cluster_size(7, 7) == 7
+
+    @settings(max_examples=100, deadline=None)
+    @given(n=st.integers(1, 10_000), k=st.integers(1, 200))
+    def test_remainder_fits_property(self, n, k):
+        """After adjustment, extras fit one-per-cluster: r <= floor(n/k)."""
+        k = min(k, n)
+        out = adjust_cluster_size(n, k)
+        assert k <= out <= n
+        assert n % out <= n // out
+
+
+class TestPropositionsExecutable:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(4, 200),
+        k=st.integers(2, 20),
+        seed=st.integers(0, 10_000),
+    )
+    def test_proposition1_lower_bound_holds(self, n, k, seed):
+        """No k-record cluster beats the Proposition 1 EMD lower bound."""
+        k = min(k, n)
+        rng = np.random.default_rng(seed)
+        dataset = np.arange(1.0, n + 1.0)  # n distinct ranked values
+        cluster = rng.choice(dataset, size=k, replace=False)
+        emd = emd_ordered(cluster, dataset, mode="rank")
+        assert emd >= emd_lower_bound(n, k) - 1e-9
+
+    def test_proposition1_tight_when_k_divides_n(self):
+        """The median-of-each-block cluster attains the bound exactly."""
+        n, k = 20, 4  # n/k = 5 (odd), medians well defined
+        dataset = np.arange(1.0, n + 1.0)
+        block = n // k
+        medians = [dataset[i * block + (block - 1) // 2] for i in range(k)]
+        emd = emd_ordered(medians, dataset, mode="rank")
+        assert emd == pytest.approx(emd_lower_bound(n, k), abs=1e-12)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        blocks=st.integers(2, 12),
+        per_block=st.integers(1, 12),
+        seed=st.integers(0, 10_000),
+    )
+    def test_proposition2_upper_bound_holds(self, blocks, per_block, seed):
+        """One record per bucket keeps EMD within Proposition 2's bound."""
+        n, k = blocks * per_block, blocks
+        dataset = np.arange(1.0, n + 1.0)
+        rng = np.random.default_rng(seed)
+        cluster = [
+            dataset[i * per_block + rng.integers(per_block)] for i in range(k)
+        ]
+        emd = emd_ordered(cluster, dataset, mode="rank")
+        assert emd <= emd_upper_bound(n, k) + 1e-9
+
+    def test_proposition2_tight_at_block_edges(self):
+        """Picking every bucket's minimum attains the upper bound."""
+        n, k = 24, 4
+        dataset = np.arange(1.0, n + 1.0)
+        per_block = n // k
+        mins = [dataset[i * per_block] for i in range(k)]
+        emd = emd_ordered(mins, dataset, mode="rank")
+        assert emd == pytest.approx(emd_upper_bound(n, k), abs=1e-12)

@@ -1,0 +1,156 @@
+"""Tests for the ConfidentialModel / ClusterTrackerSet abstraction."""
+
+import numpy as np
+import pytest
+
+from repro.core import ConfidentialModel
+from repro.data import AttributeRole, Microdata, nominal, numeric, ordinal
+from repro.distance import OrderedEMDReference, emd_nominal
+
+
+@pytest.fixture
+def numeric_data():
+    rng = np.random.default_rng(11)
+    return Microdata(
+        {
+            "qi": rng.normal(size=40),
+            "secret": rng.permutation(np.arange(40.0)),
+        },
+        [
+            numeric("qi", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("secret", role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+
+
+@pytest.fixture
+def mixed_conf_data():
+    rng = np.random.default_rng(12)
+    return Microdata(
+        {
+            "qi": rng.normal(size=30),
+            "salary": rng.permutation(np.arange(30.0)),
+            "disease": rng.integers(0, 4, size=30),
+        },
+        [
+            numeric("qi", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("salary", role=AttributeRole.CONFIDENTIAL),
+            nominal("disease", ("a", "b", "c", "d"), role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+
+
+class TestConfidentialModel:
+    def test_requires_confidential_attribute(self):
+        md = Microdata({"x": [1.0, 2.0]}, [numeric("x")])
+        with pytest.raises(ValueError, match="no confidential"):
+            ConfidentialModel(md)
+
+    def test_cluster_emd_matches_reference(self, numeric_data):
+        model = ConfidentialModel(numeric_data)
+        ref = OrderedEMDReference(numeric_data.values("secret"))
+        members = np.array([0, 5, 9])
+        expected = ref.emd(numeric_data.values("secret")[members])
+        assert model.cluster_emd(members) == pytest.approx(expected)
+
+    def test_cluster_emd_max_over_attributes(self, mixed_conf_data):
+        model = ConfidentialModel(mixed_conf_data)
+        members = np.array([0, 1, 2])
+        salary_ref = OrderedEMDReference(mixed_conf_data.values("salary"))
+        salary_emd = salary_ref.emd(mixed_conf_data.values("salary")[members])
+        disease_emd = emd_nominal(
+            mixed_conf_data.values("disease")[members],
+            mixed_conf_data.values("disease"),
+            4,
+        )
+        assert model.cluster_emd(members) == pytest.approx(
+            max(salary_emd, disease_emd)
+        )
+
+    def test_empty_cluster_rejected(self, numeric_data):
+        model = ConfidentialModel(numeric_data)
+        with pytest.raises(ValueError, match="non-empty"):
+            model.cluster_emd(np.array([], dtype=int))
+
+    def test_partition_emds(self, numeric_data):
+        model = ConfidentialModel(numeric_data)
+        clusters = [np.array([0, 1]), np.array([2, 3, 4])]
+        emds = model.partition_emds(clusters)
+        assert emds.shape == (2,)
+        assert emds[0] == pytest.approx(model.cluster_emd(clusters[0]))
+
+    def test_rank_mode_evaluation(self, numeric_data):
+        model = ConfidentialModel(numeric_data, emd_mode="rank")
+        assert not model.supports_trackers
+        # Tie-free data: rank EMD equals distinct EMD.
+        distinct = ConfidentialModel(numeric_data)
+        members = np.array([3, 17, 29])
+        assert model.cluster_emd(members) == pytest.approx(
+            distinct.cluster_emd(members)
+        )
+
+    def test_rank_mode_rejects_trackers(self, numeric_data):
+        model = ConfidentialModel(numeric_data, emd_mode="rank")
+        with pytest.raises(ValueError, match="distinct"):
+            model.make_tracker(np.array([0, 1]))
+
+    def test_ordinal_confidential_supported(self):
+        md = Microdata(
+            {
+                "qi": np.arange(6.0),
+                "level": np.array([0, 0, 1, 1, 2, 2]),
+            },
+            [
+                numeric("qi", role=AttributeRole.QUASI_IDENTIFIER),
+                ordinal("level", ("lo", "mid", "hi"), role=AttributeRole.CONFIDENTIAL),
+            ],
+        )
+        model = ConfidentialModel(md)
+        # Cluster {lo, mid, hi} mirrors the table distribution exactly.
+        assert model.cluster_emd(np.array([0, 2, 4])) == pytest.approx(0.0)
+        # Cluster of only "lo" is maximally skewed.
+        assert model.cluster_emd(np.array([0, 1])) > 0.3
+
+
+class TestClusterTrackerSet:
+    def test_tracker_emd_matches_model(self, mixed_conf_data):
+        model = ConfidentialModel(mixed_conf_data)
+        members = np.array([0, 7, 14])
+        tracker = model.make_tracker(members)
+        assert tracker.emd == pytest.approx(model.cluster_emd(members))
+
+    def test_swap_emds_match_full_recompute(self, mixed_conf_data):
+        model = ConfidentialModel(mixed_conf_data)
+        members = np.array([0, 7, 14, 21])
+        tracker = model.make_tracker(members)
+        candidate = 3
+        scores = tracker.swap_emds(members, candidate)
+        for j in range(len(members)):
+            swapped = members.copy()
+            swapped[j] = candidate
+            assert scores[j] == pytest.approx(model.cluster_emd(swapped))
+
+    def test_apply_swap_consistency(self, mixed_conf_data):
+        model = ConfidentialModel(mixed_conf_data)
+        members = np.array([2, 9, 16])
+        tracker = model.make_tracker(members)
+        tracker.apply_swap(9, 25)
+        members[1] = 25
+        assert tracker.emd == pytest.approx(model.cluster_emd(members))
+
+    def test_empty_cluster_rejected(self, numeric_data):
+        model = ConfidentialModel(numeric_data)
+        with pytest.raises(ValueError, match="non-empty"):
+            model.make_tracker(np.array([], dtype=int))
+
+    def test_random_walk_consistency(self, mixed_conf_data):
+        rng = np.random.default_rng(13)
+        model = ConfidentialModel(mixed_conf_data)
+        members = np.array([0, 5, 10, 15])
+        tracker = model.make_tracker(members)
+        for _ in range(25):
+            j = int(rng.integers(len(members)))
+            candidate = int(rng.integers(mixed_conf_data.n_records))
+            tracker.apply_swap(int(members[j]), candidate)
+            members[j] = candidate
+            assert tracker.emd == pytest.approx(model.cluster_emd(members))

@@ -1,0 +1,94 @@
+"""Degenerate-input robustness for the three algorithms.
+
+Boundary settings a downstream user will eventually feed the library:
+k = 1 (no anonymity constraint), k = n (one cluster), duplicate records,
+constant quasi-identifiers, constant confidential values, and two-record
+tables.  Every case must terminate with a valid, verifiable partition.
+"""
+
+import numpy as np
+import pytest
+
+from repro import METHODS, anonymize
+from repro.data import AttributeRole, Microdata, numeric
+
+
+def dataset(qi_values, secret_values):
+    """Single-QI microdata from two plain lists."""
+    return Microdata(
+        {
+            "qi": np.asarray(qi_values, dtype=float),
+            "secret": np.asarray(secret_values, dtype=float),
+        },
+        [
+            numeric("qi", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("secret", role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+
+
+@pytest.fixture
+def plain():
+    rng = np.random.default_rng(0)
+    return dataset(rng.normal(size=24), rng.permutation(np.arange(24.0)))
+
+
+@pytest.mark.parametrize("method", sorted(METHODS))
+class TestBoundaryParameters:
+    def test_k_equals_n_single_cluster(self, plain, method):
+        release, result = anonymize(plain, k=24, t=0.5, method=method)
+        assert result.partition.n_clusters == 1
+        assert result.max_emd == pytest.approx(0.0, abs=1e-12)
+
+    def test_k_one_loose_t(self, plain, method):
+        release, result = anonymize(plain, k=1, t=1.0, method=method)
+        assert result.satisfies_t
+        assert result.partition.min_size >= 1
+
+    def test_two_records(self, method):
+        data = dataset([0.0, 1.0], [5.0, 9.0])
+        release, result = anonymize(data, k=2, t=1.0, method=method)
+        assert result.partition.n_clusters == 1
+
+    def test_duplicate_records(self, method):
+        data = dataset([1.0] * 6 + [2.0] * 6, [3.0] * 6 + [7.0] * 6)
+        release, result = anonymize(data, k=3, t=0.6, method=method)
+        assert result.satisfies_t
+        result.partition.validate_min_size(3)
+
+    def test_constant_quasi_identifier(self, method):
+        rng = np.random.default_rng(1)
+        data = dataset(np.full(12, 5.0), rng.permutation(np.arange(12.0)))
+        release, result = anonymize(data, k=3, t=0.5, method=method)
+        result.partition.validate_min_size(3)
+        # A constant QI releases as itself.
+        np.testing.assert_array_equal(release.values("qi"), np.full(12, 5.0))
+
+    def test_constant_confidential(self, method):
+        """One confidential value: every cluster is trivially 0-close."""
+        rng = np.random.default_rng(2)
+        data = dataset(rng.normal(size=12), np.full(12, 3.0))
+        release, result = anonymize(data, k=3, t=0.0, method=method)
+        assert result.max_emd == pytest.approx(0.0, abs=1e-12)
+        # t = 0 is satisfiable here without collapsing to one cluster.
+        if method != "tclose-first":  # Eq. 3 with t = 0 still forces k = n
+            assert result.satisfies_t
+
+    def test_empty_dataset_rejected(self, method):
+        empty = dataset([], [])
+        with pytest.raises(ValueError, match="empty|at least|k must be"):
+            anonymize(empty, k=1, t=0.5, method=method)
+
+
+class TestTinyNAlgorithm3Specifics:
+    def test_n_equals_3_k_2(self):
+        data = dataset([0.0, 1.0, 2.0], [1.0, 2.0, 3.0])
+        _, result = anonymize(data, k=2, t=1.0, method="tclose-first")
+        # 3 = 1*2 + 1 extra: one cluster of 3 (k_eff adjusted or extra).
+        assert result.partition.min_size >= 2
+        assert result.partition.sizes().sum() == 3
+
+    def test_t_zero_single_cluster(self):
+        data = dataset(np.arange(8.0), np.arange(8.0))
+        _, result = anonymize(data, k=2, t=0.0, method="tclose-first")
+        assert result.partition.n_clusters == 1

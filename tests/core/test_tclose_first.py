@@ -1,0 +1,214 @@
+"""Tests for Algorithm 3 (t-closeness-first microaggregation)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import tclose_first_cluster_size, tcloseness_first
+from repro.core.tclose_first import _bucket_sizes
+from repro.data import (
+    AttributeRole,
+    Microdata,
+    load_hcd,
+    load_mcd,
+    nominal,
+    numeric,
+    ordinal,
+)
+
+
+@pytest.fixture(scope="module")
+def mcd_small():
+    return load_mcd(n=240)
+
+
+def random_dataset(n, seed, tie_free=True):
+    rng = np.random.default_rng(seed)
+    secret = (
+        rng.permutation(np.arange(float(n)))
+        if tie_free
+        else rng.integers(0, max(2, n // 4), size=n).astype(float)
+    )
+    return Microdata(
+        {
+            "q1": rng.normal(size=n),
+            "q2": rng.normal(size=n),
+            "secret": secret,
+        },
+        [
+            numeric("q1", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("q2", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("secret", role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+
+
+class TestBucketSizes:
+    def test_divisible(self):
+        np.testing.assert_array_equal(_bucket_sizes(12, 4), [3, 3, 3, 3])
+
+    def test_odd_k_extras_in_middle(self):
+        sizes = _bucket_sizes(11, 3)  # base 3, r = 2
+        np.testing.assert_array_equal(sizes, [3, 5, 3])
+
+    def test_even_k_extras_split(self):
+        sizes = _bucket_sizes(14, 4)  # base 3, r = 2
+        np.testing.assert_array_equal(sizes, [3, 4, 4, 3])
+
+    def test_even_k_odd_extras(self):
+        sizes = _bucket_sizes(15, 4)  # base 3, r = 3
+        np.testing.assert_array_equal(sizes, [3, 5, 4, 3])
+
+    def test_sum_is_n(self):
+        for n in (10, 37, 100, 1081):
+            for k in (2, 3, 7, 10):
+                assert _bucket_sizes(n, k).sum() == n
+
+
+class TestAlgorithm3:
+    def test_t_close_k_anonymous(self, mcd_small):
+        result = tcloseness_first(mcd_small, k=3, t=0.15)
+        assert result.satisfies_t
+        result.partition.validate_min_size(3)
+
+    def test_divisible_case_exact_sizes(self):
+        """When k_eff divides n every cluster has exactly k_eff records."""
+        data = random_dataset(100, 0)
+        result = tcloseness_first(data, k=5, t=1.0)  # k_eff = 5 divides 100
+        assert result.info["effective_k"] == 5
+        np.testing.assert_array_equal(result.partition.sizes(), np.full(20, 5))
+
+    def test_non_divisible_sizes_k_or_k_plus_1(self):
+        data = random_dataset(103, 1)  # k_eff = 5 -> r = 3 extras
+        result = tcloseness_first(data, k=5, t=1.0)
+        sizes = result.partition.sizes()
+        assert set(sizes.tolist()) <= {5, 6}
+        assert (sizes == 6).sum() == 3
+
+    def test_effective_k_matches_closed_form(self, mcd_small):
+        for t in (0.05, 0.13, 0.25):
+            result = tcloseness_first(mcd_small, k=2, t=t)
+            assert result.info["effective_k"] == tclose_first_cluster_size(
+                mcd_small.n_records, t, 2
+            )
+
+    def test_paper_table3_row_on_full_mcd_and_hcd(self):
+        """Table 3, k=2: min = avg = k(t) for both data sets, all t."""
+        expected = {0.05: 10, 0.13: 4, 0.25: 2}
+        for loader in (load_mcd, load_hcd):
+            data = loader()
+            for t, k_eff in expected.items():
+                result = tcloseness_first(data, k=2, t=t)
+                sizes = result.partition.sizes()
+                assert sizes.min() == sizes.max() == k_eff, (loader, t)
+                assert result.satisfies_t
+
+    def test_emd_within_proposition_bound(self):
+        """Every cluster's rank EMD respects the Proposition 2 guarantee."""
+        data = random_dataset(120, 2)
+        result = tcloseness_first(data, k=4, t=0.08, emd_mode="rank")
+        assert (result.cluster_emds <= result.info["emd_bound"] + 1e-9).all()
+
+    def test_no_emd_needed_at_loose_t(self):
+        """At loose t Algorithm 3 degrades gracefully to k-sized clusters."""
+        data = random_dataset(60, 3)
+        result = tcloseness_first(data, k=3, t=1.0)
+        assert result.info["effective_k"] == 3
+
+    def test_t_zero_single_cluster(self):
+        data = random_dataset(30, 4)
+        result = tcloseness_first(data, k=2, t=0.0)
+        assert result.partition.n_clusters == 1
+        assert result.max_emd == pytest.approx(0.0, abs=1e-12)
+
+    def test_ordinal_confidential_supported(self):
+        rng = np.random.default_rng(5)
+        n = 60
+        data = Microdata(
+            {
+                "q1": rng.normal(size=n),
+                "level": np.tile(np.arange(6), 10),
+            },
+            [
+                numeric("q1", role=AttributeRole.QUASI_IDENTIFIER),
+                ordinal(
+                    "level",
+                    tuple("abcdef"),
+                    role=AttributeRole.CONFIDENTIAL,
+                ),
+            ],
+        )
+        result = tcloseness_first(data, k=3, t=0.2)
+        result.partition.validate_min_size(3)
+        assert result.satisfies_t
+
+    def test_nominal_confidential_rejected(self):
+        rng = np.random.default_rng(6)
+        data = Microdata(
+            {
+                "q1": rng.normal(size=20),
+                "disease": rng.integers(0, 3, size=20),
+            },
+            [
+                numeric("q1", role=AttributeRole.QUASI_IDENTIFIER),
+                nominal("disease", ("a", "b", "c"), role=AttributeRole.CONFIDENTIAL),
+            ],
+        )
+        with pytest.raises(ValueError, match="rankable"):
+            tcloseness_first(data, k=2, t=0.2)
+
+    def test_multiple_confidential_rejected(self):
+        rng = np.random.default_rng(7)
+        data = Microdata(
+            {
+                "q1": rng.normal(size=20),
+                "s1": rng.normal(size=20),
+                "s2": rng.normal(size=20),
+            },
+            [
+                numeric("q1", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("s1", role=AttributeRole.CONFIDENTIAL),
+                numeric("s2", role=AttributeRole.CONFIDENTIAL),
+            ],
+        )
+        with pytest.raises(ValueError, match="exactly one"):
+            tcloseness_first(data, k=2, t=0.2)
+
+    def test_validation(self, mcd_small):
+        with pytest.raises(ValueError, match="k must be"):
+            tcloseness_first(mcd_small, k=0, t=0.1)
+        with pytest.raises(ValueError, match="t must be"):
+            tcloseness_first(mcd_small, k=2, t=-0.1)
+
+    def test_algorithm_label(self, mcd_small):
+        assert tcloseness_first(mcd_small, k=2, t=0.3).algorithm == "tclose-first"
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        n=st.integers(10, 120),
+        k=st.integers(1, 6),
+        t=st.floats(0.02, 0.5),
+        seed=st.integers(0, 50),
+    )
+    def test_always_valid_property(self, n, k, t, seed):
+        """Tie-free data: Algorithm 3 is t-close by construction, always."""
+        k = min(k, n)
+        data = random_dataset(n, seed)
+        result = tcloseness_first(data, k=k, t=t, emd_mode="rank")
+        assert result.partition.sizes().sum() == n
+        k_eff = result.info["effective_k"]
+        assert result.partition.min_size >= min(k, k_eff)
+        # Size is k_eff or k_eff + 1 for every cluster.
+        assert set(result.partition.sizes().tolist()) <= {k_eff, k_eff + 1}
+        assert result.max_emd <= result.t + result.info["emd_bound"] * 0.5 + 1e-9
+
+    @settings(max_examples=8, deadline=None)
+    @given(n=st.integers(20, 100), seed=st.integers(0, 30))
+    def test_ties_still_produce_valid_partition(self, n, seed):
+        """Heavily tied confidential values don't break the construction."""
+        data = random_dataset(n, seed, tie_free=False)
+        result = tcloseness_first(data, k=2, t=0.2)
+        assert result.partition.sizes().sum() == n
+        k_eff = result.info["effective_k"]
+        assert set(result.partition.sizes().tolist()) <= {k_eff, k_eff + 1}

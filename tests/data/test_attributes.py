@@ -1,0 +1,97 @@
+"""Unit tests for attribute specs and role/kind enums."""
+
+import pytest
+
+from repro.data import AttributeKind, AttributeRole, AttributeSpec, nominal, numeric, ordinal
+
+
+class TestAttributeKind:
+    def test_numeric_is_not_categorical(self):
+        assert not AttributeKind.NUMERIC.is_categorical
+
+    def test_ordinal_and_nominal_are_categorical(self):
+        assert AttributeKind.ORDINAL.is_categorical
+        assert AttributeKind.NOMINAL.is_categorical
+
+    def test_nominal_is_not_rankable(self):
+        assert not AttributeKind.NOMINAL.is_rankable
+
+    def test_numeric_and_ordinal_are_rankable(self):
+        assert AttributeKind.NUMERIC.is_rankable
+        assert AttributeKind.ORDINAL.is_rankable
+
+
+class TestAttributeSpec:
+    def test_numeric_shorthand(self):
+        spec = numeric("income", role=AttributeRole.QUASI_IDENTIFIER)
+        assert spec.is_numeric
+        assert spec.is_quasi_identifier
+        assert spec.n_categories == 0
+
+    def test_ordinal_shorthand_preserves_order(self):
+        spec = ordinal("level", ["low", "mid", "high"])
+        assert spec.categories == ("low", "mid", "high")
+        assert spec.kind is AttributeKind.ORDINAL
+
+    def test_nominal_shorthand(self):
+        spec = nominal("job", ["nurse", "teacher"], role=AttributeRole.CONFIDENTIAL)
+        assert spec.is_confidential
+        assert spec.is_categorical
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            AttributeSpec(name="")
+
+    def test_numeric_with_categories_rejected(self):
+        with pytest.raises(ValueError, match="must not define categories"):
+            AttributeSpec(name="x", kind=AttributeKind.NUMERIC, categories=("a",))
+
+    def test_categorical_without_categories_rejected(self):
+        with pytest.raises(ValueError, match="requires categories"):
+            AttributeSpec(name="x", kind=AttributeKind.NOMINAL)
+
+    def test_duplicate_categories_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            nominal("x", ["a", "b", "a"])
+
+    def test_wrong_kind_type_rejected(self):
+        with pytest.raises(TypeError, match="AttributeKind"):
+            AttributeSpec(name="x", kind="numeric")  # type: ignore[arg-type]
+
+    def test_wrong_role_type_rejected(self):
+        with pytest.raises(TypeError, match="AttributeRole"):
+            AttributeSpec(name="x", role="other")  # type: ignore[arg-type]
+
+    def test_with_role_returns_new_spec(self):
+        spec = numeric("x")
+        qi = spec.with_role(AttributeRole.QUASI_IDENTIFIER)
+        assert qi.is_quasi_identifier
+        assert spec.role is AttributeRole.OTHER  # original untouched
+
+    def test_code_label_round_trip(self):
+        spec = ordinal("level", ["low", "mid", "high"])
+        for i, label in enumerate(spec.categories):
+            assert spec.code_of(label) == i
+            assert spec.label_of(i) == label
+
+    def test_code_of_unknown_label(self):
+        spec = nominal("x", ["a"])
+        with pytest.raises(KeyError, match="not a category"):
+            spec.code_of("zzz")
+
+    def test_label_of_out_of_range(self):
+        spec = nominal("x", ["a"])
+        with pytest.raises(KeyError, match="out of range"):
+            spec.label_of(5)
+
+    def test_categories_coerced_to_tuple(self):
+        spec = AttributeSpec(
+            name="x", kind=AttributeKind.NOMINAL, categories=["a", "b"]  # type: ignore[arg-type]
+        )
+        assert isinstance(spec.categories, tuple)
+
+    def test_specs_hashable_and_equal(self):
+        a = numeric("x")
+        b = numeric("x")
+        assert a == b
+        assert hash(a) == hash(b)

@@ -1,0 +1,238 @@
+"""Unit tests for the Microdata container."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AttributeRole,
+    Microdata,
+    SchemaError,
+    nominal,
+    numeric,
+    ordinal,
+)
+
+
+@pytest.fixture
+def small():
+    schema = [
+        numeric("age", role=AttributeRole.QUASI_IDENTIFIER),
+        numeric("income", role=AttributeRole.QUASI_IDENTIFIER),
+        numeric("tax", role=AttributeRole.CONFIDENTIAL),
+        nominal("city", ("paris", "rome", "oslo")),
+    ]
+    columns = {
+        "age": np.array([25.0, 30.0, 40.0, 55.0]),
+        "income": np.array([10.0, 20.0, 30.0, 40.0]),
+        "tax": np.array([1.0, 2.0, 3.0, 4.0]),
+        "city": np.array(["paris", "rome", "oslo", "rome"], dtype=object),
+    }
+    return Microdata(columns, schema)
+
+
+class TestConstruction:
+    def test_shape(self, small):
+        assert small.n_records == 4
+        assert small.n_attributes == 4
+        assert len(small) == 4
+
+    def test_roles(self, small):
+        assert small.quasi_identifiers == ("age", "income")
+        assert small.confidential == ("tax",)
+        assert small.non_confidential == ("city",)
+        assert small.identifiers == ()
+
+    def test_categorical_encoded(self, small):
+        np.testing.assert_array_equal(small.values("city"), [0, 1, 2, 1])
+        np.testing.assert_array_equal(
+            small.labels("city"), np.array(["paris", "rome", "oslo", "rome"], object)
+        )
+
+    def test_missing_column_rejected(self):
+        with pytest.raises(SchemaError, match="missing from columns"):
+            Microdata({}, [numeric("x")])
+
+    def test_extra_column_rejected(self):
+        with pytest.raises(SchemaError, match="without schema entry"):
+            Microdata({"x": [1.0], "y": [2.0]}, [numeric("x")])
+
+    def test_duplicate_schema_names_rejected(self):
+        with pytest.raises(SchemaError, match="duplicate"):
+            Microdata({"x": [1.0]}, [numeric("x"), numeric("x")])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(SchemaError, match="unequal lengths"):
+            Microdata(
+                {"x": [1.0, 2.0], "y": [1.0]}, [numeric("x"), numeric("y")]
+            )
+
+    def test_2d_column_rejected(self):
+        with pytest.raises(SchemaError, match="1-D"):
+            Microdata({"x": np.zeros((2, 2))}, [numeric("x")])
+
+    def test_non_numeric_values_rejected(self):
+        with pytest.raises(SchemaError, match="not numeric"):
+            Microdata({"x": ["a", "b"]}, [numeric("x")])
+
+    def test_unknown_category_label_rejected(self):
+        with pytest.raises(SchemaError, match="not a declared category"):
+            Microdata({"c": ["zzz"]}, [nominal("c", ("a", "b"))])
+
+    def test_out_of_range_codes_rejected(self):
+        with pytest.raises(SchemaError, match="codes outside"):
+            Microdata({"c": [5]}, [nominal("c", ("a", "b"))])
+
+    def test_categorical_accepts_integer_codes(self):
+        md = Microdata({"c": [1, 0]}, [nominal("c", ("a", "b"))])
+        np.testing.assert_array_equal(md.values("c"), [1, 0])
+
+    def test_categorical_accepts_integral_floats(self):
+        md = Microdata({"c": [1.0, 0.0]}, [nominal("c", ("a", "b"))])
+        np.testing.assert_array_equal(md.values("c"), [1, 0])
+
+    def test_categorical_rejects_fractional_floats(self):
+        with pytest.raises(SchemaError, match="not integral codes"):
+            Microdata({"c": [0.5]}, [nominal("c", ("a", "b"))])
+
+    def test_from_arrays(self):
+        md = Microdata.from_arrays(
+            [np.array([1.0, 2.0]), np.array([3.0, 4.0])],
+            [numeric("a"), numeric("b")],
+        )
+        assert md.attribute_names == ("a", "b")
+
+    def test_from_arrays_length_mismatch(self):
+        with pytest.raises(SchemaError, match="schema entries"):
+            Microdata.from_arrays([np.array([1.0])], [numeric("a"), numeric("b")])
+
+
+class TestAccess:
+    def test_values_read_only(self, small):
+        view = small.values("age")
+        with pytest.raises(ValueError):
+            view[0] = 99.0
+
+    def test_unknown_attribute(self, small):
+        with pytest.raises(SchemaError, match="no attribute named"):
+            small.values("nope")
+
+    def test_contains(self, small):
+        assert "age" in small
+        assert "nope" not in small
+
+    def test_matrix_default_all_columns(self, small):
+        mat = small.matrix()
+        assert mat.shape == (4, 4)
+        np.testing.assert_array_equal(mat[:, 3], [0, 1, 2, 1])  # city codes
+
+    def test_matrix_standardize(self, small):
+        mat = small.matrix(["age", "income"], scale="standardize")
+        np.testing.assert_allclose(mat.mean(axis=0), 0.0, atol=1e-12)
+        np.testing.assert_allclose(mat.std(axis=0), 1.0, atol=1e-12)
+
+    def test_matrix_range(self, small):
+        mat = small.matrix(["age"], scale="range")
+        assert mat.min() == 0.0
+        assert mat.max() == 1.0
+
+    def test_matrix_constant_column_safe(self):
+        md = Microdata({"x": [5.0, 5.0]}, [numeric("x")])
+        np.testing.assert_array_equal(md.matrix(scale="standardize"), [[0.0], [0.0]])
+        np.testing.assert_array_equal(md.matrix(scale="range"), [[0.0], [0.0]])
+
+    def test_matrix_bad_scale(self, small):
+        with pytest.raises(ValueError, match="unknown scale"):
+            small.matrix(scale="zscore")
+
+    def test_qi_matrix(self, small):
+        assert small.qi_matrix().shape == (4, 2)
+
+    def test_qi_matrix_without_qis(self):
+        md = Microdata({"x": [1.0]}, [numeric("x")])
+        with pytest.raises(SchemaError, match="no quasi-identifier"):
+            md.qi_matrix()
+
+    def test_empty_matrix(self):
+        md = Microdata({"x": [1.0, 2.0]}, [numeric("x")])
+        assert md.matrix([]).shape == (2, 0)
+
+
+class TestTransform:
+    def test_subset_by_indices(self, small):
+        sub = small.subset([2, 0])
+        assert sub.n_records == 2
+        np.testing.assert_array_equal(sub.values("age"), [40.0, 25.0])
+        assert sub.schema == small.schema
+
+    def test_subset_by_mask(self, small):
+        sub = small.subset(np.array([True, False, True, False]))
+        np.testing.assert_array_equal(sub.values("age"), [25.0, 40.0])
+
+    def test_subset_bad_mask_length(self, small):
+        with pytest.raises(IndexError, match="boolean mask"):
+            small.subset(np.array([True, False]))
+
+    def test_with_columns(self, small):
+        out = small.with_columns({"age": np.array([1.0, 2.0, 3.0, 4.0])})
+        np.testing.assert_array_equal(out.values("age"), [1.0, 2.0, 3.0, 4.0])
+        np.testing.assert_array_equal(small.values("age"), [25.0, 30.0, 40.0, 55.0])
+
+    def test_with_columns_unknown(self, small):
+        with pytest.raises(SchemaError, match="unknown columns"):
+            small.with_columns({"nope": np.array([1.0])})
+
+    def test_with_columns_wrong_length(self, small):
+        with pytest.raises(SchemaError, match="rows"):
+            small.with_columns({"age": np.array([1.0])})
+
+    def test_with_roles(self, small):
+        out = small.with_roles(quasi_identifiers=["city"], confidential=["age"])
+        assert out.quasi_identifiers == ("city",)
+        assert out.confidential == ("age",)
+        # unfiled attributes reset to OTHER
+        assert set(out.non_confidential) == {"income", "tax"}
+
+    def test_with_roles_double_assignment(self, small):
+        with pytest.raises(SchemaError, match="two roles"):
+            small.with_roles(quasi_identifiers=["age"], confidential=["age"])
+
+    def test_with_roles_unknown_attribute(self, small):
+        with pytest.raises(SchemaError, match="no attribute"):
+            small.with_roles(confidential=["nope"])
+
+    def test_drop(self, small):
+        out = small.drop(["city"])
+        assert out.attribute_names == ("age", "income", "tax")
+
+    def test_drop_unknown(self, small):
+        with pytest.raises(SchemaError):
+            small.drop(["nope"])
+
+    def test_drop_identifiers(self, small):
+        with_id = small.with_roles(
+            identifiers=["city"], quasi_identifiers=["age", "income"],
+            confidential=["tax"],
+        )
+        out = with_id.drop_identifiers()
+        assert "city" not in out.attribute_names
+
+    def test_drop_identifiers_noop(self, small):
+        assert small.drop_identifiers() is small
+
+    def test_copy_is_deep(self, small):
+        dup = small.copy()
+        assert dup.equals(small)
+
+    def test_equals_tolerance(self, small):
+        jittered = small.with_columns(
+            {"age": small.values("age") + 1e-12}
+        )
+        assert not small.equals(jittered)
+        assert small.equals(jittered, atol=1e-9)
+
+    def test_equals_different_schema(self, small):
+        other = small.with_roles(confidential=["age"])
+        assert not small.equals(other)
+
+    def test_equals_non_microdata(self, small):
+        assert not small.equals("not a dataset")  # type: ignore[arg-type]

@@ -1,0 +1,101 @@
+"""CSV round-trip tests."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    AttributeRole,
+    Microdata,
+    SchemaError,
+    nominal,
+    numeric,
+    read_csv,
+    write_csv,
+)
+from repro.data.io import _infer_spec
+
+
+@pytest.fixture
+def mixed(tmp_path):
+    schema = [
+        numeric("age", role=AttributeRole.QUASI_IDENTIFIER),
+        numeric("salary", role=AttributeRole.CONFIDENTIAL),
+        nominal("city", ("paris", "rome")),
+    ]
+    md = Microdata(
+        {
+            "age": np.array([25.0, 30.5]),
+            "salary": np.array([1000.0, 2000.0]),
+            "city": np.array(["rome", "paris"], dtype=object),
+        },
+        schema,
+    )
+    path = tmp_path / "mixed.csv"
+    return md, path
+
+
+class TestRoundTrip:
+    def test_round_trip_with_schema(self, mixed):
+        md, path = mixed
+        write_csv(md, path)
+        back = read_csv(path, schema=md.schema)
+        assert back.equals(md)
+
+    def test_round_trip_inferred_schema(self, mixed):
+        md, path = mixed
+        write_csv(md, path)
+        back = read_csv(path)
+        np.testing.assert_allclose(back.values("age"), md.values("age"))
+        np.testing.assert_array_equal(back.labels("city"), md.labels("city"))
+
+    def test_integral_floats_written_without_decimal(self, mixed):
+        md, path = mixed
+        write_csv(md, path)
+        text = path.read_text()
+        assert "1000," not in text.splitlines()[0]
+        assert "1000" in text  # no "1000.0"
+        assert "30.5" in text
+
+    def test_roles_assigned_on_read(self, mixed):
+        md, path = mixed
+        write_csv(md, path)
+        back = read_csv(
+            path, quasi_identifiers=["age"], confidential=["salary"]
+        )
+        assert back.quasi_identifiers == ("age",)
+        assert back.confidential == ("salary",)
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.csv"
+        path.write_text("")
+        with pytest.raises(SchemaError, match="empty"):
+            read_csv(path)
+
+    def test_ragged_row(self, tmp_path):
+        path = tmp_path / "ragged.csv"
+        path.write_text("a,b\n1,2\n3\n")
+        with pytest.raises(SchemaError, match="row 3"):
+            read_csv(path)
+
+    def test_schema_attribute_not_in_header(self, tmp_path):
+        path = tmp_path / "f.csv"
+        path.write_text("a\n1\n")
+        with pytest.raises(SchemaError, match="not in header"):
+            read_csv(path, schema=[numeric("zzz")])
+
+
+class TestInference:
+    def test_numeric_column_inferred(self):
+        spec = _infer_spec("x", ["1", "2.5", ""])
+        assert spec.is_numeric
+
+    def test_text_column_inferred_nominal(self):
+        spec = _infer_spec("x", ["a", "b", "a"])
+        assert spec.is_categorical
+        assert spec.categories == ("a", "b")
+
+    def test_category_order_is_first_appearance(self):
+        spec = _infer_spec("x", ["z", "a", "z", "m"])
+        assert spec.categories == ("z", "a", "m")

@@ -1,0 +1,147 @@
+"""Tests for the synthetic-data building blocks (latent factor machinery)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data.synthetic import (
+    dependent_latent,
+    discretize,
+    latent_factor_block,
+    multiple_correlation,
+    to_affine_positive,
+    to_lognormal_income,
+)
+
+
+class TestLatentFactorBlock:
+    def test_shapes(self):
+        rng = np.random.default_rng(0)
+        X, s = latent_factor_block(rng, 500, 3)
+        assert X.shape == (500, 3)
+        assert s.shape == (500,)
+
+    def test_marginals_standard_normal(self):
+        rng = np.random.default_rng(0)
+        X, _ = latent_factor_block(rng, 20_000, 2, shared_weight=0.7)
+        np.testing.assert_allclose(X.mean(axis=0), 0.0, atol=0.05)
+        np.testing.assert_allclose(X.std(axis=0), 1.0, atol=0.05)
+
+    def test_pairwise_correlation_is_weight_squared(self):
+        rng = np.random.default_rng(0)
+        w = 0.6
+        X, _ = latent_factor_block(rng, 50_000, 2, shared_weight=w)
+        r = np.corrcoef(X[:, 0], X[:, 1])[0, 1]
+        assert r == pytest.approx(w**2, abs=0.02)
+
+    def test_weight_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="shared_weight"):
+            latent_factor_block(rng, 10, 2, shared_weight=1.5)
+
+
+class TestDependentLatent:
+    @pytest.mark.parametrize("alpha", [0.13, 0.52, 0.92])
+    def test_correlation_matches_alpha(self, alpha):
+        rng = np.random.default_rng(1)
+        driver = rng.standard_normal(50_000)
+        y = dependent_latent(rng, driver, alpha)
+        r = np.corrcoef(driver, y)[0, 1]
+        assert r == pytest.approx(alpha, abs=0.02)
+
+    def test_unit_variance(self):
+        rng = np.random.default_rng(1)
+        y = dependent_latent(rng, rng.standard_normal(50_000), 0.5)
+        assert y.std() == pytest.approx(1.0, abs=0.02)
+
+    def test_alpha_validation(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="alpha"):
+            dependent_latent(rng, np.array([1.0, 2.0]), -0.1)
+
+    def test_constant_driver_rejected(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError, match="zero variance"):
+            dependent_latent(rng, np.ones(10), 0.5)
+
+
+class TestTransforms:
+    def test_lognormal_positive(self):
+        x = to_lognormal_income(np.array([-3.0, 0.0, 3.0]), median=100.0)
+        assert (x > 0).all()
+        assert x[1] == pytest.approx(100.0)
+
+    def test_lognormal_monotone(self):
+        latent = np.linspace(-2, 2, 50)
+        x = to_lognormal_income(latent, median=10.0)
+        assert (np.diff(x) > 0).all()
+
+    def test_lognormal_median_validation(self):
+        with pytest.raises(ValueError, match="median"):
+            to_lognormal_income(np.zeros(3), median=0.0)
+
+    def test_affine_positive_clips(self):
+        x = to_affine_positive(np.array([-10.0, 0.0]), center=5.0, spread=1.0)
+        assert x[0] == 0.0
+        assert x[1] == 5.0
+
+    def test_affine_preserves_correlation(self):
+        rng = np.random.default_rng(2)
+        a = rng.standard_normal(10_000)
+        b = 0.7 * a + 0.3 * rng.standard_normal(10_000)
+        mapped = to_affine_positive(b, center=100.0, spread=5.0)
+        r_before = np.corrcoef(a, b)[0, 1]
+        r_after = np.corrcoef(a, mapped)[0, 1]
+        assert r_after == pytest.approx(r_before, abs=1e-6)
+
+
+class TestDiscretize:
+    def test_rounding(self):
+        np.testing.assert_array_equal(
+            discretize(np.array([1.2, 1.6]), step=1.0), [1.0, 2.0]
+        )
+
+    def test_clip(self):
+        np.testing.assert_array_equal(
+            discretize(np.array([-5.0, 500.0]), step=1.0, lo=0.0, hi=100.0),
+            [0.0, 100.0],
+        )
+
+    def test_step_validation(self):
+        with pytest.raises(ValueError, match="step"):
+            discretize(np.array([1.0]), step=0.0)
+
+
+class TestMultipleCorrelation:
+    def test_perfect_linear(self):
+        X = np.linspace(0, 1, 100)[:, None]
+        y = 3.0 * X[:, 0] + 2.0
+        assert multiple_correlation(y, X) == pytest.approx(1.0)
+
+    def test_independent_is_near_zero(self):
+        rng = np.random.default_rng(3)
+        y = rng.standard_normal(20_000)
+        X = rng.standard_normal((20_000, 2))
+        assert abs(multiple_correlation(y, X)) < 0.05
+
+    def test_accepts_1d_x(self):
+        x = np.arange(10.0)
+        assert multiple_correlation(2 * x, x) == pytest.approx(1.0)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError, match="length mismatch"):
+            multiple_correlation(np.zeros(3), np.zeros((4, 1)))
+
+    def test_constant_y(self):
+        assert multiple_correlation(np.ones(5), np.arange(5.0)) == 0.0
+
+    @settings(max_examples=25, deadline=None)
+    @given(alpha=st.floats(min_value=0.1, max_value=0.95), seed=st.integers(0, 10_000))
+    def test_recovers_alpha_property(self, alpha, seed):
+        """R(y, X) ≈ alpha when y = alpha * unit-combination(X) + noise."""
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((4_000, 2))
+        driver = X.sum(axis=1)
+        y = dependent_latent(rng, driver, alpha)
+        assert multiple_correlation(y, X) == pytest.approx(alpha, abs=0.08)

@@ -1,0 +1,78 @@
+"""Metric axioms of the ordered EMD, verified by hypothesis.
+
+The ordered EMD with ground distance |i-j|/(m-1) is the 1-Wasserstein
+distance on the line (up to normalization), hence a true metric on
+distributions over a fixed bin grid: non-negative, zero iff equal,
+symmetric, and triangle-inequal.  The algorithms rely on these implicitly
+(e.g. merging reasons about "closest" clusters), so they are pinned here
+as executable properties.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+def ordered_emd(p: np.ndarray, q: np.ndarray) -> float:
+    """Ordered EMD between two histograms on the same m-bin grid."""
+    assert p.shape == q.shape
+    m = len(p)
+    return float(np.abs(np.cumsum(p - q)).sum() / max(m - 1, 1))
+
+
+def histograms(m: int):
+    """Strategy: probability vector over m bins (from integer counts)."""
+    return st.lists(st.integers(0, 8), min_size=m, max_size=m).filter(
+        lambda c: sum(c) > 0
+    ).map(lambda c: np.asarray(c, dtype=float) / sum(c))
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data(), m=st.integers(2, 12))
+def test_non_negativity_and_identity(data, m):
+    p = data.draw(histograms(m))
+    q = data.draw(histograms(m))
+    d = ordered_emd(p, q)
+    assert d >= 0.0
+    assert ordered_emd(p, p) == pytest.approx(0.0, abs=1e-12)
+    if d < 1e-12:
+        np.testing.assert_allclose(p, q, atol=1e-9)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data(), m=st.integers(2, 12))
+def test_symmetry(data, m):
+    p = data.draw(histograms(m))
+    q = data.draw(histograms(m))
+    assert ordered_emd(p, q) == pytest.approx(ordered_emd(q, p), abs=1e-12)
+
+
+@settings(max_examples=100, deadline=None)
+@given(data=st.data(), m=st.integers(2, 12))
+def test_triangle_inequality(data, m):
+    p = data.draw(histograms(m))
+    q = data.draw(histograms(m))
+    r = data.draw(histograms(m))
+    assert ordered_emd(p, r) <= ordered_emd(p, q) + ordered_emd(q, r) + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), m=st.integers(2, 12))
+def test_bounded_by_one(data, m):
+    """The normalization keeps the EMD within [0, 1] (mass 1 moved m-1 bins)."""
+    p = data.draw(histograms(m))
+    q = data.draw(histograms(m))
+    assert ordered_emd(p, q) <= 1.0 + 1e-12
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.data(), m=st.integers(2, 12), lam=st.floats(0.0, 1.0))
+def test_convexity_in_mixtures(data, m, lam):
+    """EMD(lam*p + (1-lam)*q, q) scales linearly in lam (line geometry)."""
+    p = data.draw(histograms(m))
+    q = data.draw(histograms(m))
+    mix = lam * p + (1 - lam) * q
+    assert ordered_emd(mix, q) == pytest.approx(
+        lam * ordered_emd(p, q), abs=1e-9
+    )

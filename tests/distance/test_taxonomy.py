@@ -1,0 +1,112 @@
+"""Tests for the Taxonomy tree."""
+
+import pytest
+
+from repro.distance import Taxonomy, TaxonomyError
+
+
+@pytest.fixture
+def jobs():
+    return Taxonomy.from_nested(
+        {
+            "Any": {
+                "Technical": {
+                    "Engineering": ["engineer", "technician"],
+                    "Science": ["chemist"],
+                },
+                "Artistic": ["writer", "dancer"],
+            }
+        }
+    )
+
+
+class TestConstruction:
+    def test_leaves_preorder(self, jobs):
+        assert jobs.leaves == ("engineer", "technician", "chemist", "writer", "dancer")
+
+    def test_height(self, jobs):
+        assert jobs.height == 3
+
+    def test_root(self, jobs):
+        assert jobs.root == "Any"
+
+    def test_flat(self):
+        flat = Taxonomy.flat(["a", "b"])
+        assert flat.height == 1
+        assert flat.leaves == ("a", "b")
+
+    def test_multi_root_rejected(self):
+        with pytest.raises(TaxonomyError, match="exactly one root"):
+            Taxonomy.from_nested({"A": ["x"], "B": ["y"]})
+
+    def test_duplicate_node_rejected(self):
+        with pytest.raises(TaxonomyError, match="more than once"):
+            Taxonomy.from_nested({"Any": {"A": ["x"], "B": ["x"]}})
+
+    def test_bad_subtree_type_rejected(self):
+        with pytest.raises(TaxonomyError, match="mapping or list"):
+            Taxonomy.from_nested({"Any": 42})
+
+    def test_unreachable_internal_rejected(self):
+        with pytest.raises(TaxonomyError, match="not reachable"):
+            Taxonomy("root", {"root": ["a"], "orphan": ["b"]})
+
+    def test_leafless_rejected(self):
+        with pytest.raises(TaxonomyError, match="height >= 1"):
+            Taxonomy("root", {})
+
+
+class TestQueries:
+    def test_parent_child(self, jobs):
+        assert jobs.parent("engineer") == "Engineering"
+        assert jobs.parent("Any") is None
+        assert jobs.children("Artistic") == ("writer", "dancer")
+        assert jobs.children("dancer") == ()
+
+    def test_depth_and_node_height(self, jobs):
+        assert jobs.depth("Any") == 0
+        assert jobs.depth("engineer") == 3
+        assert jobs.node_height("Any") == 3
+        assert jobs.node_height("Engineering") == 1
+
+    def test_is_leaf(self, jobs):
+        assert jobs.is_leaf("writer")
+        assert not jobs.is_leaf("Technical")
+
+    def test_contains(self, jobs):
+        assert "chemist" in jobs
+        assert "plumber" not in jobs
+
+    def test_leaves_under(self, jobs):
+        assert jobs.leaves_under("Technical") == ("engineer", "technician", "chemist")
+        assert jobs.leaves_under("writer") == ("writer",)
+
+    def test_ancestors(self, jobs):
+        assert jobs.ancestors("engineer") == ("Engineering", "Technical", "Any")
+        assert jobs.ancestors("Any") == ()
+
+    def test_lca(self, jobs):
+        assert jobs.lowest_common_ancestor("engineer", "technician") == "Engineering"
+        assert jobs.lowest_common_ancestor("engineer", "chemist") == "Technical"
+        assert jobs.lowest_common_ancestor("engineer", "dancer") == "Any"
+        assert jobs.lowest_common_ancestor("writer", "writer") == "writer"
+
+    def test_generalize(self, jobs):
+        assert jobs.generalize("engineer", 0) == "engineer"
+        assert jobs.generalize("engineer", 1) == "Engineering"
+        assert jobs.generalize("engineer", 2) == "Technical"
+        assert jobs.generalize("engineer", 99) == "Any"  # capped at root
+
+    def test_generalize_negative_levels(self, jobs):
+        with pytest.raises(TaxonomyError, match=">= 0"):
+            jobs.generalize("engineer", -1)
+
+    def test_leaf_distance(self, jobs):
+        assert jobs.leaf_distance("writer", "writer") == 0.0
+        assert jobs.leaf_distance("engineer", "technician") == pytest.approx(1 / 3)
+        assert jobs.leaf_distance("engineer", "chemist") == pytest.approx(2 / 3)
+        assert jobs.leaf_distance("engineer", "dancer") == pytest.approx(1.0)
+
+    def test_unknown_node(self, jobs):
+        with pytest.raises(TaxonomyError, match="unknown"):
+            jobs.depth("plumber")

@@ -1,0 +1,92 @@
+"""Tests for the experiment harness (sweeps and table rendering)."""
+
+import pytest
+
+from repro.data import load_mcd
+from repro.evaluation import (
+    CellResult,
+    format_series_table,
+    format_size_table,
+    format_table,
+    run_cell,
+    sweep,
+)
+from repro.generalization import sabre
+
+
+@pytest.fixture(scope="module")
+def mcd_tiny():
+    return load_mcd(n=120)
+
+
+class TestRunCell:
+    def test_fields_populated(self, mcd_tiny):
+        cell = run_cell(mcd_tiny, "tclose-first", k=3, t=0.2)
+        assert cell.algorithm == "tclose-first"
+        assert cell.k == 3 and cell.t == 0.2
+        assert cell.min_size >= 3
+        assert cell.satisfies_t
+        assert cell.sse > 0.0
+        assert cell.runtime_s > 0.0
+
+    def test_callable_algorithm(self, mcd_tiny):
+        cell = run_cell(mcd_tiny, sabre, k=3, t=0.2)
+        assert cell.algorithm == "sabre"
+        assert cell.satisfies_t
+
+    def test_unknown_name(self, mcd_tiny):
+        with pytest.raises(ValueError, match="unknown algorithm"):
+            run_cell(mcd_tiny, "nope", k=2, t=0.1)
+
+    def test_size_cell_format(self):
+        cell = CellResult(
+            algorithm="x", k=2, t=0.1, min_size=4, avg_size=4.0,
+            n_clusters=10, max_emd=0.05, satisfies_t=True, sse=0.1,
+            runtime_s=0.5,
+        )
+        assert cell.size_cell == "4/4"
+        ragged = CellResult(
+            algorithm="x", k=2, t=0.1, min_size=4, avg_size=5.67,
+            n_clusters=10, max_emd=0.05, satisfies_t=True, sse=0.1,
+            runtime_s=0.5,
+        )
+        assert ragged.size_cell == "4/5.7"
+
+    def test_kwargs_forwarded(self, mcd_tiny):
+        cell = run_cell(
+            mcd_tiny, "kanon-first", k=3, t=0.3, merge_fallback=False
+        )
+        assert cell.algorithm == "kanon-first"
+
+
+class TestSweep:
+    def test_grid_complete(self, mcd_tiny):
+        grid = sweep(mcd_tiny, "tclose-first", ks=[2, 3], ts=[0.1, 0.2])
+        assert set(grid) == {(2, 0.1), (2, 0.2), (3, 0.1), (3, 0.2)}
+        for cell in grid.values():
+            assert cell.satisfies_t
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, 2 rows
+        assert all(len(line) == len(lines[0]) for line in lines)
+
+    def test_format_size_table(self, mcd_tiny):
+        grid = sweep(mcd_tiny, "tclose-first", ks=[2], ts=[0.1, 0.2])
+        text = format_size_table({"MCD": grid}, ks=[2], ts=[0.1, 0.2])
+        assert "k=2" in text
+        assert "t=0.1 MCD" in text
+
+    def test_format_size_table_missing_cell(self, mcd_tiny):
+        grid = sweep(mcd_tiny, "tclose-first", ks=[2], ts=[0.1])
+        text = format_size_table({"MCD": grid}, ks=[2, 5], ts=[0.1])
+        assert "-" in text
+
+    def test_format_series_table(self):
+        series = {"alg1": {0.1: 1.0, 0.2: 2.0}, "alg3": {0.1: 0.5}}
+        text = format_series_table(series, ts=[0.1, 0.2], value_format="{:.1f}")
+        assert "alg1" in text and "alg3" in text
+        assert "-" in text  # missing alg3 value at t=0.2

@@ -1,0 +1,125 @@
+"""Tests for the microaggregation-assisted differential privacy extension."""
+
+import numpy as np
+import pytest
+
+from repro.data import load_mcd
+from repro.extensions import (
+    dp_microaggregated_release,
+    expected_noise_reduction,
+    insensitive_partition,
+)
+from repro.metrics import normalized_sse
+
+
+@pytest.fixture(scope="module")
+def mcd_small():
+    return load_mcd(n=300)
+
+
+class TestInsensitivePartition:
+    def test_block_sizes(self, mcd_small):
+        p = insensitive_partition(mcd_small, k=10)
+        assert p.min_size >= 10
+        assert p.n_clusters == 30
+
+    def test_remainder_joins_last_block(self):
+        data = load_mcd(n=103)
+        p = insensitive_partition(data, k=10)
+        sizes = sorted(p.sizes().tolist())
+        assert sizes[:-1] == [10] * 9
+        assert sizes[-1] == 13
+
+    def test_blocks_contiguous_in_primary_qi(self, mcd_small):
+        """Clusters are intervals of the lexicographic QI order."""
+        p = insensitive_partition(mcd_small, k=15)
+        primary = mcd_small.values(mcd_small.quasi_identifiers[0])
+        maxima = {}
+        minima = {}
+        for g, members in enumerate(p.clusters()):
+            maxima[g] = primary[members].max()
+            minima[g] = primary[members].min()
+        ordered = sorted(range(p.n_clusters), key=lambda g: minima[g])
+        for a, b in zip(ordered, ordered[1:]):
+            assert maxima[a] <= minima[b] + 1e-9
+
+    def test_validation(self, mcd_small):
+        with pytest.raises(ValueError, match="k must be"):
+            insensitive_partition(mcd_small, k=0)
+
+
+class TestDPRelease:
+    def test_release_shape(self, mcd_small):
+        release = dp_microaggregated_release(mcd_small, k=10, epsilon=1.0)
+        assert release.n_records == mcd_small.n_records
+        assert set(release.attribute_names) == set(mcd_small.quasi_identifiers)
+
+    def test_deterministic_given_seed(self, mcd_small):
+        a = dp_microaggregated_release(mcd_small, k=10, epsilon=1.0, seed=3)
+        b = dp_microaggregated_release(mcd_small, k=10, epsilon=1.0, seed=3)
+        assert a.equals(b)
+
+    def test_noise_shared_within_cluster(self, mcd_small):
+        """The release publishes noisy centroids, not noisy records."""
+        partition = insensitive_partition(mcd_small, k=10)
+        release = dp_microaggregated_release(
+            mcd_small, k=10, epsilon=1.0, partition=partition
+        )
+        for name in release.attribute_names:
+            column = release.values(name)
+            for members in partition.clusters():
+                assert len(np.unique(column[members])) == 1
+
+    def test_more_budget_less_error(self, mcd_small):
+        """Across seeds, a larger epsilon yields lower expected SSE."""
+        errors = {}
+        for eps in (0.1, 10.0):
+            sses = [
+                normalized_sse(
+                    mcd_small,
+                    dp_microaggregated_release(
+                        mcd_small, k=10, epsilon=eps, seed=seed
+                    ),
+                    names=mcd_small.quasi_identifiers,
+                )
+                for seed in range(5)
+            ]
+            errors[eps] = np.mean(sses)
+        assert errors[10.0] < errors[0.1]
+
+    def test_larger_k_less_noise_at_fixed_budget(self, mcd_small):
+        """The VLDBJ headline: sensitivity (and noise) scale as 1/k."""
+        def mean_abs_noise(k):
+            partition = insensitive_partition(mcd_small, k=k)
+            release = dp_microaggregated_release(
+                mcd_small, k=k, epsilon=0.5, partition=partition, seed=1
+            )
+            name = mcd_small.quasi_identifiers[0]
+            column = mcd_small.values(name)
+            noisy = release.values(name)
+            deviations = []
+            for members in partition.clusters():
+                deviations.append(abs(noisy[members][0] - column[members].mean()))
+            return float(np.mean(deviations))
+
+        assert mean_abs_noise(30) < mean_abs_noise(2)
+
+    def test_validation(self, mcd_small):
+        with pytest.raises(ValueError, match="epsilon"):
+            dp_microaggregated_release(mcd_small, k=5, epsilon=0.0)
+
+    def test_categorical_qi_rejected(self):
+        from repro.data import load_adult
+
+        adult = load_adult(n=100)
+        with pytest.raises(ValueError, match="categorical"):
+            dp_microaggregated_release(adult, k=5, epsilon=1.0)
+
+
+class TestNoiseReduction:
+    def test_headline_ratio(self):
+        assert expected_noise_reduction(10) == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            expected_noise_reduction(0)

@@ -1,0 +1,232 @@
+"""Tests for Mondrian-t, Incognito-t and SABRE baselines."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ConfidentialModel
+from repro.data import AttributeRole, Microdata, load_mcd, numeric
+from repro.generalization import (
+    NumericHierarchy,
+    incognito,
+    mondrian_partition,
+    sabre,
+)
+from repro.generalization.sabre import _greedy_buckets
+
+
+@pytest.fixture(scope="module")
+def mcd_small():
+    return load_mcd(n=200)
+
+
+def random_dataset(n, seed):
+    rng = np.random.default_rng(seed)
+    return Microdata(
+        {
+            "q1": rng.normal(size=n),
+            "q2": rng.normal(size=n),
+            "secret": rng.permutation(np.arange(float(n))),
+        },
+        [
+            numeric("q1", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("q2", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("secret", role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+
+
+class TestMondrian:
+    def test_k_anonymous_partition(self, mcd_small):
+        p = mondrian_partition(mcd_small, k=5)
+        assert p.min_size >= 5
+
+    def test_classic_mondrian_sizes_below_2k(self):
+        data = random_dataset(128, 0)
+        p = mondrian_partition(data, k=4)
+        assert p.min_size >= 4
+        assert p.max_size <= 2 * 4 - 1  # tie-free numeric data splits fully
+
+    def test_t_constraint_respected(self, mcd_small):
+        t = 0.15
+        p = mondrian_partition(mcd_small, k=3, t=t)
+        model = ConfidentialModel(mcd_small)
+        emds = model.partition_emds(list(p.clusters()))
+        assert emds.max() <= t + 1e-12
+
+    def test_stricter_t_fewer_regions(self, mcd_small):
+        loose = mondrian_partition(mcd_small, k=3, t=0.3)
+        strict = mondrian_partition(mcd_small, k=3, t=0.05)
+        assert strict.n_clusters <= loose.n_clusters
+
+    def test_t_zero_single_region(self, mcd_small):
+        p = mondrian_partition(mcd_small, k=2, t=0.0)
+        assert p.n_clusters == 1
+
+    def test_validation(self, mcd_small):
+        with pytest.raises(ValueError, match="k must be"):
+            mondrian_partition(mcd_small, k=0)
+        with pytest.raises(ValueError, match="t must be"):
+            mondrian_partition(mcd_small, k=2, t=-1.0)
+
+    @settings(max_examples=10, deadline=None)
+    @given(n=st.integers(10, 120), k=st.integers(2, 6), seed=st.integers(0, 50))
+    def test_partition_invariants_property(self, n, k, seed):
+        data = random_dataset(n, seed)
+        p = mondrian_partition(data, k=k)
+        assert p.min_size >= k
+        assert p.sizes().sum() == n
+
+    def test_constant_qis_single_region(self):
+        data = Microdata(
+            {
+                "q1": np.full(10, 7.0),
+                "secret": np.arange(10.0),
+            },
+            [
+                numeric("q1", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("secret", role=AttributeRole.CONFIDENTIAL),
+            ],
+        )
+        p = mondrian_partition(data, k=2)
+        assert p.n_clusters == 1
+
+
+class TestIncognito:
+    @pytest.fixture
+    def hierarchies(self, mcd_small):
+        return {
+            name: NumericHierarchy.from_values(mcd_small.values(name), n_levels=4)
+            for name in mcd_small.quasi_identifiers
+        }
+
+    def test_finds_k_anonymous_recoding(self, mcd_small, hierarchies):
+        result = incognito(mcd_small, hierarchies, k=5)
+        assert result.release.k_level() >= 5
+
+    def test_t_constraint(self, mcd_small, hierarchies):
+        result = incognito(mcd_small, hierarchies, k=3, t=0.2)
+        assert result.release.t_level() <= 0.2 + 1e-12
+        assert result.release.k_level() >= 3
+
+    def test_minimality_of_vectors(self, mcd_small, hierarchies):
+        """No returned vector dominates another (all are minimal)."""
+        result = incognito(mcd_small, hierarchies, k=5)
+        vectors = [tuple(v[n] for n in mcd_small.quasi_identifiers)
+                   for v in result.minimal_vectors]
+        for a in vectors:
+            for b in vectors:
+                if a != b:
+                    assert not all(x <= y for x, y in zip(a, b))
+
+    def test_pruning_reduces_checks(self, mcd_small, hierarchies):
+        result = incognito(mcd_small, hierarchies, k=2)
+        lattice_size = np.prod(
+            [h.n_levels + 1 for h in hierarchies.values()]
+        )
+        assert result.n_checked < lattice_size
+
+    def test_stricter_k_more_general_recodings(self, mcd_small, hierarchies):
+        from repro.generalization import recoding_loss
+
+        easy = incognito(mcd_small, hierarchies, k=2)
+        hard = incognito(mcd_small, hierarchies, k=40)
+        assert recoding_loss(hierarchies, hard.release.levels) >= recoding_loss(
+            hierarchies, easy.release.levels
+        )
+
+    def test_validation(self, mcd_small, hierarchies):
+        with pytest.raises(ValueError, match="k must be"):
+            incognito(mcd_small, hierarchies, k=0)
+        with pytest.raises(ValueError, match="t must be"):
+            incognito(mcd_small, hierarchies, k=2, t=-0.1)
+        with pytest.raises(ValueError, match="no hierarchy"):
+            incognito(mcd_small, {}, k=2)
+
+
+class TestSABRE:
+    def test_t_close_k_anonymous(self, mcd_small):
+        result = sabre(mcd_small, k=3, t=0.15)
+        assert result.satisfies_t
+        result.partition.validate_min_size(3)
+
+    def test_bucket_count_at_least_analytic(self, mcd_small):
+        """Greedy bucketization yields >= the analytic bucket count."""
+        from repro.core import required_cluster_size
+
+        result = sabre(mcd_small, k=2, t=0.1)
+        assert result.info["n_buckets"] >= required_cluster_size(200, 0.1)
+
+    def test_utility_not_better_than_tclose_first(self, mcd_small):
+        """The paper's claim: SABRE's classes are at least as large."""
+        from repro.core import tcloseness_first
+
+        t = 0.1
+        ours = tcloseness_first(mcd_small, k=2, t=t)
+        theirs = sabre(mcd_small, k=2, t=t)
+        assert theirs.mean_cluster_size >= ours.mean_cluster_size - 1e-9
+
+    def test_validation(self, mcd_small):
+        with pytest.raises(ValueError, match="k must be"):
+            sabre(mcd_small, k=0, t=0.1)
+        with pytest.raises(ValueError, match="t must be"):
+            sabre(mcd_small, k=2, t=-0.1)
+
+    def test_multiple_confidential_rejected(self):
+        from repro.data import load_census
+
+        census = load_census(n=100).with_roles(
+            quasi_identifiers=("TAXINC", "POTHVAL"),
+            confidential=("FEDTAX", "FICA"),
+        )
+        with pytest.raises(ValueError, match="exactly one"):
+            sabre(census, k=2, t=0.1)
+
+    @settings(max_examples=8, deadline=None)
+    @given(
+        n=st.integers(20, 100),
+        k=st.integers(2, 5),
+        t=st.floats(0.05, 0.4),
+        seed=st.integers(0, 30),
+    )
+    def test_always_valid_property(self, n, k, t, seed):
+        data = random_dataset(n, seed)
+        result = sabre(data, k=k, t=t)
+        assert result.satisfies_t
+        result.partition.validate_min_size(k)
+        assert result.partition.sizes().sum() == n
+
+
+class TestSABREHelpers:
+    def test_greedy_buckets_cover_everything(self):
+        rng = np.random.default_rng(1)
+        conf = rng.normal(size=50)
+        buckets = _greedy_buckets(conf, 5)
+        all_records = np.sort(np.concatenate(buckets))
+        np.testing.assert_array_equal(all_records, np.arange(50))
+
+    def test_greedy_buckets_ordered_by_value(self):
+        conf = np.array([5.0, 1.0, 3.0, 2.0, 4.0, 0.0])
+        buckets = _greedy_buckets(conf, 3)
+        tops = [conf[b].max() for b in buckets]
+        bottoms = [conf[b].min() for b in buckets]
+        for prev_top, next_bottom in zip(tops, bottoms[1:]):
+            assert prev_top <= next_bottom
+
+    def test_greedy_buckets_never_split_ties(self):
+        conf = np.array([1.0, 1.0, 1.0, 2.0, 2.0, 3.0])
+        buckets = _greedy_buckets(conf, 3)
+        for bucket in buckets:
+            values = set(conf[bucket].tolist())
+            for other in buckets:
+                if other is not bucket:
+                    assert not values & set(conf[other].tolist())
+
+    def test_class_totals_balanced(self):
+        """SABRE class sizes differ by at most one before merging."""
+        data = load_mcd(n=100)
+        result = sabre(data, k=3, t=0.3)
+        if result.info["n_merges"] == 0:
+            sizes = result.partition.sizes()
+            assert sizes.max() - sizes.min() <= 1

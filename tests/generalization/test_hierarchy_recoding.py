@@ -1,0 +1,198 @@
+"""Tests for hierarchies, global recoding and suppression."""
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeRole, Microdata, nominal, numeric
+from repro.distance import Taxonomy
+from repro.generalization import (
+    NumericHierarchy,
+    TaxonomyHierarchy,
+    recode,
+    recoding_loss,
+    small_class_mask,
+    suppress_small_classes,
+    suppression_feasible,
+)
+
+
+class TestNumericHierarchy:
+    def test_level0_exact(self):
+        h = NumericHierarchy(0.0, 100.0, n_levels=3)
+        values = np.array([5.0, 50.0])
+        np.testing.assert_array_equal(h.generalize(values, 0), values)
+        assert h.loss(0) == 0.0
+
+    def test_top_level_single_bin(self):
+        h = NumericHierarchy(0.0, 100.0, n_levels=3)
+        out = h.generalize(np.array([1.0, 99.0]), 3)
+        assert len(set(out)) == 1
+        assert h.loss(3) == 1.0
+
+    def test_level_bins_halve(self):
+        h = NumericHierarchy(0.0, 8.0, n_levels=3)
+        assert h.n_bins(1) == 4
+        assert h.n_bins(2) == 2
+        assert h.n_bins(3) == 1
+
+    def test_interval_labels(self):
+        h = NumericHierarchy(0.0, 8.0, n_levels=3)
+        out = h.generalize(np.array([1.0, 7.0]), 2)
+        assert out[0] == "[0, 4)"
+        assert out[1] == "[4, 8)"
+
+    def test_out_of_range_clamped(self):
+        h = NumericHierarchy(0.0, 8.0, n_levels=3)
+        out = h.generalize(np.array([-5.0, 99.0]), 1)
+        assert out[0] == "[0, 2)"
+        assert out[1] == "[6, 8)"
+
+    def test_midpoints(self):
+        h = NumericHierarchy(0.0, 8.0, n_levels=3)
+        mids = h.interval_midpoints(np.array([1.0, 7.0]), 2)
+        np.testing.assert_allclose(mids, [2.0, 6.0])
+
+    def test_midpoints_level0(self):
+        h = NumericHierarchy(0.0, 8.0, n_levels=3)
+        np.testing.assert_allclose(
+            h.interval_midpoints(np.array([1.5]), 0), [1.5]
+        )
+
+    def test_from_values(self):
+        h = NumericHierarchy.from_values(np.array([3.0, 13.0]))
+        assert h.lo == 3.0 and h.hi == 13.0
+
+    def test_from_values_constant_column(self):
+        h = NumericHierarchy.from_values(np.array([5.0, 5.0]))
+        assert h.hi > h.lo
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="hi > lo"):
+            NumericHierarchy(1.0, 1.0)
+        with pytest.raises(ValueError, match="n_levels"):
+            NumericHierarchy(0.0, 1.0, n_levels=0)
+        h = NumericHierarchy(0.0, 1.0, n_levels=2)
+        with pytest.raises(ValueError, match="level must be"):
+            h.generalize(np.array([0.5]), 5)
+        with pytest.raises(ValueError, match="exact values"):
+            h.bin_indices(np.array([0.5]), 0)
+        with pytest.raises(ValueError, match="empty"):
+            NumericHierarchy.from_values(np.array([]))
+
+    def test_loss_monotone(self):
+        h = NumericHierarchy(0.0, 1.0, n_levels=4)
+        losses = [h.loss(lv) for lv in range(5)]
+        assert losses == sorted(losses)
+
+
+class TestTaxonomyHierarchy:
+    @pytest.fixture
+    def tree(self):
+        return Taxonomy.from_nested(
+            {"Any": {"Tech": ["engineer", "chemist"], "Art": ["writer", "dancer"]}}
+        )
+
+    def test_levels(self, tree):
+        h = TaxonomyHierarchy(tree)
+        assert h.n_levels == 2
+        values = np.array(["engineer", "dancer"], dtype=object)
+        np.testing.assert_array_equal(h.generalize(values, 0), values)
+        np.testing.assert_array_equal(h.generalize(values, 1), ["Tech", "Art"])
+        np.testing.assert_array_equal(h.generalize(values, 2), ["Any", "Any"])
+
+    def test_loss_endpoints(self, tree):
+        h = TaxonomyHierarchy(tree)
+        assert h.loss(0) == 0.0
+        assert h.loss(2) == 1.0
+        assert 0.0 < h.loss(1) < 1.0
+
+
+@pytest.fixture
+def jobs_data():
+    tree_cats = ("engineer", "chemist", "writer", "dancer")
+    return Microdata(
+        {
+            "age": np.array([25.0, 26.0, 60.0, 61.0]),
+            "job": np.array(["engineer", "chemist", "writer", "dancer"], object),
+            "salary": np.array([10.0, 20.0, 30.0, 40.0]),
+        },
+        [
+            numeric("age", role=AttributeRole.QUASI_IDENTIFIER),
+            nominal("job", tree_cats, role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("salary", role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+
+
+@pytest.fixture
+def jobs_hierarchies(jobs_data):
+    tree = Taxonomy.from_nested(
+        {"Any": {"Tech": ["engineer", "chemist"], "Art": ["writer", "dancer"]}}
+    )
+    return {
+        "age": NumericHierarchy.from_values(jobs_data.values("age"), n_levels=2),
+        "job": TaxonomyHierarchy(tree),
+    }
+
+
+class TestRecode:
+    def test_level_zero_identity_classes(self, jobs_data, jobs_hierarchies):
+        release = recode(jobs_data, jobs_hierarchies, {"age": 0, "job": 0})
+        assert release.k_level() == 1  # all rows distinct
+
+    def test_generalization_merges_classes(self, jobs_data, jobs_hierarchies):
+        release = recode(jobs_data, jobs_hierarchies, {"age": 2, "job": 1})
+        # ages suppressed, jobs at Tech/Art: two classes of 2
+        assert release.classes().n_clusters == 2
+        assert release.k_level() == 2
+
+    def test_t_level_decreases_with_generalization(self, jobs_data, jobs_hierarchies):
+        fine = recode(jobs_data, jobs_hierarchies, {"age": 0, "job": 0})
+        coarse = recode(jobs_data, jobs_hierarchies, {"age": 2, "job": 2})
+        assert coarse.t_level() <= fine.t_level()
+
+    def test_rows_include_confidential(self, jobs_data, jobs_hierarchies):
+        release = recode(jobs_data, jobs_hierarchies, {"age": 2, "job": 1})
+        rows = release.rows()
+        assert len(rows) == 4
+        assert rows[0][-1] == 10.0
+
+    def test_missing_hierarchy_rejected(self, jobs_data, jobs_hierarchies):
+        with pytest.raises(ValueError, match="no hierarchy"):
+            recode(jobs_data, {"age": jobs_hierarchies["age"]}, {"age": 1})
+
+    def test_unknown_level_attr_rejected(self, jobs_data, jobs_hierarchies):
+        with pytest.raises(ValueError, match="unknown attributes"):
+            recode(jobs_data, jobs_hierarchies, {"zzz": 1})
+
+    def test_recoding_loss(self, jobs_hierarchies):
+        zero = recoding_loss(jobs_hierarchies, {"age": 0, "job": 0})
+        full = recoding_loss(jobs_hierarchies, {"age": 2, "job": 2})
+        assert zero == 0.0
+        assert full == 1.0
+        assert recoding_loss({}, {}) == 0.0
+
+
+class TestSuppression:
+    def test_small_class_mask(self, jobs_data, jobs_hierarchies):
+        release = recode(jobs_data, jobs_hierarchies, {"age": 0, "job": 0})
+        mask = small_class_mask(release, 2)
+        assert mask.all()  # every class is a singleton
+
+    def test_suppress_small_classes(self, jobs_data, jobs_hierarchies):
+        release = recode(jobs_data, jobs_hierarchies, {"age": 2, "job": 1})
+        keep, rate = suppress_small_classes(release, 2)
+        assert rate == 0.0
+        assert keep.all()
+
+    def test_feasibility_budget(self, jobs_data, jobs_hierarchies):
+        release = recode(jobs_data, jobs_hierarchies, {"age": 0, "job": 0})
+        assert not suppression_feasible(release, 2, max_rate=0.5)
+        assert suppression_feasible(release, 2, max_rate=1.0)
+
+    def test_validation(self, jobs_data, jobs_hierarchies):
+        release = recode(jobs_data, jobs_hierarchies, {"age": 0, "job": 0})
+        with pytest.raises(ValueError, match="k must be"):
+            small_class_mask(release, 0)
+        with pytest.raises(ValueError, match="max_rate"):
+            suppression_feasible(release, 2, max_rate=1.5)

@@ -1,0 +1,86 @@
+"""Exhaustive cross-validation of the Incognito lattice search.
+
+On a small lattice we can brute-force every recoding vector; Incognito's
+pruned search must return (a) the same feasible set boundary and (b) a
+release whose Loss Metric equals the brute-force optimum.
+"""
+
+from itertools import product
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeRole, Microdata, numeric
+from repro.generalization import (
+    NumericHierarchy,
+    incognito,
+    recode,
+    recoding_loss,
+)
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(17)
+    data = Microdata(
+        {
+            "a": rng.normal(size=60),
+            "b": rng.normal(size=60),
+            "s": rng.permutation(np.arange(60.0)),
+        },
+        [
+            numeric("a", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("b", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("s", role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+    hierarchies = {
+        "a": NumericHierarchy.from_values(data.values("a"), n_levels=3),
+        "b": NumericHierarchy.from_values(data.values("b"), n_levels=3),
+    }
+    return data, hierarchies
+
+
+def brute_force(data, hierarchies, k, t):
+    """All feasible vectors and the optimal loss, by full enumeration."""
+    names = list(hierarchies)
+    feasible = []
+    for vector in product(*(range(hierarchies[n].n_levels + 1) for n in names)):
+        levels = dict(zip(names, vector))
+        release = recode(data, hierarchies, levels)
+        if release.k_level() < k:
+            continue
+        if t is not None and release.t_level() > t + 1e-12:
+            continue
+        feasible.append(levels)
+    best = min(recoding_loss(hierarchies, lv) for lv in feasible)
+    return feasible, best
+
+
+@pytest.mark.parametrize("k,t", [(3, None), (3, 0.25), (10, None), (5, 0.15)])
+def test_incognito_matches_brute_force(setup, k, t):
+    data, hierarchies = setup
+    feasible, best_loss = brute_force(data, hierarchies, k, t)
+    result = incognito(data, hierarchies, k, t=t)
+
+    # The chosen release is feasible and loss-optimal.
+    assert result.release.k_level() >= k
+    if t is not None:
+        assert result.release.t_level() <= t + 1e-12
+    assert recoding_loss(hierarchies, result.release.levels) == pytest.approx(
+        best_loss
+    )
+
+    # Every brute-force feasible vector dominates (or is) a minimal vector.
+    names = list(hierarchies)
+    minimal = [tuple(v[n] for n in names) for v in result.minimal_vectors]
+    for levels in feasible:
+        vector = tuple(levels[n] for n in names)
+        assert any(
+            all(m <= x for m, x in zip(mv, vector)) for mv in minimal
+        ), vector
+
+    # And every minimal vector really is feasible.
+    feasible_set = {tuple(v[n] for n in names) for v in feasible}
+    for mv in minimal:
+        assert mv in feasible_set

@@ -1,0 +1,123 @@
+"""End-to-end integration tests across the whole stack.
+
+Each test exercises a realistic pipeline — load data, anonymize, verify
+with the independent auditors, measure utility — rather than any single
+module.  These are the tests that would catch wiring mistakes between
+subsystems that unit tests cannot see.
+"""
+
+import numpy as np
+import pytest
+
+from repro import METHODS, anonymize
+from repro.data import (
+    load_adult,
+    load_hcd,
+    load_mcd,
+    load_patient_discharge,
+    load_salary_toy,
+)
+from repro.metrics import normalized_sse, range_query_error
+from repro.privacy import (
+    audit,
+    equivalence_classes,
+    is_k_anonymous,
+    is_t_close,
+    record_linkage_risk,
+    t_closeness_level,
+)
+
+
+class TestFullPipelineCensus:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    @pytest.mark.parametrize("loader", [load_mcd, load_hcd])
+    def test_release_verifies_on_both_datasets(self, method, loader):
+        data = loader(n=240)
+        release, result = anonymize(data, k=4, t=0.18, method=method)
+        assert is_k_anonymous(release, 4)
+        assert is_t_close(release, 0.18)
+        # The verifier recomputes classes from released values; they must
+        # coincide with the algorithm's clusters.
+        classes = equivalence_classes(release)
+        assert classes.n_clusters == result.partition.n_clusters
+
+    def test_utility_privacy_tradeoff_monotone_in_t(self):
+        """Stricter t costs utility, for every algorithm."""
+        data = load_mcd(n=300)
+        for method in sorted(METHODS):
+            strict_release, _ = anonymize(data, k=2, t=0.03, method=method)
+            loose_release, _ = anonymize(data, k=2, t=0.3, method=method)
+            assert (
+                normalized_sse(data, strict_release)
+                >= normalized_sse(data, loose_release) - 1e-9
+            ), method
+
+    def test_linkage_risk_falls_with_k(self):
+        data = load_mcd(n=300)
+        risky, _ = anonymize(data, k=2, t=0.3)
+        safe, _ = anonymize(data, k=20, t=0.3)
+        assert record_linkage_risk(data, safe) <= record_linkage_risk(
+            data, risky
+        )
+
+
+class TestFullPipelinePatientDischarge:
+    def test_seven_qi_release(self):
+        data = load_patient_discharge(n=600)
+        release, result = anonymize(data, k=10, t=0.2)
+        assert is_k_anonymous(release, 10)
+        assert is_t_close(release, 0.2)
+        report = audit(release, data)
+        assert report.k_level >= 10
+        assert report.expected_reid_rate <= 0.1
+        queries = range_query_error(data, release, n_queries=50)
+        assert queries.mean_relative_error < 1.0
+
+
+class TestFullPipelineCategorical:
+    def test_adult_nominal_confidential(self):
+        adult = load_adult(n=400).drop(["income_class"])
+        release, result = anonymize(adult, k=4, t=0.3, method="merge")
+        assert is_k_anonymous(release, 4)
+        assert t_closeness_level(release) <= 0.3 + 1e-9
+
+    def test_adult_ordinal_confidential_tclose_first(self):
+        adult = load_adult(n=400).drop(["occupation"])
+        release, result = anonymize(adult, k=4, t=0.3, method="tclose-first")
+        assert is_k_anonymous(release, 4)
+        assert result.satisfies_t
+
+    def test_categorical_centroids_are_valid_codes(self):
+        adult = load_adult(n=300).drop(["income_class"])
+        release, _ = anonymize(adult, k=3, t=0.4, method="merge")
+        for name in adult.quasi_identifiers:
+            spec = adult.spec(name)
+            if spec.is_categorical:
+                codes = release.values(name)
+                assert codes.min() >= 0
+                assert codes.max() < spec.n_categories
+
+
+class TestToyHandVerifiable:
+    def test_salary_toy_three_clusters(self):
+        """The ICDE'07 running example ends 0.167-close with 3-record classes."""
+        toy = load_salary_toy()
+        release, result = anonymize(toy, k=3, t=0.25, method="tclose-first")
+        assert result.partition.sizes().tolist() == [3, 3, 3]
+        # Each cluster draws one salary from {3k,4k,5k}, {6k,7k,8k},
+        # {9k,10k,11k} — the Proposition 2 construction.
+        for members in result.partition.clusters():
+            salaries = np.sort(toy.values("salary")[members])
+            assert salaries[0] <= 5000
+            assert 6000 <= salaries[1] <= 8000
+            assert salaries[2] >= 9000
+        assert result.max_emd <= 1 / 6 + 1e-12  # Prop 2 bound for n=9, k=3
+
+
+class TestReproducibility:
+    @pytest.mark.parametrize("method", sorted(METHODS))
+    def test_same_input_same_output(self, method):
+        data = load_mcd(n=150)
+        first, _ = anonymize(data, k=3, t=0.2, method=method)
+        second, _ = anonymize(data, k=3, t=0.2, method=method)
+        assert first.equals(second)

@@ -1,0 +1,157 @@
+"""Tests for information-loss metrics (Eq. 5 SSE and companions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import anonymize
+from repro.data import AttributeRole, Microdata, load_mcd, numeric
+from repro.metrics import (
+    average_class_size_metric,
+    discernibility,
+    normalized_sse,
+    sse_ratio,
+    within_cluster_sse,
+)
+from repro.microagg import Partition
+
+
+@pytest.fixture
+def pair():
+    original = Microdata(
+        {
+            "a": np.array([0.0, 10.0]),
+            "s": np.array([1.0, 2.0]),
+        },
+        [
+            numeric("a", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("s", role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+    released = original.with_columns({"a": np.array([5.0, 5.0])})
+    return original, released
+
+
+class TestNormalizedSSE:
+    def test_identity_release_zero(self, pair):
+        original, _ = pair
+        assert normalized_sse(original, original) == 0.0
+
+    def test_hand_computed(self, pair):
+        original, released = pair
+        # Each record moved 5 over a range of 10 -> (0.5)^2 each -> mean 0.25.
+        assert normalized_sse(original, released) == pytest.approx(0.25)
+
+    def test_scale_invariance(self, pair):
+        """Scaling an attribute by 1000x does not change the score."""
+        original, released = pair
+        scaled_orig = original.with_columns({"a": original.values("a") * 1000})
+        scaled_rel = released.with_columns({"a": released.values("a") * 1000})
+        assert normalized_sse(scaled_orig, scaled_rel) == pytest.approx(
+            normalized_sse(original, released)
+        )
+
+    def test_constant_column_contributes_zero(self):
+        md = Microdata(
+            {"a": np.array([5.0, 5.0]), "s": np.array([0.0, 1.0])},
+            [
+                numeric("a", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("s", role=AttributeRole.CONFIDENTIAL),
+            ],
+        )
+        assert normalized_sse(md, md) == 0.0
+
+    def test_row_mismatch_rejected(self, pair):
+        original, _ = pair
+        with pytest.raises(ValueError, match="records"):
+            normalized_sse(original, original.subset([0]))
+
+    def test_no_attributes_rejected(self, pair):
+        original, released = pair
+        with pytest.raises(ValueError, match="no attributes"):
+            normalized_sse(original, released, names=[])
+
+    def test_single_cluster_release_bounded_by_one(self):
+        """Collapsing everything to the mean keeps Eq. 5 SSE <= 1."""
+        data = load_mcd(n=100)
+        release, _ = anonymize(data, k=100, t=1.0, method="merge")
+        value = normalized_sse(data, release)
+        assert 0.0 < value <= 1.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 500))
+    def test_larger_k_not_smaller_sse(self, seed):
+        """More aggregation (larger k) cannot reduce Eq. 5 SSE under MDAV."""
+        rng = np.random.default_rng(seed)
+        data = Microdata(
+            {
+                "a": rng.normal(size=40),
+                "s": rng.normal(size=40),
+            },
+            [
+                numeric("a", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("s", role=AttributeRole.CONFIDENTIAL),
+            ],
+        )
+        release_small, _ = anonymize(data, k=2, t=1.0, method="merge")
+        release_large, _ = anonymize(data, k=10, t=1.0, method="merge")
+        assert normalized_sse(data, release_large) >= normalized_sse(
+            data, release_small
+        ) - 1e-9
+
+
+class TestSSERatio:
+    def test_identity_zero(self, pair):
+        original, _ = pair
+        assert sse_ratio(original, original) == 0.0
+
+    def test_mean_collapse_is_one(self, pair):
+        original, released = pair
+        assert sse_ratio(original, released) == pytest.approx(1.0)
+
+    def test_row_mismatch(self, pair):
+        original, _ = pair
+        with pytest.raises(ValueError, match="row-aligned"):
+            sse_ratio(original, original.subset([0]))
+
+
+class TestDiscernibility:
+    def test_uniform_classes(self):
+        assert discernibility(Partition([0, 0, 1, 1])) == 8.0
+
+    def test_single_class_is_n_squared(self):
+        assert discernibility(Partition.single_cluster(5)) == 25.0
+
+    def test_minimum_at_k_sized_classes(self):
+        balanced = Partition([0, 0, 1, 1, 2, 2])
+        lopsided = Partition([0, 0, 0, 0, 1, 1])
+        assert discernibility(balanced) < discernibility(lopsided)
+
+
+class TestCAvg:
+    def test_ideal_is_one(self):
+        assert average_class_size_metric(Partition([0, 0, 1, 1]), 2) == 1.0
+
+    def test_oversized_classes_above_one(self):
+        assert average_class_size_metric(Partition.single_cluster(10), 2) == 5.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="k must be"):
+            average_class_size_metric(Partition([0]), 0)
+
+
+class TestWithinClusterSSE:
+    def test_zero_for_singletons(self):
+        X = np.array([[1.0], [5.0]])
+        assert within_cluster_sse(X, Partition([0, 1])) == 0.0
+
+    def test_hand_value(self):
+        X = np.array([[0.0], [2.0]])
+        assert within_cluster_sse(X, Partition([0, 0])) == pytest.approx(2.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            within_cluster_sse(np.zeros(3), Partition([0, 0, 0]))
+        with pytest.raises(ValueError, match="rows"):
+            within_cluster_sse(np.zeros((2, 1)), Partition([0, 0, 0]))

@@ -1,0 +1,94 @@
+"""Tests for the analytical-utility workloads."""
+
+import numpy as np
+import pytest
+
+from repro import anonymize
+from repro.data import AttributeRole, Microdata, load_mcd, numeric
+from repro.metrics import correlation_shift, range_query_error
+
+
+@pytest.fixture(scope="module")
+def pair():
+    original = load_mcd(n=300)
+    release, _ = anonymize(original, k=5, t=0.2)
+    return original, release
+
+
+class TestRangeQueries:
+    def test_identity_release_zero_error(self):
+        original = load_mcd(n=150)
+        report = range_query_error(original, original, n_queries=50)
+        assert report.mean_absolute_error == 0.0
+        assert report.mean_relative_error == 0.0
+
+    def test_anonymization_bounded_error(self, pair):
+        original, release = pair
+        report = range_query_error(original, release, n_queries=100)
+        assert report.n_queries == 100
+        assert 0.0 <= report.mean_relative_error < 1.0
+
+    def test_determinism(self, pair):
+        original, release = pair
+        a = range_query_error(original, release, n_queries=30, seed=7)
+        b = range_query_error(original, release, n_queries=30, seed=7)
+        assert a == b
+
+    def test_coarser_release_worse_queries(self):
+        original = load_mcd(n=200)
+        fine, _ = anonymize(original, k=2, t=1.0, method="merge")
+        coarse, _ = anonymize(original, k=50, t=1.0, method="merge")
+        fine_report = range_query_error(original, fine, n_queries=150)
+        coarse_report = range_query_error(original, coarse, n_queries=150)
+        assert (
+            coarse_report.mean_relative_error
+            >= fine_report.mean_relative_error - 0.01
+        )
+
+    def test_validation(self, pair):
+        original, release = pair
+        with pytest.raises(ValueError, match="selectivity"):
+            range_query_error(original, release, selectivity=0.0)
+        with pytest.raises(ValueError, match="n_queries"):
+            range_query_error(original, release, n_queries=0)
+        with pytest.raises(ValueError, match="row-aligned"):
+            range_query_error(original, release.subset([0, 1]))
+
+
+class TestCorrelationShift:
+    def test_identity_zero(self):
+        original = load_mcd(n=150)
+        assert correlation_shift(original, original) == pytest.approx(0.0)
+
+    def test_anonymization_small_shift(self, pair):
+        original, release = pair
+        shift = correlation_shift(original, release)
+        assert 0.0 <= shift < 0.5
+
+    def test_constant_column_handled(self):
+        original = Microdata(
+            {
+                "a": np.array([1.0, 2.0, 3.0]),
+                "b": np.array([2.0, 4.0, 6.0]),
+            },
+            [
+                numeric("a", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("b", role=AttributeRole.QUASI_IDENTIFIER),
+            ],
+        )
+        collapsed = original.with_columns({"a": np.full(3, 2.0)})
+        shift = correlation_shift(original, collapsed, names=("a", "b"))
+        assert shift == pytest.approx(1.0)  # corr 1 -> 0 (constant column)
+
+    def test_needs_two_attributes(self):
+        md = Microdata(
+            {"a": np.array([1.0, 2.0])},
+            [numeric("a", role=AttributeRole.QUASI_IDENTIFIER)],
+        )
+        with pytest.raises(ValueError, match="two numeric"):
+            correlation_shift(md, md)
+
+    def test_row_mismatch(self, pair):
+        original, release = pair
+        with pytest.raises(ValueError, match="row-aligned"):
+            correlation_shift(original, release.subset([0]))

@@ -1,0 +1,85 @@
+"""Tests for the taxonomy-based (marginality) nominal centroid."""
+
+import pytest
+
+from repro.distance import Taxonomy
+from repro.microagg import marginality_centroid, nominal_centroid
+
+
+@pytest.fixture
+def diseases():
+    return Taxonomy.from_nested(
+        {
+            "Any": {
+                "Respiratory": ["flu", "pneumonia", "bronchitis"],
+                "Gastric": ["gastritis", "ulcer"],
+            }
+        }
+    )
+
+
+class TestMarginalityCentroid:
+    def test_single_value(self, diseases):
+        assert marginality_centroid(["flu"], diseases) == "flu"
+
+    def test_within_subtree_stays_in_subtree(self, diseases):
+        """A purely respiratory cluster aggregates to a respiratory leaf."""
+        centroid = marginality_centroid(
+            ["flu", "pneumonia", "bronchitis"], diseases
+        )
+        assert centroid in ("flu", "pneumonia", "bronchitis")
+
+    def test_majority_subtree_wins(self, diseases):
+        """Two respiratory + one gastric -> a respiratory centroid.
+
+        The mode would be ambiguous here (all counts equal 1); the
+        taxonomy resolves it semantically.
+        """
+        centroid = marginality_centroid(["flu", "pneumonia", "gastritis"], diseases)
+        assert centroid in ("flu", "pneumonia", "bronchitis")
+
+    def test_deterministic_tie_break(self, diseases):
+        a = marginality_centroid(["flu", "gastritis"], diseases)
+        b = marginality_centroid(["flu", "gastritis"], diseases)
+        assert a == b
+
+    def test_differs_from_mode_when_semantics_matter(self, diseases):
+        """Frequency picks the repeated value; marginality can disagree.
+
+        Cluster: {gastritis, gastritis, flu, pneumonia, bronchitis}.
+        The mode is gastritis (count 2), but four of five values live in
+        or near the respiratory subtree... marginality weighs distances:
+        gastritis cost = 2*0 + 3*1 = 3; flu cost = 2*1 + 0 + 0.5 + 0.5 = 3.
+        Either may win on cost; assert the *costs* are computed, i.e. the
+        result is one of the two optima, not an arbitrary category.
+        """
+        cluster = ["gastritis", "gastritis", "flu", "pneumonia", "bronchitis"]
+        centroid = marginality_centroid(cluster, diseases)
+        assert centroid in ("gastritis", "flu", "pneumonia", "bronchitis")
+
+    def test_minimizes_total_distance(self, diseases):
+        """The returned leaf attains the minimum summed leaf distance."""
+        cluster = ["flu", "flu", "ulcer", "gastritis", "gastritis"]
+        centroid = marginality_centroid(cluster, diseases)
+        best = min(
+            sum(diseases.leaf_distance(c, x) for x in cluster)
+            for c in diseases.leaves
+        )
+        got = sum(diseases.leaf_distance(centroid, x) for x in cluster)
+        assert got == pytest.approx(best)
+
+    def test_empty_rejected(self, diseases):
+        with pytest.raises(ValueError, match="empty"):
+            marginality_centroid([], diseases)
+
+    def test_non_leaf_rejected(self, diseases):
+        with pytest.raises(ValueError, match="not a leaf"):
+            marginality_centroid(["Respiratory"], diseases)
+
+    def test_flat_taxonomy_agrees_with_mode(self):
+        """Without structure, marginality reduces to the mode."""
+        flat = Taxonomy.flat(["a", "b", "c"])
+        cluster = ["b", "b", "a"]
+        centroid = marginality_centroid(cluster, flat)
+        codes = [["a", "b", "c"].index(x) for x in cluster]
+        assert centroid == ["a", "b", "c"][nominal_centroid(codes, 3)]

@@ -1,0 +1,150 @@
+"""Tests for MDAV and V-MDAV partitioners."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.data import load_mcd
+from repro.microagg import mdav, vmdav
+
+
+class TestMDAVInvariants:
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(2, 120),
+        k=st.integers(1, 12),
+        d=st.integers(1, 4),
+        seed=st.integers(0, 1000),
+    )
+    def test_cluster_size_bounds(self, n, k, d, seed):
+        """Every MDAV cluster has between k and 2k-1 records."""
+        if k > n:
+            k = n
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, d))
+        p = mdav(X, k)
+        sizes = p.sizes()
+        assert sizes.min() >= k
+        assert sizes.max() <= 2 * k - 1
+        assert sizes.sum() == n
+
+    def test_exact_multiple_gives_equal_clusters(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(100, 2))
+        p = mdav(X, 5)
+        assert p.n_clusters == 20
+        np.testing.assert_array_equal(p.sizes(), np.full(20, 5))
+
+    def test_k_equals_n_single_cluster(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(7, 2))
+        p = mdav(X, 7)
+        assert p.n_clusters == 1
+
+    def test_k_one_singletons(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(size=(9, 2))
+        p = mdav(X, 1)
+        assert p.n_clusters == 9
+        assert p.max_size == 1
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="2-D"):
+            mdav(np.zeros(5), 2)
+        with pytest.raises(ValueError, match="k must be"):
+            mdav(np.zeros((5, 1)), 6)
+        with pytest.raises(ValueError, match="k must be"):
+            mdav(np.zeros((5, 1)), 0)
+
+    def test_separated_blobs_recovered(self):
+        """Three well-separated blobs of size k map to exactly 3 clusters."""
+        rng = np.random.default_rng(1)
+        blobs = [
+            rng.normal(loc=center, scale=0.01, size=(4, 2))
+            for center in ((0, 0), (100, 100), (-100, 100))
+        ]
+        X = np.vstack(blobs)
+        p = mdav(X, 4)
+        assert p.n_clusters == 3
+        # Records of one blob always share a label.
+        for b in range(3):
+            labels = p.labels[b * 4 : (b + 1) * 4]
+            assert len(set(labels.tolist())) == 1
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(50, 3))
+        assert mdav(X, 4) == mdav(X, 4)
+
+    def test_homogeneity_beats_random_partition(self):
+        """MDAV's within-cluster SSE is far below a random equal partition."""
+        mcd = load_mcd(n=300)
+        X = mcd.qi_matrix()
+        p = mdav(X, 5)
+
+        def sse(partition):
+            total = 0.0
+            for members in partition.clusters():
+                c = X[members].mean(axis=0)
+                total += ((X[members] - c) ** 2).sum()
+            return total
+
+        rng = np.random.default_rng(3)
+        from repro.microagg import Partition
+
+        random_labels = rng.permutation(np.repeat(np.arange(60), 5))
+        assert sse(p) < 0.5 * sse(Partition(random_labels))
+
+
+class TestVMDAV:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        n=st.integers(2, 100),
+        k=st.integers(1, 10),
+        gamma=st.floats(0.0, 3.0),
+        seed=st.integers(0, 500),
+    )
+    def test_cluster_size_bounds(self, n, k, gamma, seed):
+        """V-MDAV clusters stay within [k, 2k-1] like MDAV."""
+        if k > n:
+            k = n
+        rng = np.random.default_rng(seed)
+        X = rng.normal(size=(n, 2))
+        p = vmdav(X, k, gamma=gamma)
+        sizes = p.sizes()
+        assert sizes.min() >= k
+        assert sizes.max() <= 2 * k - 1
+        assert sizes.sum() == n
+
+    def test_gamma_zero_fixed_sizes_until_remainder(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(40, 2))
+        p = vmdav(X, 5, gamma=0.0)
+        sizes = np.sort(p.sizes())
+        # With gamma=0 no extension happens: all clusters of size 5.
+        assert sizes.max() <= 9
+        assert (sizes[:-1] == 5).all()
+
+    def test_large_gamma_produces_variable_sizes(self):
+        """On clumpy data a generous gamma grows some clusters beyond k."""
+        rng = np.random.default_rng(5)
+        clumps = [
+            rng.normal(loc=(i * 50, 0), scale=0.1, size=(7, 2)) for i in range(6)
+        ]
+        X = np.vstack(clumps)
+        p = vmdav(X, 4, gamma=5.0)
+        assert p.max_size > 4
+
+    def test_input_validation(self):
+        with pytest.raises(ValueError, match="gamma"):
+            vmdav(np.zeros((5, 1)), 2, gamma=-1.0)
+        with pytest.raises(ValueError, match="2-D"):
+            vmdav(np.zeros(5), 2)
+        with pytest.raises(ValueError, match="k must be"):
+            vmdav(np.zeros((3, 1)), 9)
+
+    def test_deterministic(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(50, 2))
+        assert vmdav(X, 4, gamma=1.0) == vmdav(X, 4, gamma=1.0)

@@ -1,0 +1,159 @@
+"""Tests for the Partition container and its invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.microagg import Partition, PartitionError
+
+
+class TestConstruction:
+    def test_labels_relabelled_contiguous(self):
+        p = Partition([5, 5, 9, 9, 5])
+        np.testing.assert_array_equal(p.labels, [0, 0, 1, 1, 0])
+        assert p.n_clusters == 2
+
+    def test_first_appearance_order(self):
+        p = Partition([3, 0, 3, 0])
+        np.testing.assert_array_equal(p.labels, [0, 1, 0, 1])
+
+    def test_integral_floats_accepted(self):
+        p = Partition(np.array([0.0, 1.0]))
+        assert p.n_clusters == 2
+
+    def test_fractional_floats_rejected(self):
+        with pytest.raises(PartitionError, match="integers"):
+            Partition(np.array([0.5, 1.0]))
+
+    def test_negative_rejected(self):
+        with pytest.raises(PartitionError, match="non-negative"):
+            Partition([-1, 0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(PartitionError, match="at least one"):
+            Partition([])
+
+    def test_2d_rejected(self):
+        with pytest.raises(PartitionError, match="1-D"):
+            Partition(np.zeros((2, 2), dtype=int))
+
+    def test_from_clusters(self):
+        p = Partition.from_clusters([[0, 2], [1, 3]], 4)
+        np.testing.assert_array_equal(p.labels, [0, 1, 0, 1])
+
+    def test_from_clusters_overlap_rejected(self):
+        with pytest.raises(PartitionError, match="two clusters"):
+            Partition.from_clusters([[0, 1], [1, 2]], 3)
+
+    def test_from_clusters_uncovered_rejected(self):
+        with pytest.raises(PartitionError, match="not assigned"):
+            Partition.from_clusters([[0, 1]], 3)
+
+    def test_from_clusters_empty_cluster_rejected(self):
+        with pytest.raises(PartitionError, match="empty"):
+            Partition.from_clusters([[0, 1], []], 2)
+
+    def test_from_clusters_out_of_range_rejected(self):
+        with pytest.raises(PartitionError, match="outside"):
+            Partition.from_clusters([[0, 5]], 2)
+
+    def test_single_cluster(self):
+        p = Partition.single_cluster(4)
+        assert p.n_clusters == 1
+        assert p.min_size == 4
+
+    def test_single_cluster_validates(self):
+        with pytest.raises(PartitionError, match="positive"):
+            Partition.single_cluster(0)
+
+
+class TestAccessors:
+    @pytest.fixture
+    def p(self):
+        return Partition([0, 1, 0, 1, 0, 2])
+
+    def test_sizes(self, p):
+        np.testing.assert_array_equal(p.sizes(), [3, 2, 1])
+
+    def test_min_max_mean(self, p):
+        assert p.min_size == 1
+        assert p.max_size == 3
+        assert p.mean_size == 2.0
+
+    def test_cluster_members(self, p):
+        np.testing.assert_array_equal(p.cluster(0), [0, 2, 4])
+        np.testing.assert_array_equal(p.cluster(2), [5])
+
+    def test_cluster_out_of_range(self, p):
+        with pytest.raises(PartitionError, match="out of range"):
+            p.cluster(3)
+
+    def test_clusters_iteration_covers_everything(self, p):
+        seen = np.concatenate(list(p.clusters()))
+        np.testing.assert_array_equal(np.sort(seen), np.arange(6))
+
+    def test_labels_read_only(self, p):
+        with pytest.raises(ValueError):
+            p.labels[0] = 9
+
+
+class TestInvariantsAndOps:
+    def test_validate_min_size_passes(self):
+        Partition([0, 0, 1, 1]).validate_min_size(2)
+
+    def test_validate_min_size_fails(self):
+        with pytest.raises(PartitionError, match="smaller than k=2"):
+            Partition([0, 0, 1]).validate_min_size(2)
+
+    def test_validate_min_size_bad_k(self):
+        with pytest.raises(PartitionError, match="positive"):
+            Partition([0]).validate_min_size(0)
+
+    def test_merge(self):
+        p = Partition([0, 1, 2, 1])
+        merged = p.merge(0, 2)
+        assert merged.n_clusters == 2
+        assert merged.labels[0] == merged.labels[2]
+
+    def test_merge_self_rejected(self):
+        with pytest.raises(PartitionError, match="itself"):
+            Partition([0, 1]).merge(0, 0)
+
+    def test_merge_out_of_range(self):
+        with pytest.raises(PartitionError, match="out of range"):
+            Partition([0, 1]).merge(0, 5)
+
+    def test_equality_is_grouping_not_numbering(self):
+        assert Partition([0, 0, 1]) == Partition([7, 7, 3])
+        assert Partition([0, 0, 1]) != Partition([0, 1, 1])
+
+    def test_equality_non_partition(self):
+        assert Partition([0]) != "zzz"
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        labels=st.lists(st.integers(0, 6), min_size=1, max_size=60)
+    )
+    def test_clusters_partition_the_records(self, labels):
+        """Invariant: clusters are disjoint and cover all records."""
+        p = Partition(labels)
+        all_members = np.concatenate(list(p.clusters()))
+        assert len(all_members) == p.n_records
+        np.testing.assert_array_equal(np.sort(all_members), np.arange(p.n_records))
+        assert p.sizes().sum() == p.n_records
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        labels=st.lists(st.integers(0, 4), min_size=2, max_size=40),
+        seed=st.integers(0, 100),
+    )
+    def test_merge_reduces_cluster_count_by_one(self, labels, seed):
+        p = Partition(labels)
+        if p.n_clusters < 2:
+            return
+        rng = np.random.default_rng(seed)
+        g1, g2 = rng.choice(p.n_clusters, size=2, replace=False)
+        merged = p.merge(int(g1), int(g2))
+        assert merged.n_clusters == p.n_clusters - 1
+        assert merged.n_records == p.n_records

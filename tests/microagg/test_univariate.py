@@ -1,0 +1,124 @@
+"""Tests for optimal univariate microaggregation (Hansen–Mukherjee DP)."""
+
+import itertools
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.microagg import Partition, optimal_univariate, univariate_sse
+
+
+def brute_force_optimal_sse(values: np.ndarray, k: int) -> float:
+    """Exhaustive minimum SSE over contiguous sorted segmentations."""
+    x = np.sort(values)
+    n = len(x)
+
+    def seg_sse(i, j):
+        seg = x[i:j]
+        return float(((seg - seg.mean()) ** 2).sum())
+
+    best = {0: 0.0}
+    for j in range(1, n + 1):
+        candidates = [
+            best[i] + seg_sse(i, j)
+            for i in range(0, j - k + 1)
+            if i in best and j - i >= k
+        ]
+        if candidates:
+            best[j] = min(candidates)
+    return best[n]
+
+
+class TestOptimalUnivariate:
+    def test_simple_two_groups(self):
+        values = np.array([1.0, 2.0, 100.0, 101.0])
+        p = optimal_univariate(values, 2)
+        assert p.n_clusters == 2
+        assert p.labels[0] == p.labels[1]
+        assert p.labels[2] == p.labels[3]
+
+    def test_cluster_sizes_within_bounds(self):
+        rng = np.random.default_rng(0)
+        values = rng.normal(size=50)
+        for k in (2, 3, 7):
+            p = optimal_univariate(values, k)
+            assert p.min_size >= k
+            assert p.max_size <= 2 * k - 1
+
+    def test_matches_brute_force_sse(self):
+        rng = np.random.default_rng(1)
+        for _ in range(10):
+            values = rng.normal(size=rng.integers(4, 14))
+            k = int(rng.integers(2, 4))
+            if len(values) < k:
+                continue
+            p = optimal_univariate(values, k)
+            assert univariate_sse(values, p) == pytest.approx(
+                brute_force_optimal_sse(values, k), abs=1e-9
+            )
+
+    def test_not_worse_than_mdav(self):
+        """The DP optimum is a lower bound for the MDAV heuristic."""
+        from repro.microagg import mdav
+
+        rng = np.random.default_rng(2)
+        values = rng.exponential(size=120)
+        for k in (3, 5):
+            opt = univariate_sse(values, optimal_univariate(values, k))
+            heur = univariate_sse(values, mdav(values[:, None], k))
+            assert opt <= heur + 1e-9
+
+    def test_single_cluster_when_n_below_2k(self):
+        values = np.array([3.0, 1.0, 2.0])
+        p = optimal_univariate(values, 2)
+        assert p.n_clusters == 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="1-D"):
+            optimal_univariate(np.zeros((2, 2)), 1)
+        with pytest.raises(ValueError, match="k must be"):
+            optimal_univariate(np.zeros(3), 4)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(-1e4, 1e4, allow_nan=False), min_size=2, max_size=40
+        ),
+        k=st.integers(2, 6),
+    )
+    def test_partition_invariants_property(self, values, k):
+        values = np.asarray(values)
+        if len(values) < k:
+            return
+        p = optimal_univariate(values, k)
+        assert p.min_size >= k
+        assert p.max_size <= 2 * k - 1
+        assert p.sizes().sum() == len(values)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        values=st.lists(
+            st.floats(-100, 100, allow_nan=False), min_size=4, max_size=24
+        ),
+    )
+    def test_clusters_are_sorted_intervals(self, values):
+        """Optimal univariate clusters are contiguous in sorted order."""
+        values = np.asarray(values)
+        p = optimal_univariate(values, 2)
+        order = np.argsort(values, kind="stable")
+        labels_in_sorted_order = p.labels[order]
+        # Each label occupies one contiguous run.
+        runs = [lab for lab, _ in itertools.groupby(labels_in_sorted_order.tolist())]
+        assert len(runs) == len(set(runs))
+
+
+class TestUnivariateSSE:
+    def test_zero_for_singletons(self):
+        values = np.array([5.0, 9.0])
+        assert univariate_sse(values, Partition([0, 1])) == 0.0
+
+    def test_known_value(self):
+        values = np.array([0.0, 2.0])
+        assert univariate_sse(values, Partition([0, 0])) == pytest.approx(2.0)

@@ -1,0 +1,49 @@
+"""Extra coverage: (n,t)-closeness under the rank EMD and superset logic."""
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeRole, Microdata, numeric
+from repro.privacy import nt_closeness_level, t_closeness_level
+
+
+@pytest.fixture
+def release():
+    # Three classes of 2 records each; confidential values interleaved so
+    # neighbouring classes complement each other's distributions.
+    return Microdata(
+        {
+            "qi": np.array([1.0, 1.0, 2.0, 2.0, 3.0, 3.0]),
+            "secret": np.array([1.0, 4.0, 2.0, 5.0, 3.0, 6.0]),
+        },
+        [
+            numeric("qi", role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("secret", role=AttributeRole.CONFIDENTIAL),
+        ],
+    )
+
+
+def test_rank_mode_matches_distinct_on_tie_free_data(release):
+    distinct = nt_closeness_level(release, n=4, emd_mode="distinct")
+    rank = nt_closeness_level(release, n=4, emd_mode="rank")
+    assert rank == pytest.approx(distinct, abs=1e-9)
+
+
+def test_larger_n_not_easier(release):
+    """Raising n restricts the candidate supersets, so the level rises."""
+    small = nt_closeness_level(release, n=2)
+    large = nt_closeness_level(release, n=6)
+    assert large >= small - 1e-12
+
+
+def test_superset_comparison_uses_local_reference(release):
+    """A class compared against its own 2-class neighbourhood, not the table.
+
+    Class {1,4} with its nearest class {2,5} forms the superset
+    {1,2,4,5}; the class EMD to that superset differs from its EMD to the
+    whole table, and the (n,t) level must reflect the former.
+    """
+    nt = nt_closeness_level(release, n=4)
+    t = t_closeness_level(release)
+    assert nt != pytest.approx(t) or nt <= t
+    assert nt <= t + 1e-12

@@ -1,0 +1,129 @@
+"""Tests for disclosure-risk estimators and the audit report."""
+
+import numpy as np
+import pytest
+
+from repro import anonymize
+from repro.data import AttributeRole, Microdata, load_mcd, numeric
+from repro.microagg import Partition
+from repro.privacy import (
+    PrivacyAudit,
+    audit,
+    equivalence_classes,
+    expected_reidentification_rate,
+    interval_disclosure_rate,
+    record_linkage_risk,
+    reidentification_upper_bound,
+)
+
+
+@pytest.fixture(scope="module")
+def anonymized_pair():
+    original = load_mcd(n=200)
+    release, result = anonymize(original, k=4, t=0.2)
+    return original, release, result
+
+
+class TestStructuralRisk:
+    def test_uniform_classes(self):
+        classes = Partition([0, 0, 1, 1])
+        assert expected_reidentification_rate(classes) == pytest.approx(0.5)
+
+    def test_mixed_classes(self):
+        # Sizes 1 and 3: mean(1, 1/3, 1/3, 1/3) = 0.5
+        classes = Partition([0, 1, 1, 1])
+        assert expected_reidentification_rate(classes) == pytest.approx(0.5)
+
+    def test_upper_bound_is_inverse_k(self, anonymized_pair):
+        _, release, _ = anonymized_pair
+        k = equivalence_classes(release).min_size
+        assert reidentification_upper_bound(release) == pytest.approx(1.0 / k)
+
+
+class TestRecordLinkage:
+    def test_identity_release_fully_linkable(self):
+        original = load_mcd(n=80)
+        assert record_linkage_risk(original, original) == pytest.approx(1.0)
+
+    def test_anonymization_reduces_linkage(self, anonymized_pair):
+        original, release, _ = anonymized_pair
+        risk = record_linkage_risk(original, release)
+        assert risk < 0.5  # k=4 caps structural risk at 0.25 + noise
+
+    def test_linkage_at_most_structural_ceiling(self, anonymized_pair):
+        """Linking into a centroid class cannot beat uniform guessing."""
+        original, release, result = anonymized_pair
+        risk = record_linkage_risk(original, release)
+        ceiling = expected_reidentification_rate(result.partition)
+        assert risk <= ceiling + 0.05
+
+    def test_sampling_determinism(self, anonymized_pair):
+        original, release, _ = anonymized_pair
+        r1 = record_linkage_risk(original, release, max_records=50, seed=3)
+        r2 = record_linkage_risk(original, release, max_records=50, seed=3)
+        assert r1 == r2
+
+    def test_row_mismatch_rejected(self):
+        a = load_mcd(n=50)
+        b = load_mcd(n=60)
+        with pytest.raises(ValueError, match="records"):
+            record_linkage_risk(a, b)
+
+
+class TestIntervalDisclosure:
+    def test_identity_release_full_disclosure(self):
+        original = load_mcd(n=60)
+        assert interval_disclosure_rate(original, original) == pytest.approx(1.0)
+
+    def test_masking_reduces_disclosure(self, anonymized_pair):
+        original, release, _ = anonymized_pair
+        rate = interval_disclosure_rate(original, release, width=0.01)
+        assert rate < 1.0
+
+    def test_wider_interval_higher_rate(self, anonymized_pair):
+        original, release, _ = anonymized_pair
+        narrow = interval_disclosure_rate(original, release, width=0.01)
+        wide = interval_disclosure_rate(original, release, width=0.2)
+        assert wide >= narrow
+
+    def test_validation(self, anonymized_pair):
+        original, release, _ = anonymized_pair
+        with pytest.raises(ValueError, match="width"):
+            interval_disclosure_rate(original, release, width=0.0)
+
+    def test_constant_column(self):
+        md = Microdata(
+            {"q": np.array([5.0, 5.0]), "s": np.array([1.0, 2.0])},
+            [
+                numeric("q", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("s", role=AttributeRole.CONFIDENTIAL),
+            ],
+        )
+        assert interval_disclosure_rate(md, md) == pytest.approx(1.0)
+
+
+class TestAudit:
+    def test_audit_fields(self, anonymized_pair):
+        original, release, result = anonymized_pair
+        report = audit(release, original)
+        assert isinstance(report, PrivacyAudit)
+        assert report.n_records == 200
+        assert report.k_level >= 4
+        assert report.t_level <= 0.2 + 1e-9
+        assert report.n_classes == result.partition.n_clusters
+        assert report.linkage_risk is not None
+
+    def test_audit_without_original(self, anonymized_pair):
+        _, release, _ = anonymized_pair
+        report = audit(release)
+        assert report.linkage_risk is None
+
+    def test_format_contains_key_lines(self, anonymized_pair):
+        original, release, _ = anonymized_pair
+        text = audit(release, original).format()
+        for needle in ("k-anonymity", "t-closeness", "l-diversity", "linkage"):
+            assert needle in text
+
+    def test_format_omits_linkage_without_original(self, anonymized_pair):
+        _, release, _ = anonymized_pair
+        assert "linkage" not in audit(release).format()

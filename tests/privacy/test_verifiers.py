@@ -1,0 +1,221 @@
+"""Tests for k-anonymity / l-diversity / t-closeness / p-sensitivity checks."""
+
+import numpy as np
+import pytest
+
+from repro.data import AttributeRole, Microdata, nominal, numeric
+from repro.privacy import (
+    class_emds,
+    distinct_l_diversity,
+    entropy_l_diversity,
+    equivalence_classes,
+    is_k_anonymous,
+    is_nt_close,
+    is_p_sensitive_k_anonymous,
+    is_recursive_cl_diverse,
+    is_t_close,
+    k_anonymity_level,
+    nt_closeness_level,
+    p_sensitivity_level,
+    t_closeness_level,
+)
+
+
+def make_release(qi_values, secrets, diseases=None):
+    """Released table: one numeric QI, numeric secret, optional disease."""
+    columns = {
+        "qi": np.asarray(qi_values, dtype=float),
+        "secret": np.asarray(secrets, dtype=float),
+    }
+    schema = [
+        numeric("qi", role=AttributeRole.QUASI_IDENTIFIER),
+        numeric("secret", role=AttributeRole.CONFIDENTIAL),
+    ]
+    if diseases is not None:
+        columns["disease"] = np.asarray(diseases, dtype=object)
+        cats = tuple(dict.fromkeys(diseases))
+        schema.append(nominal("disease", cats, role=AttributeRole.CONFIDENTIAL))
+    return Microdata(columns, schema)
+
+
+@pytest.fixture
+def release():
+    # Two classes of 3 (qi=1.0) and 2 (qi=2.0) records.
+    return make_release(
+        [1.0, 1.0, 1.0, 2.0, 2.0],
+        [10.0, 20.0, 30.0, 10.0, 10.0],
+    )
+
+
+class TestKAnonymity:
+    def test_classes_grouped_by_qi(self, release):
+        classes = equivalence_classes(release)
+        assert classes.n_clusters == 2
+        np.testing.assert_array_equal(np.sort(classes.sizes()), [2, 3])
+
+    def test_level(self, release):
+        assert k_anonymity_level(release) == 2
+
+    def test_is_k_anonymous(self, release):
+        assert is_k_anonymous(release, 2)
+        assert not is_k_anonymous(release, 3)
+
+    def test_k_validation(self, release):
+        with pytest.raises(ValueError, match="k must be"):
+            is_k_anonymous(release, 0)
+
+    def test_requires_qis(self):
+        md = Microdata({"x": [1.0]}, [numeric("x")])
+        with pytest.raises(ValueError, match="no quasi-identifier"):
+            equivalence_classes(md)
+
+    def test_multi_qi_grouping(self):
+        md = Microdata(
+            {
+                "a": np.array([1.0, 1.0, 1.0, 1.0]),
+                "b": np.array([1.0, 1.0, 2.0, 2.0]),
+                "s": np.array([1.0, 2.0, 3.0, 4.0]),
+            },
+            [
+                numeric("a", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("b", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("s", role=AttributeRole.CONFIDENTIAL),
+            ],
+        )
+        assert equivalence_classes(md).n_clusters == 2
+
+
+class TestLDiversity:
+    def test_distinct_level(self, release):
+        # Class 1 has 3 distinct secrets, class 2 has 1 -> level 1.
+        assert distinct_l_diversity(release) == 1
+
+    def test_distinct_level_diverse_table(self):
+        md = make_release([1.0, 1.0, 2.0, 2.0], [5.0, 7.0, 1.0, 3.0])
+        assert distinct_l_diversity(md) == 2
+
+    def test_entropy_level_uniform_class(self):
+        md = make_release([1.0, 1.0, 1.0], [1.0, 2.0, 3.0])
+        assert entropy_l_diversity(md) == pytest.approx(3.0)
+
+    def test_entropy_level_degenerate_class(self, release):
+        assert entropy_l_diversity(release) == pytest.approx(1.0)
+
+    def test_worst_attribute_wins(self):
+        md = make_release(
+            [1.0, 1.0], [10.0, 20.0], diseases=["flu", "flu"]
+        )
+        assert distinct_l_diversity(md) == 1  # disease column is uniform
+
+    def test_explicit_attribute(self):
+        md = make_release(
+            [1.0, 1.0], [10.0, 20.0], diseases=["flu", "flu"]
+        )
+        assert distinct_l_diversity(md, "secret") == 2
+        assert distinct_l_diversity(md, "disease") == 1
+
+    def test_recursive_cl(self):
+        # Counts (2, 1, 1): r1=2 < c*(r2+r3)=2*(1+1) -> (2, 2)-diverse.
+        md = make_release(
+            [1.0] * 4, [5.0, 5.0, 6.0, 7.0]
+        )
+        assert is_recursive_cl_diverse(md, c=2.0, l=2)
+        assert not is_recursive_cl_diverse(md, c=0.5, l=2)
+
+    def test_recursive_cl_insufficient_values(self):
+        md = make_release([1.0, 1.0], [5.0, 5.0])
+        assert not is_recursive_cl_diverse(md, c=10.0, l=2)
+
+    def test_recursive_validation(self, release):
+        with pytest.raises(ValueError, match="c must be"):
+            is_recursive_cl_diverse(release, c=0.0, l=2)
+        with pytest.raises(ValueError, match="l must be"):
+            is_recursive_cl_diverse(release, c=1.0, l=0)
+
+    def test_requires_confidential(self):
+        md = Microdata(
+            {"q": [1.0, 1.0]},
+            [numeric("q", role=AttributeRole.QUASI_IDENTIFIER)],
+        )
+        with pytest.raises(ValueError, match="no confidential"):
+            distinct_l_diversity(md)
+
+
+class TestTCloseness:
+    def test_perfectly_mirrored_classes(self):
+        # Both classes hold {1, 2}: distributions equal the table's.
+        md = make_release([1.0, 1.0, 2.0, 2.0], [1.0, 2.0, 1.0, 2.0])
+        assert t_closeness_level(md) == pytest.approx(0.0, abs=1e-12)
+        assert is_t_close(md, 0.0)
+
+    def test_skewed_classes(self):
+        md = make_release([1.0, 1.0, 2.0, 2.0], [1.0, 1.0, 2.0, 2.0])
+        # Each class holds one value only: EMD = 0.5 per class.
+        assert t_closeness_level(md) == pytest.approx(0.5)
+        assert not is_t_close(md, 0.3)
+
+    def test_class_emds_shape(self, release):
+        emds = class_emds(release)
+        assert emds.shape == (2,)
+
+    def test_t_validation(self, release):
+        with pytest.raises(ValueError, match="t must be"):
+            is_t_close(release, -0.1)
+
+    def test_anonymized_output_passes_verifier(self):
+        """End-to-end: algorithm output passes the independent verifier."""
+        from repro import anonymize
+        from repro.data import load_mcd
+
+        data = load_mcd(n=200)
+        release, result = anonymize(data, k=3, t=0.2)
+        assert is_k_anonymous(release, 3)
+        assert is_t_close(release, 0.2)
+        assert t_closeness_level(release) == pytest.approx(result.max_emd)
+
+
+class TestPSensitive:
+    def test_level(self, release):
+        assert p_sensitivity_level(release) == 1
+
+    def test_is_p_sensitive(self):
+        md = make_release([1.0, 1.0, 2.0, 2.0], [5.0, 7.0, 1.0, 3.0])
+        assert is_p_sensitive_k_anonymous(md, p=2, k=2)
+        assert not is_p_sensitive_k_anonymous(md, p=3, k=2)
+        assert not is_p_sensitive_k_anonymous(md, p=2, k=3)
+
+    def test_validation(self, release):
+        with pytest.raises(ValueError, match="p must be"):
+            is_p_sensitive_k_anonymous(release, p=0, k=1)
+        with pytest.raises(ValueError, match="k must be"):
+            is_p_sensitive_k_anonymous(release, p=1, k=0)
+
+
+class TestNTCloseness:
+    def test_looser_than_t_closeness(self):
+        """(n, t)-closeness level never exceeds the t-closeness level."""
+        md = make_release(
+            [1.0, 1.0, 2.0, 2.0, 3.0, 3.0],
+            [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        t_level = t_closeness_level(md)
+        nt_level = nt_closeness_level(md, n=4)
+        assert nt_level <= t_level + 1e-12
+
+    def test_n_equals_total_recovers_t_closeness(self):
+        md = make_release(
+            [1.0, 1.0, 2.0, 2.0], [1.0, 2.0, 3.0, 4.0]
+        )
+        assert nt_closeness_level(md, n=4) == pytest.approx(t_closeness_level(md))
+
+    def test_is_nt_close(self):
+        md = make_release([1.0, 1.0, 2.0, 2.0], [1.0, 2.0, 1.0, 2.0])
+        assert is_nt_close(md, n=2, t=0.01)
+
+    def test_validation(self, release):
+        with pytest.raises(ValueError, match="n must be"):
+            nt_closeness_level(release, n=0)
+        with pytest.raises(ValueError, match="exceeds"):
+            nt_closeness_level(release, n=100)
+        with pytest.raises(ValueError, match="t must be"):
+            is_nt_close(release, n=2, t=-0.5)

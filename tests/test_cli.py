@@ -1,0 +1,179 @@
+"""End-to-end CLI tests (anonymize and audit subcommands)."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main
+from repro.data import load_mcd, read_csv, write_csv
+from repro.privacy import is_k_anonymous, is_t_close
+
+
+@pytest.fixture
+def census_csv(tmp_path):
+    path = tmp_path / "census.csv"
+    write_csv(load_mcd(n=150), path)
+    return path
+
+
+class TestAnonymizeCommand:
+    def test_end_to_end(self, census_csv, tmp_path, capsys):
+        out = tmp_path / "release.csv"
+        code = main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "-k",
+                "3",
+                "-t",
+                "0.2",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "tclose-first" in stdout
+        release = read_csv(
+            out,
+            quasi_identifiers=["TAXINC", "POTHVAL"],
+            confidential=["FEDTAX"],
+        )
+        assert release.n_records == 150
+        assert is_k_anonymous(release, 3)
+        assert is_t_close(release, 0.2 + 1e-9)
+
+    def test_method_selection(self, census_csv, tmp_path, capsys):
+        out = tmp_path / "release.csv"
+        code = main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "-k",
+                "2",
+                "-t",
+                "0.25",
+                "--method",
+                "merge",
+            ]
+        )
+        assert code == 0
+        assert "merge" in capsys.readouterr().out
+
+    def test_report_flag(self, census_csv, tmp_path, capsys):
+        out = tmp_path / "release.csv"
+        main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "-k",
+                "3",
+                "-t",
+                "0.2",
+                "--report",
+            ]
+        )
+        stdout = capsys.readouterr().out
+        assert "Privacy audit" in stdout
+        assert "record-linkage risk" in stdout
+
+    def test_identifier_dropped(self, tmp_path, capsys):
+        src = tmp_path / "in.csv"
+        data = load_mcd(n=60)
+        # Reuse FICA-free census; add a synthetic id column via CSV text.
+        write_csv(data, src)
+        text = src.read_text().splitlines()
+        text[0] = "ID," + text[0]
+        for i in range(1, len(text)):
+            text[i] = f"{i}," + text[i]
+        src.write_text("\n".join(text) + "\n")
+        out = tmp_path / "out.csv"
+        main(
+            [
+                "anonymize",
+                str(src),
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "--identifier",
+                "ID",
+                "-k",
+                "2",
+                "-t",
+                "0.3",
+            ]
+        )
+        header = out.read_text().splitlines()[0]
+        assert "ID" not in header.split(",")
+
+    def test_unknown_method_rejected(self, census_csv, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "anonymize",
+                    str(census_csv),
+                    str(tmp_path / "o.csv"),
+                    "--qi",
+                    "TAXINC",
+                    "--confidential",
+                    "FEDTAX",
+                    "-k",
+                    "2",
+                    "-t",
+                    "0.2",
+                    "--method",
+                    "wizardry",
+                ]
+            )
+
+
+class TestAuditCommand:
+    def test_audit_prints_report(self, census_csv, tmp_path, capsys):
+        out = tmp_path / "release.csv"
+        main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "-k",
+                "4",
+                "-t",
+                "0.2",
+            ]
+        )
+        capsys.readouterr()
+        code = main(
+            [
+                "audit",
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+            ]
+        )
+        assert code == 0
+        stdout = capsys.readouterr().out
+        assert "k-anonymity level    : 4" in stdout or "k-anonymity" in stdout
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main([])

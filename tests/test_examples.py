@@ -1,0 +1,52 @@
+"""Smoke tests for the example scripts.
+
+Importing an example executes its module level (imports + constants) but
+not ``main()`` (guarded by ``__name__``), so this catches API drift —
+renamed functions, changed signatures — without paying each example's full
+runtime.  One cheap example's ``main()`` is executed end-to-end.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES_DIR = Path(__file__).parent.parent / "examples"
+EXAMPLES = sorted(p.name for p in EXAMPLES_DIR.glob("*.py"))
+
+
+def _load(name):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name.removesuffix('.py')}", EXAMPLES_DIR / name
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_examples_present():
+    """The deliverable floor: a quickstart plus domain scenarios."""
+    assert "quickstart.py" in EXAMPLES
+    assert len(EXAMPLES) >= 3
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_imports_cleanly(name):
+    module = _load(name)
+    assert callable(module.main)
+    assert module.__doc__  # every example documents its scenario
+
+
+def test_quickstart_main_runs(capsys, monkeypatch):
+    module = _load("quickstart.py")
+    # Shrink the workload: quickstart defaults to the full 1,080 records.
+    import repro.data
+
+    monkeypatch.setattr(
+        module, "load_mcd", lambda: repro.data.load_mcd(n=150), raising=True
+    )
+    module.main()
+    out = capsys.readouterr().out
+    assert "tclose-first" in out
+    assert "Privacy audit" in out
