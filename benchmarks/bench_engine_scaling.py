@@ -1,0 +1,157 @@
+"""Wall-clock scaling benchmark for the clustering engine — BENCH_engine.json.
+
+Times the four partition-layer algorithms (mdav, vmdav, tclose-first,
+kanon-first) on synthetic data at n ∈ {1 000, 5 000, 20 000} and writes the
+results to ``BENCH_engine.json`` at the repository root.  That file is the
+repo's tracked performance trajectory: every PR that touches the partition
+layer reruns this script and must not regress it.  See
+``benchmarks/README.md`` for the JSON schema.
+
+This is a standalone script, not a pytest benchmark, so CI can run it
+directly::
+
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py          # full
+    PYTHONPATH=src python benchmarks/bench_engine_scaling.py --smoke  # CI
+
+The synthetic dataset mirrors the paper's evaluation shape: a handful of
+correlated income-like numeric quasi-identifiers plus one tie-free numeric
+confidential attribute (so ``emd_mode="distinct"`` trackers apply and
+Algorithm 3's bucket construction sees one record per rank).
+
+Parameter choices keep each algorithm in its partition-dominated regime:
+``k = 5`` throughout; ``t = 0.05`` for tclose-first (Eq. 3 then raises the
+effective cluster size to ~10 at large n); ``t = 0.4`` for kanon-first (a
+loose level, so the swap/merge phases stay cheap and the measured cost is
+the clustering loop, not the EMD refinement the Figure-5 benches cover).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.kanon_first import kanonymity_first  # noqa: E402
+from repro.core.tclose_first import tcloseness_first  # noqa: E402
+from repro.data import AttributeRole, Microdata, numeric  # noqa: E402
+from repro.microagg import mdav, vmdav  # noqa: E402
+
+SIZES = (1_000, 5_000, 20_000)
+SMOKE_SIZES = (300,)
+K = 5
+T_TCLOSE = 0.05
+T_KANON = 0.4
+GAMMA = 0.2
+SEED = 20160516  # the paper's conference date, for want of a better nothing
+
+
+def synthetic_dataset(n: int, d: int = 4, seed: int = SEED) -> Microdata:
+    """Income-shaped numeric microdata with a tie-free confidential column."""
+    rng = np.random.default_rng(seed + n)
+    shared = rng.standard_normal(n)
+    columns: dict[str, np.ndarray] = {}
+    schema = []
+    for i in range(d):
+        latent = 0.6 * shared + 0.8 * rng.standard_normal(n)
+        columns[f"qi{i}"] = 30_000.0 * np.exp(0.6 * latent)
+        schema.append(numeric(f"qi{i}", role=AttributeRole.QUASI_IDENTIFIER))
+    columns["secret"] = rng.permutation(np.arange(float(n)))
+    schema.append(numeric("secret", role=AttributeRole.CONFIDENTIAL))
+    return Microdata(columns, schema)
+
+
+def current_commit() -> str:
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        return out.stdout.strip()
+    except (OSError, subprocess.CalledProcessError):  # pragma: no cover
+        return "unknown"
+
+
+def timed(fn) -> float:
+    start = time.perf_counter()
+    fn()
+    return time.perf_counter() - start
+
+
+def run_benchmarks(sizes: tuple[int, ...]) -> list[dict]:
+    commit = current_commit()
+    entries: list[dict] = []
+
+    def record(algorithm: str, n: int, t: float | None, seconds: float) -> None:
+        entries.append(
+            {
+                "algorithm": algorithm,
+                "n": n,
+                "k": K,
+                "t": t,
+                "seconds": round(seconds, 4),
+                "commit": commit,
+            }
+        )
+        t_str = "-" if t is None else f"{t:g}"
+        print(f"{algorithm:>13s}  n={n:<6d} k={K} t={t_str:<5s} {seconds:8.3f}s")
+
+    for n in sizes:
+        data = synthetic_dataset(n)
+        X = data.qi_matrix()
+        record("mdav", n, None, timed(lambda: mdav(X, K)))
+        record("vmdav", n, None, timed(lambda: vmdav(X, K, gamma=GAMMA)))
+        record(
+            "tclose-first",
+            n,
+            T_TCLOSE,
+            timed(lambda: tcloseness_first(data, K, T_TCLOSE)),
+        )
+        record(
+            "kanon-first",
+            n,
+            T_KANON,
+            timed(lambda: kanonymity_first(data, K, T_KANON)),
+        )
+    return entries
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny run (n=300) that exercises the harness without the cost",
+    )
+    parser.add_argument(
+        "--out",
+        type=Path,
+        default=REPO_ROOT / "BENCH_engine.json",
+        help="output JSON path (default: BENCH_engine.json at the repo root)",
+    )
+    args = parser.parse_args()
+
+    sizes = SMOKE_SIZES if args.smoke else SIZES
+    entries = run_benchmarks(sizes)
+    payload = {
+        "benchmark": "engine_scaling",
+        "schema": "benchmarks/README.md#bench_enginejson",
+        "entries": entries,
+    }
+    args.out.write_text(json.dumps(payload, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,98 @@
+"""Regenerate the golden partition fixtures for the engine equivalence tests.
+
+The fixture file ``tests/microagg/fixtures/engine_golden.npz`` stores, for
+every dataset in ``tests/microagg/golden_datasets.py``, the partition labels
+produced by each algorithm.  It was generated ONCE from the pre-engine seed
+implementations (commit b54cc5e tree, with the canonical
+column-accumulated ``sq_distances_to`` kernel from ``distance/records.py``
+overlaid, since that shared primitive defines the distance rounding for
+seed and engine alike: ``git archive HEAD | tar -x -C /tmp/seed_tree``,
+copy ``records.py`` in, compute labels with the seed algorithms).  It is
+the contract the engine-backed rewrites are held to: rerunning this script
+after any partitioner change must reproduce the committed file
+bit-for-bit.
+
+Usage::
+
+    PYTHONPATH=src python scripts/generate_engine_golden.py [--check]
+
+``--check`` verifies the current implementations against the committed
+fixture instead of overwriting it (exit code 1 on any difference).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT))
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.kanon_first import kanonymity_first  # noqa: E402
+from repro.core.tclose_first import tcloseness_first  # noqa: E402
+from repro.microagg import mdav, vmdav  # noqa: E402
+
+from tests.microagg.golden_datasets import (  # noqa: E402
+    MATRIX_CASES,
+    MICRODATA_CASES,
+    VMDAV_GAMMAS,
+    matrix_case,
+    microdata_case,
+)
+
+FIXTURE_PATH = REPO_ROOT / "tests" / "microagg" / "fixtures" / "engine_golden.npz"
+
+
+def compute_labels() -> dict[str, np.ndarray]:
+    """All golden partitions, keyed ``<algorithm>/<case>[/<param>]``."""
+    out: dict[str, np.ndarray] = {}
+    for name, _n, _d, k in MATRIX_CASES:
+        X = matrix_case(name)
+        out[f"mdav/{name}"] = mdav(X, k).labels
+        for gamma in VMDAV_GAMMAS:
+            out[f"vmdav/{name}/g{gamma}"] = vmdav(X, k, gamma=gamma).labels
+    for name, _n, k, t in MICRODATA_CASES:
+        data = microdata_case(name)
+        out[f"kanon-first/{name}"] = kanonymity_first(data, k, t).partition.labels
+        out[f"tclose-first/{name}"] = tcloseness_first(data, k, t).partition.labels
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="compare against the committed fixture instead of rewriting it",
+    )
+    args = parser.parse_args()
+
+    labels = compute_labels()
+    if args.check:
+        with np.load(FIXTURE_PATH) as stored:
+            stored_keys = set(stored.files)
+            fresh_keys = set(labels)
+            status = 0
+            for key in sorted(stored_keys | fresh_keys):
+                if key not in stored_keys or key not in fresh_keys:
+                    print(f"MISSING  {key}")
+                    status = 1
+                elif not np.array_equal(stored[key], labels[key]):
+                    print(f"DIFFERS  {key}")
+                    status = 1
+                else:
+                    print(f"ok       {key}")
+        return status
+
+    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(FIXTURE_PATH, **labels)
+    print(f"wrote {len(labels)} partitions to {FIXTURE_PATH}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,7 +24,8 @@ from __future__ import annotations
 import numpy as np
 
 from ..data.dataset import Microdata
-from ..distance.records import encode_mixed, sq_distances_to
+from ..distance.records import encode_mixed
+from ..microagg.engine import ClusteringEngine
 from ..microagg.partition import Partition
 from .base import TClosenessResult
 from .confidential import ConfidentialModel
@@ -36,8 +37,7 @@ _MIN_IMPROVEMENT = 1e-12
 
 
 def _generate_cluster(
-    X: np.ndarray,
-    remaining: np.ndarray,
+    engine: ClusteringEngine,
     seed_record: int,
     model: ConfidentialModel,
     k: int,
@@ -47,10 +47,9 @@ def _generate_cluster(
 
     Parameters
     ----------
-    X:
-        Full QI geometry (indexed by record id).
-    remaining:
-        Record ids still unclustered (must contain ``seed_record``).
+    engine:
+        Clustering engine whose live set is the unclustered records (must
+        contain ``seed_record``).
     seed_record:
         The extreme record the cluster grows around.
     model:
@@ -65,14 +64,12 @@ def _generate_cluster(
         Swapped-out records are *not* in ``members`` and therefore remain
         unclustered for later clusters, mirroring the paper's pseudocode.
     """
-    if len(remaining) < 2 * k:
-        return remaining.copy(), 0
+    if engine.n_alive < 2 * k:
+        return engine.alive_ids(), 0
 
-    order = np.argsort(
-        sq_distances_to(X[remaining], X[seed_record]), kind="stable"
-    )
-    members = remaining[order[:k]].copy()
-    pool = remaining[order[k:]]  # ascending distance from the seed
+    by_distance = engine.sorted_alive(point=engine.row(seed_record))
+    members = by_distance[:k].copy()
+    pool = by_distance[k:]  # ascending distance from the seed
 
     tracker = model.make_tracker(members)
     n_swaps = 0
@@ -138,26 +135,25 @@ def kanonymity_first(
             "swap evaluation"
         )
 
-    remaining = np.arange(n)
+    engine = ClusteringEngine(X)
     clusters: list[np.ndarray] = []
     total_swaps = 0
 
-    while len(remaining):
-        centroid = X[remaining].mean(axis=0)
-        x0_pos = int(np.argmax(sq_distances_to(X[remaining], centroid)))
-        x0 = int(remaining[x0_pos])
-        members, swaps = _generate_cluster(X, remaining, x0, model, k, t)
+    while engine.n_alive:
+        x0 = engine.farthest_from_centroid()
+        members, swaps = _generate_cluster(engine, x0, model, k, t)
         total_swaps += swaps
         clusters.append(members)
-        remaining = np.setdiff1d(remaining, members, assume_unique=True)
+        engine.kill(members)
 
-        if len(remaining):
-            x1_pos = int(np.argmax(sq_distances_to(X[remaining], X[x0])))
-            x1 = int(remaining[x1_pos])
-            members, swaps = _generate_cluster(X, remaining, x1, model, k, t)
+        if engine.n_alive:
+            # The buffer still holds the distances to x0 evaluated while
+            # generating its cluster; reuse them for the next seed.
+            x1 = engine.farthest()
+            members, swaps = _generate_cluster(engine, x1, model, k, t)
             total_swaps += swaps
             clusters.append(members)
-            remaining = np.setdiff1d(remaining, members, assume_unique=True)
+            engine.kill(members)
 
     partition = Partition.from_clusters(clusters, n)
     partition.validate_min_size(k)

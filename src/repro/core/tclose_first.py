@@ -28,7 +28,8 @@ import numpy as np
 
 from ..data.attributes import AttributeKind
 from ..data.dataset import Microdata
-from ..distance.records import encode_mixed, sq_distances_to
+from ..distance.records import encode_mixed
+from ..microagg.engine import ClusteringEngine
 from ..microagg.partition import Partition
 from .base import TClosenessResult
 from .bounds import emd_upper_bound, tclose_first_cluster_size
@@ -108,51 +109,105 @@ def tcloseness_first(
     k_eff = tclose_first_cluster_size(n, t, k)
     X = encode_mixed(data, data.quasi_identifiers)
 
-    # Slice records (sorted by confidential value) into k_eff buckets.
+    # Slice records (sorted by confidential value) into k_eff buckets.  The
+    # concatenation of the buckets IS conf_order, so one pool array with
+    # tombstones replaces the per-bucket pool arrays (``np.delete`` pops),
+    # and one distance evaluation per seed replaces the per-bucket ones.
     conf_order = np.argsort(data.values(conf_name), kind="stable")
     sizes = _bucket_sizes(n, k_eff)
-    boundaries = np.concatenate([[0], np.cumsum(sizes)])
-    pools: list[np.ndarray] = [
-        conf_order[boundaries[i] : boundaries[i + 1]].copy()
-        for i in range(k_eff)
-    ]
     base = n // k_eff
     extras_left = sizes - base
+    bucket_alive = sizes.copy()  # live records per bucket
 
-    alive = np.ones(n, dtype=bool)
+    engine = ClusteringEngine(X)
     clusters: list[np.ndarray] = []
 
+    # Pool layout: pool[:pool_len] holds the record ids of every bucket,
+    # bucket-major, each bucket in confidential order — dead entries are
+    # tombstoned (alive_pool False) and physically dropped whenever the
+    # engine compacts its window.  That keeps the invariant that every pool
+    # entry is inside the engine window, so ``pool_pos`` (cached window
+    # positions) gathers valid, freshly masked distances.
+    pool = conf_order.copy()
+    pool_len = n
+    alive_pool = np.ones(n, dtype=bool)
+    pool_pos = engine.positions_of(pool)  # window position of each entry
+    boundaries = np.concatenate([[0], np.cumsum(bucket_alive)])
+    compactions_seen = engine.n_compactions
+    d2_pool = np.empty(n)  # distances gathered into pool layout
+
+    def refresh_pool() -> None:
+        """Drop tombstoned pool entries and re-cache window positions."""
+        nonlocal pool_len, boundaries, compactions_seen
+        live = np.flatnonzero(alive_pool[:pool_len])
+        pool[: live.size] = pool[live]
+        pool_len = live.size
+        alive_pool[:pool_len] = True
+        pool_pos[:pool_len] = engine.positions_of(pool[:pool_len])
+        boundaries = np.concatenate([[0], np.cumsum(bucket_alive)])
+        compactions_seen = engine.n_compactions
+
     def build_cluster(seed: int) -> np.ndarray:
+        """One cluster: the bucket member nearest to the seed, per bucket."""
+        nonlocal extras_left
+        engine.eval_distances(engine.row(seed))
+        if engine.n_compactions != compactions_seen:
+            refresh_pool()
+        # Records killed by earlier clusters read +inf through the mask, so
+        # tombstoned pool entries never win an argmin below.
+        d2 = engine.masked_distances(np.inf)
+        np.take(d2, pool_pos[:pool_len], out=d2_pool[:pool_len])
+
+        if not extras_left.any() and bucket_alive.min() > 0:
+            # Steady state (extras exhausted, every bucket populated): the
+            # cluster is exactly one pick per bucket — the first minimum of
+            # each bucket segment, found without a Python loop.
+            starts = boundaries[:-1]
+            mins = np.minimum.reduceat(d2_pool[:pool_len], starts)
+            hits = np.flatnonzero(
+                d2_pool[:pool_len] == np.repeat(mins, np.diff(boundaries))
+            )
+            picks = hits[np.searchsorted(hits, starts)]
+            alive_pool[picks] = False
+            bucket_alive[:] -= 1
+            members = pool[picks].astype(np.int64, copy=True)
+            engine.kill(members)
+            return members
+
         chosen: list[int] = []
         extra_taken = False
-        for i in range(k_eff):
-            pool = pools[i]
-            if len(pool) == 0:  # pragma: no cover - construction keeps pools even
-                continue
-            pos = int(np.argmin(sq_distances_to(X[pool], X[seed])))
+
+        def take_nearest(i: int) -> None:
+            """Pop the bucket-i record nearest to the seed (ties: first)."""
+            b0, b1 = boundaries[i], boundaries[i + 1]
+            pos = b0 + int(np.argmin(d2_pool[b0:b1]))
             chosen.append(int(pool[pos]))
-            pools[i] = np.delete(pool, pos)
+            alive_pool[pos] = False
+            d2_pool[pos] = np.inf
+            bucket_alive[i] -= 1
+
+        for i in range(k_eff):
+            if bucket_alive[i] == 0:  # pragma: no cover - pools stay even
+                continue
+            take_nearest(i)
             # The paper's extra-record rule: a central bucket still holding
             # leftovers donates a second record, at most once per cluster.
-            if extras_left[i] > 0 and not extra_taken and len(pools[i]):
-                pos = int(np.argmin(sq_distances_to(X[pools[i]], X[seed])))
-                chosen.append(int(pools[i][pos]))
-                pools[i] = np.delete(pools[i], pos)
+            if extras_left[i] > 0 and not extra_taken and bucket_alive[i]:
+                take_nearest(i)
                 extras_left[i] -= 1
                 extra_taken = True
         members = np.asarray(chosen, dtype=np.int64)
-        alive[members] = False
+        engine.kill(members)
         return members
 
-    while alive.any():
-        alive_idx = np.flatnonzero(alive)
-        centroid = X[alive_idx].mean(axis=0)
-        x0 = int(alive_idx[np.argmax(sq_distances_to(X[alive_idx], centroid))])
+    while engine.n_alive:
+        x0 = engine.farthest_from_centroid()
         clusters.append(build_cluster(x0))
 
-        if alive.any():
-            alive_idx = np.flatnonzero(alive)
-            x1 = int(alive_idx[np.argmax(sq_distances_to(X[alive_idx], X[x0]))])
+        if engine.n_alive:
+            # build_cluster left the distances to x0 in the buffer; reuse
+            # them to seed the second cluster of the round.
+            x1 = engine.farthest()
             clusters.append(build_cluster(x1))
 
     partition = Partition.from_clusters(clusters, n)

@@ -16,33 +16,97 @@ applies:
 
 from __future__ import annotations
 
+from typing import Iterator
+
 import numpy as np
 
 from ..data.attributes import AttributeKind
 from ..data.dataset import Microdata
 
 
+def iter_blocks(n: int, block_size: int | None) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` row ranges covering ``0..n`` in blocks.
+
+    ``block_size=None`` yields the single block ``(0, n)``.  Shared by the
+    chunk-aware distance evaluations here and by the clustering engine
+    (:mod:`repro.microagg.engine`), so "how large is a block" is decided in
+    exactly one place.
+    """
+    if block_size is None:
+        if n:
+            yield 0, n
+        return
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    for start in range(0, n, block_size):
+        yield start, min(start + block_size, n)
+
+
 def sq_distances_to(X: np.ndarray, x: np.ndarray) -> np.ndarray:
-    """Squared Euclidean distance from one point ``x`` to every row of ``X``."""
+    """Squared Euclidean distance from one point ``x`` to every row of ``X``.
+
+    This is the library's *canonical* distance arithmetic: the squares are
+    accumulated column by column, left to right, with plain elementwise
+    ufuncs.  Unlike a BLAS product or an ``einsum`` reduction (whose
+    internal summation order depends on the numpy build, SIMD width and
+    block layout), this order is fully determined by this function — so the
+    clustering engine (:mod:`repro.microagg.engine`), which evaluates the
+    same accumulation over its own buffers, produces bitwise-identical
+    distances, and exact ties between records (ubiquitous for
+    integer-valued or category-encoded data) are preserved everywhere.
+    """
     X = np.asarray(X, dtype=np.float64)
     x = np.asarray(x, dtype=np.float64)
     if X.ndim != 2:
         raise ValueError(f"X must be 2-D, got shape {X.shape}")
     if x.shape != (X.shape[1],):
         raise ValueError(f"x must have shape ({X.shape[1]},), got {x.shape}")
-    diff = X - x
-    return np.einsum("ij,ij->i", diff, diff)
+    n, d = X.shape
+    if d == 0:
+        return np.zeros(n)
+    diff = X[:, 0] - x[0]
+    out = diff * diff
+    for j in range(1, d):
+        diff = X[:, j] - x[j]
+        out += diff * diff
+    return out
 
 
-def pairwise_sq_distances(X: np.ndarray) -> np.ndarray:
-    """Full n x n matrix of squared Euclidean distances (for small n)."""
+def pairwise_sq_distances(
+    X: np.ndarray, *, chunk_size: int | None = None
+) -> np.ndarray:
+    """Full n x n matrix of squared Euclidean distances.
+
+    Parameters
+    ----------
+    X:
+        Record matrix (n x d).
+    chunk_size:
+        When given, the Gram product and the broadcast sums are evaluated in
+        row blocks of at most ``chunk_size`` rows, so the only full-size
+        allocation is the n x n result itself (peak *scratch* memory is
+        O(chunk_size * n) instead of a second n x n temporary).  ``None``
+        evaluates in one shot, which is fastest while everything fits in
+        memory.
+    """
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
         raise ValueError(f"X must be 2-D, got shape {X.shape}")
+    n = X.shape[0]
     sq = np.einsum("ij,ij->i", X, X)
-    d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
-    # Clamp tiny negatives produced by floating point cancellation.
-    np.maximum(d2, 0.0, out=d2)
+    if chunk_size is None:
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+        # Clamp tiny negatives produced by floating point cancellation.
+        np.maximum(d2, 0.0, out=d2)
+        return d2
+    d2 = np.empty((n, n))
+    for start, stop in iter_blocks(n, chunk_size):
+        block = d2[start:stop]
+        np.matmul(X[start:stop], X.T, out=block)
+        block *= -2.0
+        block += sq[start:stop, None]
+        block += sq[None, :]
+        np.maximum(block, 0.0, out=block)
     return d2
 
 
@@ -64,15 +128,26 @@ def nearest_index(X: np.ndarray, x: np.ndarray) -> int:
     return int(np.argmin(sq_distances_to(X, x)))
 
 
-def k_nearest_indices(X: np.ndarray, x: np.ndarray, k: int) -> np.ndarray:
-    """Indices of the ``k`` rows of ``X`` nearest to ``x``, nearest first."""
+def k_smallest_indices(d2: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` smallest entries of ``d2``, smallest first.
+
+    This is the one selection primitive every partitioner's "k nearest"
+    step reduces to; the clustering engine
+    (:class:`repro.microagg.engine.ClusteringEngine`) calls it on masked
+    distance buffers so that engine-backed partitions inherit exactly the
+    same selection and tie-breaking behaviour as the direct implementations.
+    """
     if k <= 0:
         raise ValueError(f"k must be positive, got {k}")
-    d2 = sq_distances_to(X, x)
     if k >= len(d2):
         return np.argsort(d2, kind="stable")
     part = np.argpartition(d2, k - 1)[:k]
     return part[np.argsort(d2[part], kind="stable")]
+
+
+def k_nearest_indices(X: np.ndarray, x: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` rows of ``X`` nearest to ``x``, nearest first."""
+    return k_smallest_indices(sq_distances_to(X, x), k)
 
 
 def encode_mixed(

@@ -1,6 +1,7 @@
 """Microaggregation substrate: partitioners and aggregation operators."""
 
 from .aggregate import aggregate_partition, cluster_centroids
+from .engine import ClusteringEngine
 from .centroids import (
     centroid_value,
     marginality_centroid,
@@ -14,6 +15,7 @@ from .univariate import optimal_univariate, univariate_sse
 from .vmdav import vmdav
 
 __all__ = [
+    "ClusteringEngine",
     "Partition",
     "PartitionError",
     "mdav",

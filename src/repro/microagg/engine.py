@@ -1,0 +1,406 @@
+"""Masked, allocation-light clustering engine for MDAV-style partitioners.
+
+Every partitioner in this library (MDAV, V-MDAV, and the clustering loops of
+Algorithms 2 and 3) repeats the same three primitives over a shrinking set
+of unassigned records: distance-to-a-point, extreme-record selection, and
+k-nearest selection.  The direct implementations pay for that shrinkage with
+a fresh fancy-indexed copy of the record matrix (``X[remaining]``) per
+primitive per round — O(n^2 d / k) bytes of pure copying — plus a
+from-scratch centroid re-average each round.
+
+:class:`ClusteringEngine` owns the record matrix once and provides the same
+primitives without per-round copies:
+
+* **masked distance evaluation** — squared distances from a query point to
+  every record in the active window are written into one preallocated
+  buffer through a single preallocated column scratch (no n x d temporary,
+  no per-round allocation); the arithmetic is the library's canonical
+  kernel (:func:`repro.distance.records.sq_distances_to`'s column-
+  sequential accumulation), built from elementwise ufuncs only, so every
+  record gets the bitwise-same distance the direct implementations compute
+  — exact ties between distinct records (ubiquitous in categorical/integer
+  data) stay exact ties.  Assigned records are masked out of selections
+  with sentinel values rather than removed;
+* **incremental centroid** — the coordinate sum of unassigned records is
+  maintained by subtracting each assigned cluster, giving an O(d)
+  :meth:`~ClusteringEngine.centroid_fast`; the default
+  :meth:`~ClusteringEngine.centroid` instead reproduces the reference's
+  gather-and-mean bitwise, because a running sum can drift a few ulp and
+  an ulp is enough to break an exact distance tie differently;
+* **geometric compaction** — when the fraction of live records in the
+  window falls below ``compact_ratio`` the window is physically compacted
+  (ascending record order preserved), so per-round work tracks the number
+  of unassigned records like the copying implementations did, without their
+  per-round copies;
+* **k-nearest selection** — :func:`repro.distance.records.k_smallest_indices`
+  applied to the compacted live distances, i.e. *the identical selection
+  and tie-breaking code path* as the direct implementations.
+
+Equivalence contract
+--------------------
+Engine-backed partitioners are held (by
+``tests/microagg/test_engine_equivalence.py``) to produce *identical*
+partitions to the reference implementations, including tie-breaking:
+distances use the canonical ``sq_distances_to`` arithmetic row-for-row,
+the centroid is the reference's own gather-and-mean, all selections see
+live records in ascending record order (exactly the reference code's
+``remaining`` arrays), and k-nearest selection runs the shared
+``k_smallest_indices`` on the compacted live distances — the very array
+the reference code built — so even ``argpartition``'s behaviour on
+boundary ties is reproduced.  The golden fixtures (continuous, mixed,
+integer-grid, categorical-only, univariate and duplicate-heavy datasets)
+pin this down empirically; :meth:`ClusteringEngine.centroid_fast` is the
+one opt-out, trading that guarantee for an O(d) centroid.
+
+One caveat for archaeologists: "reference" means the seed *algorithms*
+running on today's canonical ``sq_distances_to`` (the fixtures were
+generated exactly so — seed tree plus the canonical kernel).  The seed
+originally summed squares via ``einsum``, whose reduction order is a
+numpy-build detail; canonicalizing the kernel changed distance rounding
+in the last ulp, which on near-tie data can place a record differently
+than a pre-canonicalization run on some particular numpy build would
+have.  Exact ties and tie-breaking rules — the reproducible part — are
+identical, and on integer-valued data (where every kernel is exact) so
+are whole partitions.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..distance.records import iter_blocks, k_smallest_indices, sq_distances_to
+
+#: Below this many dead rows, compaction is skipped (not worth the copy).
+_MIN_COMPACT_GAP = 32
+
+
+class ClusteringEngine:
+    """In-place partitioning primitives over one record matrix.
+
+    Parameters
+    ----------
+    X:
+        Record matrix (n x d), float-convertible.  The engine keeps a
+        private working copy; the caller's array is never modified.
+    compact_ratio:
+        Compact the active window whenever the live fraction drops below
+        this value (0 < ratio <= 1).  ``None`` disables compaction, which
+        keeps window positions equal to record ids for the lifetime of the
+        engine; callers that cache window positions across calls
+        (Algorithm 3's bucket bookkeeping) instead watch
+        :attr:`n_compactions` and refresh on change.
+    chunk_size:
+        Optional row-block size for the distance kernel, for cache-blocking
+        very large windows.  ``None`` (default) sweeps each column over the
+        whole window.  The kernel is elementwise, so results are bitwise
+        identical for every block size.
+    """
+
+    def __init__(
+        self,
+        X: np.ndarray,
+        *,
+        compact_ratio: float | None = 0.7,
+        chunk_size: int | None = None,
+    ) -> None:
+        X = np.ascontiguousarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"X must be 2-D, got shape {X.shape}")
+        if X.shape[0] == 0:
+            raise ValueError("X must have at least one record")
+        if compact_ratio is not None and not 0.0 < compact_ratio <= 1.0:
+            raise ValueError(
+                f"compact_ratio must be in (0, 1] or None, got {compact_ratio}"
+            )
+        if chunk_size is not None and chunk_size <= 0:
+            raise ValueError(f"chunk_size must be positive, got {chunk_size}")
+        n = X.shape[0]
+        self._X = X  # original rows, addressed by record id
+        # Working copy, column-major.  .copy() (not ascontiguousarray) is
+        # load-bearing: for d == 1 the transpose of a C-contiguous array is
+        # already contiguous, and a no-copy view here would let compaction
+        # write through into the caller's data.
+        self._XwT = X.T.copy()
+        self._ids = np.arange(n, dtype=np.int64)  # window position -> id
+        self._pos = np.arange(n, dtype=np.int64)  # record id -> position
+        self._alive = np.ones(n, dtype=bool)  # by window position
+        self._m = n  # active window length
+        self._n_alive = n
+        self._sum = X.sum(axis=0)  # coordinate sum of live records
+        self._d2 = np.empty(n)  # distance buffer, window layout
+        self._tmp = np.empty(n)  # per-column difference scratch
+        self._ratio = compact_ratio
+        self._chunk = chunk_size
+        self._dead_pos = np.empty(n, dtype=np.int64)  # kills since compaction
+        self._n_dead = 0
+        self._n_evals = 0
+        self._n_compactions = 0
+
+    # -- introspection ---------------------------------------------------------
+
+    @property
+    def n_records(self) -> int:
+        """Total number of records the engine was built over."""
+        return self._X.shape[0]
+
+    @property
+    def n_alive(self) -> int:
+        """Number of records not yet assigned (killed)."""
+        return self._n_alive
+
+    @property
+    def window(self) -> int:
+        """Current active-window length (``n_alive <= window <= n_records``)."""
+        return self._m
+
+    @property
+    def n_compactions(self) -> int:
+        """Number of window compactions so far.
+
+        Callers that cache window positions (:meth:`positions_of`) must
+        refresh their caches whenever this counter changes.
+        """
+        return self._n_compactions
+
+    @property
+    def stats(self) -> dict[str, int]:
+        """Counters for tests and benchmarks (evals, compactions)."""
+        return {
+            "n_evals": self._n_evals,
+            "n_compactions": self._n_compactions,
+        }
+
+    def positions_of(self, record_ids: np.ndarray) -> np.ndarray:
+        """Window positions of live records, for indexing the distance buffer.
+
+        Positions stay valid until the next compaction (watch
+        :attr:`n_compactions`).  Requesting positions of dead records is
+        undefined: their entries go stale once a compaction drops them.
+        """
+        return self._pos[record_ids]
+
+    def row(self, record_id: int) -> np.ndarray:
+        """The (original) coordinate row of one record, dead or alive."""
+        return self._X[record_id]
+
+    def alive_ids(self) -> np.ndarray:
+        """Ids of all unassigned records, ascending."""
+        return self._ids[: self._m][self._alive[: self._m]]
+
+    def centroid(self) -> np.ndarray:
+        """Centroid of the unassigned records, reference arithmetic.
+
+        Gathers the live rows and averages them exactly as the direct
+        implementations did (``X[remaining].mean(axis=0)``), so the result
+        is bitwise identical and exact distance ties to the centroid break
+        the same way.  Costs O(n_alive * d); see :meth:`centroid_fast` for
+        the O(d) running-sum alternative.
+        """
+        if self._n_alive == 0:
+            raise ValueError("no records alive")
+        return self._X[self.alive_ids()].mean(axis=0)
+
+    def centroid_fast(self) -> np.ndarray:
+        """Centroid from the incrementally maintained coordinate sum.
+
+        O(d) instead of O(n_alive * d): the sum of live rows is updated by
+        subtraction on every :meth:`kill`.  It can drift a few ulp from
+        :meth:`centroid` after many rounds, which is harmless for clustering
+        quality but *can* break an exact distance tie differently — use
+        :meth:`centroid` where bitwise reproduction of the reference
+        partitions matters.
+        """
+        if self._n_alive == 0:
+            raise ValueError("no records alive")
+        return self._sum / self._n_alive
+
+    # -- distance evaluation ---------------------------------------------------
+
+    def eval_distances(self, point: np.ndarray) -> np.ndarray:
+        """Fill the distance buffer with squared distances from ``point``.
+
+        Evaluates ``sum((row - point)^2)`` for every window row (live and
+        dead) into the preallocated buffer and returns it (a view —
+        invalidated by the next evaluation or compaction).  The arithmetic
+        is the canonical column-sequential accumulation of
+        :func:`~repro.distance.records.sq_distances_to` — elementwise
+        ufuncs only, so the result is bitwise identical to that function
+        (and independent of the block layout), and exact distance ties are
+        preserved everywhere the reference implementations had them.
+        """
+        m = self._m
+        p = np.ascontiguousarray(point, dtype=np.float64)
+        d2, tmp, cols = self._d2, self._tmp, self._XwT
+        if len(p) == 0:
+            d2[:m] = 0.0
+            self._n_evals += 1
+            return d2[:m]
+        for start, stop in iter_blocks(m, self._chunk):
+            seg = slice(start, stop)
+            np.subtract(cols[0, seg], p[0], out=tmp[seg])
+            np.multiply(tmp[seg], tmp[seg], out=d2[seg])
+            for j in range(1, len(p)):
+                np.subtract(cols[j, seg], p[j], out=tmp[seg])
+                tmp[seg] *= tmp[seg]
+                d2[seg] += tmp[seg]
+        self._n_evals += 1
+        return d2[:m]
+
+    def _masked(self, fill: float) -> np.ndarray:
+        """The distance buffer with dead window rows set to ``fill``.
+
+        Dead rows are overwritten through the list of kills accumulated
+        since the last compaction — O(dead) scattered writes instead of an
+        O(window) boolean pass (the window holds few dead rows by
+        construction: compaction fires once they exceed ``1 - ratio``).
+        """
+        d2 = self._d2[: self._m]
+        d2[self._dead_pos[: self._n_dead]] = fill
+        return d2
+
+    def masked_distances(self, fill: float = np.inf) -> np.ndarray:
+        """Last evaluated distances with dead rows overwritten by ``fill``.
+
+        Returns the window view of the internal buffer, indexed by window
+        position (:meth:`positions_of`); gathers through live positions
+        therefore see ``fill`` at every record killed since the evaluation.
+        """
+        return self._masked(fill)
+
+    # -- selections ------------------------------------------------------------
+    #
+    # Every selection accepts point=None, meaning "reuse the last evaluated
+    # distances".  Buffer values survive kill() (masking only overwrites dead
+    # rows) and compaction (the buffer is compacted alongside the window), so
+    # e.g. MDAV evaluates distances to an extreme record once and uses them
+    # both to carve its cluster and to select the next seed afterwards.
+
+    def farthest(self, point: np.ndarray | None = None) -> int:
+        """Id of the live record farthest from ``point`` (ties: lowest id)."""
+        if point is not None:
+            self.eval_distances(point)
+        d2 = self._masked(-np.inf)
+        return int(self._ids[int(np.argmax(d2))])
+
+    #: Relative margin below the maximum distance within which the fast
+    #: centroid's ulp drift could conceivably reorder records.  The actual
+    #: drift perturbs squared distances by ~1e-13 relative at most; 1e-6
+    #: leaves seven orders of magnitude of safety while still making the
+    #: exact re-adjudication a rare event on continuous data.
+    _FARTHEST_MARGIN = 1e-6
+
+    def farthest_from_centroid(self) -> int:
+        """Id of the live record farthest from the live centroid.
+
+        Scans with the O(d) running-sum centroid (:meth:`centroid_fast`)
+        and, whenever more than one record lands within a conservative
+        margin of the maximum — the only situation where the running sum's
+        ulp drift could pick a different record — re-judges exactly those
+        candidates against the exact reference centroid
+        (:meth:`centroid`).  The selected record is therefore always the
+        one the reference implementations' ``argmax`` over
+        ``sq_distances_to(X[remaining], X[remaining].mean(axis=0))``
+        selects, at running-sum cost on tie-free rounds.
+        """
+        self.eval_distances(self.centroid_fast())
+        d2 = self._masked(-np.inf)
+        top = int(np.argmax(d2))
+        band = self._FARTHEST_MARGIN * (1.0 + abs(d2[top]))
+        candidates = np.flatnonzero(d2 >= d2[top] - band)
+        if candidates.size == 1:
+            return int(self._ids[top])
+        cand_ids = self._ids[candidates]  # ascending: flatnonzero order
+        exact = sq_distances_to(self._X[cand_ids], self.centroid())
+        return int(cand_ids[int(np.argmax(exact))])
+
+    def nearest_with_value(
+        self, point: np.ndarray | None = None
+    ) -> tuple[int, float]:
+        """Nearest live record and its squared distance (ties: lowest id).
+
+        The value is the true squared distance (always >= 0), comparable
+        against absolute thresholds (V-MDAV's extension test).
+        """
+        if point is not None:
+            self.eval_distances(point)
+        d2 = self._masked(np.inf)
+        pos = int(np.argmin(d2))
+        return int(self._ids[pos]), float(d2[pos])
+
+    def k_nearest(self, k: int, point: np.ndarray | None = None) -> np.ndarray:
+        """Ids of the ``k`` live records nearest to ``point``, nearest first.
+
+        Runs :func:`~repro.distance.records.k_smallest_indices` on the
+        compacted live distances — the records in ascending id order,
+        exactly the array the reference implementations passed to
+        ``k_nearest_indices`` — so selection and tie-breaking (including
+        ``argpartition``'s behaviour on boundary ties) are identical.
+        """
+        if point is not None:
+            self.eval_distances(point)
+        m = self._m
+        live = np.flatnonzero(self._alive[:m])
+        local = k_smallest_indices(self._d2[live], k)
+        return self._ids[live[local]]
+
+    def sorted_alive(self, point: np.ndarray | None = None) -> np.ndarray:
+        """All live record ids, sorted ascending by (distance, id)."""
+        if point is not None:
+            self.eval_distances(point)
+        d2 = self._masked(np.inf)
+        order = np.argsort(d2, kind="stable")[: self._n_alive]
+        return self._ids[order]
+
+    # -- state updates ---------------------------------------------------------
+
+    def kill(self, record_ids: np.ndarray) -> None:
+        """Mark records as assigned: mask them out and update the sum.
+
+        Triggers window compaction when the live fraction falls below
+        ``compact_ratio``.  Killing an already-dead record is an error.
+        """
+        ids = np.asarray(record_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        pos = self._pos[ids]
+        # Records dropped by a compaction carry the -1 sentinel; without it
+        # a stale position could alias a live record and a double-kill
+        # would silently kill the wrong row instead of raising.  The
+        # uniqueness check closes the same hole for duplicates within one
+        # batch, which would double-count in n_alive and the running sum.
+        if (pos < 0).any() or not self._alive[pos].all():
+            raise ValueError("cannot kill a record that is already assigned")
+        if np.unique(pos).size != pos.size:
+            raise ValueError("record ids to kill must be unique")
+        self._alive[pos] = False
+        self._dead_pos[self._n_dead : self._n_dead + ids.size] = pos
+        self._n_dead += ids.size
+        self._n_alive -= ids.size
+        self._sum -= self._X[ids].sum(axis=0)
+        if (
+            self._ratio is not None
+            and self._n_alive < self._ratio * self._m
+            and self._m - self._n_alive >= _MIN_COMPACT_GAP
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Shrink the window to the live records, preserving their order.
+
+        The distance buffer is compacted too, so selections that reuse the
+        last evaluation stay valid across a compaction triggered mid-round.
+        """
+        m = self._m
+        live = np.flatnonzero(self._alive[:m])
+        new_m = live.size
+        # Invalidate the dropped records' position entries before reusing
+        # their window slots, so kill()'s liveness guard stays sound.
+        self._pos[self._ids[self._dead_pos[: self._n_dead]]] = -1
+        self._XwT[:, :new_m] = self._XwT[:, :m][:, live]
+        self._d2[:new_m] = self._d2[live]
+        self._ids[:new_m] = self._ids[live]
+        self._pos[self._ids[:new_m]] = np.arange(new_m, dtype=np.int64)
+        self._alive[:new_m] = True
+        self._n_dead = 0
+        self._m = new_m
+        self._n_compactions += 1

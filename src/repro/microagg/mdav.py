@@ -14,13 +14,20 @@ until fewer than 3k records remain; then either one final cluster (fewer
 than 2k left) or a cluster around the farthest record plus a remainder
 cluster (between 2k and 3k-1 left) closes the partition.  All clusters have
 between k and 2k-1 records.  The cost is O(n^2 / k) distance evaluations.
+
+The inner loop runs on :class:`~repro.microagg.engine.ClusteringEngine`:
+one distance evaluation per extreme record (reused for both the carve and
+the next seed selection), incremental centroids, and no per-round
+``X[remaining]`` copies.  The produced partition is identical — including
+tie-breaking — to the direct implementation this replaced (see
+``tests/microagg/test_engine_equivalence.py``).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..distance.records import k_nearest_indices, sq_distances_to
+from .engine import ClusteringEngine
 from .partition import Partition
 
 
@@ -47,33 +54,30 @@ def mdav(X: np.ndarray, k: int) -> Partition:
     if not 1 <= k <= n:
         raise ValueError(f"k must be in [1, {n}], got {k}")
 
+    engine = ClusteringEngine(X)
     labels = np.full(n, -1, dtype=np.int64)
-    remaining = np.arange(n)
     next_label = 0
 
-    def carve(local_seed: int) -> None:
-        """Assign the cluster of the k nearest to remaining[local_seed]."""
-        nonlocal remaining, next_label
-        chosen_local = k_nearest_indices(X[remaining], X[remaining[local_seed]], k)
-        labels[remaining[chosen_local]] = next_label
+    def carve(seed_id: int) -> None:
+        """Assign the cluster of the k nearest live records to ``seed_id``."""
+        nonlocal next_label
+        chosen = engine.k_nearest(k, point=engine.row(seed_id))
+        labels[chosen] = next_label
         next_label += 1
-        keep = np.ones(len(remaining), dtype=bool)
-        keep[chosen_local] = False
-        remaining = remaining[keep]
+        engine.kill(chosen)
 
-    while len(remaining) >= 3 * k:
-        c = X[remaining].mean(axis=0)
-        r_local = int(np.argmax(sq_distances_to(X[remaining], c)))
-        r_point = X[remaining[r_local]]
-        carve(r_local)
-        s_local = int(np.argmax(sq_distances_to(X[remaining], r_point)))
-        carve(s_local)
+    while engine.n_alive >= 3 * k:
+        r = engine.farthest_from_centroid()
+        carve(r)
+        # The distances to r are already in the buffer; reuse them to pick
+        # the next seed among the records that survived the carve.
+        s = engine.farthest()
+        carve(s)
 
-    if len(remaining) >= 2 * k:
-        c = X[remaining].mean(axis=0)
-        r_local = int(np.argmax(sq_distances_to(X[remaining], c)))
-        carve(r_local)
-    if len(remaining):
-        labels[remaining] = next_label
+    if engine.n_alive >= 2 * k:
+        r = engine.farthest_from_centroid()
+        carve(r)
+    if engine.n_alive:
+        labels[engine.alive_ids()] = next_label
 
     return Partition(labels)

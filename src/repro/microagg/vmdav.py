@@ -12,13 +12,21 @@ yields more size adaptivity on clustered data.
 The paper's evaluation uses plain MDAV; V-MDAV is provided as the natural
 ablation for the choice of base partitioner (see
 ``benchmarks/bench_ablation_partitioner.py``).
+
+The scan for the best extension candidate — the O(n) step of every
+extension — runs on :class:`~repro.microagg.engine.ClusteringEngine`;
+current members are killed as soon as they are chosen, so "the records
+outside the cluster" is simply the engine's live set.  The small exact
+cluster statistics (member centroid, mean intra-cluster distance) are
+computed directly on the k-or-so member rows, bit-for-bit as before.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..distance.records import k_nearest_indices, sq_distances_to
+from ..distance.records import sq_distances_to
+from .engine import ClusteringEngine
 from .partition import Partition
 
 
@@ -45,42 +53,30 @@ def vmdav(X: np.ndarray, k: int, *, gamma: float = 0.2) -> Partition:
     if gamma < 0:
         raise ValueError(f"gamma must be >= 0, got {gamma}")
 
+    engine = ClusteringEngine(X)
     labels = np.full(n, -1, dtype=np.int64)
-    remaining = np.arange(n)
     next_label = 0
 
-    while len(remaining) >= 2 * k:
-        c = X[remaining].mean(axis=0)
-        seed_local = int(np.argmax(sq_distances_to(X[remaining], c)))
-        seed_point = X[remaining[seed_local]]
-        chosen_local = list(
-            k_nearest_indices(X[remaining], seed_point, k)
-        )
+    while engine.n_alive >= 2 * k:
+        seed_id = engine.farthest_from_centroid()
+        chosen = engine.k_nearest(k, point=engine.row(seed_id)).tolist()
+        engine.kill(np.asarray(chosen, dtype=np.int64))
         # Extension phase: absorb close-by records while it looks cheap.
         # Never extend past the point where fewer than k records would be
         # left unassigned — the final remainder cluster must stay k-anonymous.
-        while (
-            len(chosen_local) < 2 * k - 1
-            and len(remaining) - len(chosen_local) - 1 >= k
-        ):
-            members = X[remaining[chosen_local]]
+        while len(chosen) < 2 * k - 1 and engine.n_alive - 1 >= k:
+            members = X[np.asarray(chosen, dtype=np.int64)]
             cluster_centroid = members.mean(axis=0)
             intra = sq_distances_to(members, cluster_centroid).mean()
-            outside = np.ones(len(remaining), dtype=bool)
-            outside[chosen_local] = False
-            outside_local = np.flatnonzero(outside)
-            d2 = sq_distances_to(X[remaining[outside_local]], cluster_centroid)
-            best = int(np.argmin(d2))
-            if intra > 0 and d2[best] < gamma * intra:
-                chosen_local.append(int(outside_local[best]))
+            best_id, best_d2 = engine.nearest_with_value(cluster_centroid)
+            if intra > 0 and best_d2 < gamma * intra:
+                chosen.append(best_id)
+                engine.kill(np.asarray([best_id], dtype=np.int64))
             else:
                 break
-        labels[remaining[chosen_local]] = next_label
+        labels[np.asarray(chosen, dtype=np.int64)] = next_label
         next_label += 1
-        keep = np.ones(len(remaining), dtype=bool)
-        keep[chosen_local] = False
-        remaining = remaining[keep]
 
-    if len(remaining):
-        labels[remaining] = next_label
+    if engine.n_alive:
+        labels[engine.alive_ids()] = next_label
     return Partition(labels)

@@ -24,11 +24,17 @@ def class_emds(
     classes: Partition | None = None,
     emd_mode: str = "distinct",
 ) -> np.ndarray:
-    """Per-class EMD to the full table (max over confidential attributes)."""
+    """Per-class EMD to the full table (max over confidential attributes).
+
+    Uses the dense (``sparse=False``) evaluation: this is the formal
+    verifier, and its boolean verdicts must apply exactly the Definition-2
+    arithmetic the anonymization algorithms enforced, not a
+    last-ulp-different fast path.
+    """
     if classes is None:
         classes = equivalence_classes(data)
     model = ConfidentialModel(data, emd_mode=emd_mode)
-    return model.partition_emds(list(classes.clusters()))
+    return model.partition_emds(list(classes.clusters()), sparse=False)
 
 
 def t_closeness_level(

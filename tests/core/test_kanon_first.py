@@ -9,6 +9,17 @@ from repro.core import kanonymity_first, microaggregation_merge
 from repro.core.kanon_first import _generate_cluster
 from repro.core.confidential import ConfidentialModel
 from repro.data import AttributeRole, Microdata, load_mcd, numeric
+from repro.microagg import ClusteringEngine
+
+
+def engine_over(X, remaining=None):
+    """Engine whose live set is ``remaining`` (default: all records)."""
+    engine = ClusteringEngine(X)
+    if remaining is not None:
+        dead = np.setdiff1d(np.arange(X.shape[0]), remaining)
+        if dead.size:
+            engine.kill(dead)
+    return engine
 
 
 @pytest.fixture(scope="module")
@@ -38,7 +49,9 @@ class TestGenerateCluster:
         X = data.qi_matrix()
         model = ConfidentialModel(data)
         remaining = np.arange(7)
-        members, swaps = _generate_cluster(X, remaining, 0, model, k=4, t=0.1)
+        members, swaps = _generate_cluster(
+            engine_over(X, remaining), 0, model, k=4, t=0.1
+        )
         np.testing.assert_array_equal(members, remaining)
         assert swaps == 0
 
@@ -46,7 +59,7 @@ class TestGenerateCluster:
         data = random_dataset(40, 1)
         X = data.qi_matrix()
         model = ConfidentialModel(data)
-        members, _ = _generate_cluster(X, np.arange(40), 0, model, k=5, t=0.05)
+        members, _ = _generate_cluster(engine_over(X), 0, model, k=5, t=0.05)
         assert len(members) == 5
         assert len(np.unique(members)) == 5
 
@@ -54,7 +67,7 @@ class TestGenerateCluster:
         data = random_dataset(40, 2)
         X = data.qi_matrix()
         model = ConfidentialModel(data)
-        members, swaps = _generate_cluster(X, np.arange(40), 0, model, k=5, t=1.0)
+        members, swaps = _generate_cluster(engine_over(X), 0, model, k=5, t=1.0)
         assert swaps == 0
         # Without swaps the cluster is exactly the seed's k nearest records.
         from repro.distance import k_nearest_indices
@@ -67,9 +80,9 @@ class TestGenerateCluster:
         X = data.qi_matrix()
         model = ConfidentialModel(data)
         strict_members, swaps = _generate_cluster(
-            X, np.arange(60), 0, model, k=4, t=0.01
+            engine_over(X), 0, model, k=4, t=0.01
         )
-        loose_members, _ = _generate_cluster(X, np.arange(60), 0, model, k=4, t=1.0)
+        loose_members, _ = _generate_cluster(engine_over(X), 0, model, k=4, t=1.0)
         assert swaps > 0
         assert model.cluster_emd(strict_members) <= model.cluster_emd(loose_members)
 

@@ -1,0 +1,223 @@
+"""Unit tests for the clustering engine's primitives.
+
+The equivalence suite (``test_engine_equivalence.py``) proves whole
+partitions match the reference implementations; these tests pin down the
+individual primitives — masked selections, incremental centroid, window
+compaction, tie-breaking, buffer reuse across kills — against direct numpy
+oracles.
+"""
+
+import numpy as np
+import pytest
+
+from repro.distance.records import (
+    k_nearest_indices,
+    pairwise_sq_distances,
+    sq_distances_to,
+)
+from repro.microagg import ClusteringEngine
+
+
+def make_engine(n=50, d=3, seed=0, **kwargs):
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(n, d))
+    return X, ClusteringEngine(X, **kwargs)
+
+
+class TestValidation:
+    def test_rejects_bad_shapes(self):
+        with pytest.raises(ValueError, match="2-D"):
+            ClusteringEngine(np.zeros(5))
+        with pytest.raises(ValueError, match="at least one record"):
+            ClusteringEngine(np.zeros((0, 3)))
+
+    def test_rejects_bad_parameters(self):
+        X = np.zeros((4, 2))
+        with pytest.raises(ValueError, match="compact_ratio"):
+            ClusteringEngine(X, compact_ratio=1.5)
+        with pytest.raises(ValueError, match="chunk_size"):
+            ClusteringEngine(X, chunk_size=0)
+
+    def test_kill_dead_record_raises(self):
+        _, engine = make_engine()
+        engine.kill(np.array([3]))
+        with pytest.raises(ValueError, match="already assigned"):
+            engine.kill(np.array([3]))
+
+    def test_kill_duplicate_ids_in_one_batch_raises(self):
+        _, engine = make_engine()
+        n_alive = engine.n_alive
+        with pytest.raises(ValueError, match="unique"):
+            engine.kill(np.array([3, 3]))
+        assert engine.n_alive == n_alive
+
+    def test_centroid_requires_alive(self):
+        _, engine = make_engine(n=2)
+        engine.kill(np.array([0, 1]))
+        with pytest.raises(ValueError, match="alive"):
+            engine.centroid()
+
+
+class TestSelections:
+    def test_distances_match_reference_kernel(self):
+        X, engine = make_engine()
+        p = X[7]
+        d2 = engine.eval_distances(p)
+        np.testing.assert_array_equal(d2, sq_distances_to(X, p))
+
+    def test_nearest_value_is_nonnegative_at_zero_distance(self):
+        # A query point coinciding with a live record must report exactly
+        # 0.0, never a cancellation artefact below zero (which would flip
+        # vmdav's gamma=0 extension test against the reference behaviour).
+        X, engine = make_engine()
+        rec, value = engine.nearest_with_value(X[21].copy())
+        assert rec == 21
+        assert value == 0.0
+
+    def test_farthest_and_nearest_against_oracle(self):
+        X, engine = make_engine()
+        dead = np.array([0, 5, 9])
+        engine.kill(dead)
+        alive = np.setdiff1d(np.arange(50), dead)
+        p = X.mean(axis=0)
+        d2 = sq_distances_to(X[alive], p)
+        assert engine.farthest(p) == alive[np.argmax(d2)]
+        near, value = engine.nearest_with_value(p)
+        assert near == alive[np.argmin(d2)]
+        assert value == pytest.approx(d2.min(), abs=1e-12)
+
+    def test_k_nearest_matches_reference_selection(self):
+        X, engine = make_engine()
+        dead = np.arange(0, 50, 7)
+        engine.kill(dead)
+        alive = np.setdiff1d(np.arange(50), dead)
+        ids = engine.k_nearest(6, point=X[1])
+        expected = alive[k_nearest_indices(X[alive], X[1], 6)]
+        np.testing.assert_array_equal(ids, expected)
+
+    def test_sorted_alive_orders_by_distance_then_id(self):
+        X, engine = make_engine()
+        ids = engine.sorted_alive(point=X[3])
+        d2 = sq_distances_to(X, X[3])
+        expected = np.argsort(d2, kind="stable")
+        np.testing.assert_array_equal(ids, expected)
+
+    def test_duplicate_ties_break_to_lowest_id(self):
+        X = np.zeros((6, 2))
+        X[4] = X[2] = [1.0, 1.0]  # two identical far points
+        engine = ClusteringEngine(X)
+        assert engine.farthest(np.zeros(2)) == 2
+        # All-zero rows tie at distance 0; ids win in ascending order.
+        np.testing.assert_array_equal(
+            engine.k_nearest(3, point=np.zeros(2)), [0, 1, 3]
+        )
+
+    def test_buffer_reuse_after_kill_sees_fresh_mask(self):
+        X, engine = make_engine()
+        p = X[0]
+        first = engine.farthest(p)
+        engine.kill(np.array([first]))
+        second = engine.farthest()  # reuse: same distances, fewer alive
+        alive = np.setdiff1d(np.arange(50), [first])
+        d2 = sq_distances_to(X[alive], p)
+        assert second == alive[np.argmax(d2)]
+        assert second != first
+
+
+class TestStateMaintenance:
+    def test_centroid_is_bitwise_reference_mean(self):
+        X, engine = make_engine()
+        rng = np.random.default_rng(1)
+        alive = np.ones(50, dtype=bool)
+        for _ in range(8):
+            candidates = np.flatnonzero(alive)
+            kill = rng.choice(candidates, size=4, replace=False)
+            engine.kill(kill)
+            alive[kill] = False
+            # centroid(): exactly the reference X[remaining].mean(axis=0);
+            # centroid_fast(): running sum, equal to float precision only.
+            np.testing.assert_array_equal(
+                engine.centroid(), X[alive].mean(axis=0)
+            )
+            np.testing.assert_allclose(
+                engine.centroid_fast(), X[alive].mean(axis=0), atol=1e-10
+            )
+            np.testing.assert_array_equal(engine.alive_ids(), np.flatnonzero(alive))
+
+    def test_univariate_input_is_never_aliased_or_mutated(self):
+        # For d=1 the transpose of a contiguous matrix is itself contiguous;
+        # the working copy must still be a real copy, or compaction would
+        # write through into the caller's array.
+        from repro.microagg import mdav
+
+        rng = np.random.default_rng(8)
+        X = rng.normal(size=(100, 1))
+        engine = ClusteringEngine(X)
+        assert not np.shares_memory(engine._XwT, X)
+        original = X.copy()
+        mdav(X, 2)  # large enough that compaction fires
+        np.testing.assert_array_equal(X, original)
+
+    def test_double_kill_after_compaction_raises(self):
+        # Stale positions of compacted-away records must not alias live
+        # window slots: the liveness guard has to stay loud.
+        _, engine = make_engine(n=200, seed=9, compact_ratio=0.7)
+        engine.kill(np.arange(100))
+        assert engine.stats["n_compactions"] >= 1
+        n_alive_before = engine.n_alive
+        with pytest.raises(ValueError, match="already assigned"):
+            engine.kill(np.array([5]))
+        assert engine.n_alive == n_alive_before
+        np.testing.assert_array_equal(engine.alive_ids(), np.arange(100, 200))
+
+    def test_compaction_preserves_results(self):
+        # A low ratio forces many compactions; selections must be unaffected.
+        X, eager = make_engine(n=200, seed=3, compact_ratio=0.95)
+        _, lazy = make_engine(n=200, seed=3, compact_ratio=None)
+        rng = np.random.default_rng(4)
+        for _ in range(30):
+            p = X[rng.integers(0, 200)]
+            a, b = eager.k_nearest(3, point=p), lazy.k_nearest(3, point=p)
+            np.testing.assert_array_equal(a, b)
+            assert eager.farthest(p) == lazy.farthest(p)
+            eager.kill(a)
+            lazy.kill(b)
+        assert eager.stats["n_compactions"] > 0
+        assert lazy.stats["n_compactions"] == 0
+        assert eager.window < 200
+
+    def test_chunked_evaluation_is_bitwise_identical(self):
+        # The kernel is row-wise, so the block layout cannot change results.
+        X, whole = make_engine(n=97, seed=5)
+        _, chunked = make_engine(n=97, seed=5, chunk_size=16)
+        p = X[13]
+        np.testing.assert_array_equal(
+            whole.eval_distances(p), chunked.eval_distances(p)
+        )
+        np.testing.assert_array_equal(
+            whole.eval_distances(p), sq_distances_to(X, p)
+        )
+
+    def test_positions_survive_until_compaction(self):
+        X, engine = make_engine(n=64, compact_ratio=0.5)
+        ids = np.arange(64)
+        seen = engine.n_compactions
+        pos = engine.positions_of(ids)
+        np.testing.assert_array_equal(pos, ids)  # identity before compaction
+        engine.kill(np.arange(0, 40))  # triggers a compaction
+        assert engine.n_compactions == seen + 1
+        fresh = engine.positions_of(engine.alive_ids())
+        np.testing.assert_array_equal(fresh, np.arange(engine.n_alive))
+
+
+class TestChunkedPairwise:
+    def test_chunked_matches_direct(self):
+        rng = np.random.default_rng(6)
+        X = rng.normal(size=(37, 4))
+        direct = pairwise_sq_distances(X)
+        chunked = pairwise_sq_distances(X, chunk_size=8)
+        np.testing.assert_allclose(chunked, direct, atol=1e-12)
+
+    def test_chunk_size_validated(self):
+        with pytest.raises(ValueError, match="block_size"):
+            pairwise_sq_distances(np.zeros((4, 2)), chunk_size=-1)
