@@ -12,12 +12,24 @@ the contract the engine-backed rewrites are held to: rerunning this script
 after any partitioner change must reproduce the committed file
 bit-for-bit.
 
+A second fixture, ``tests/microagg/fixtures/kanon_first_golden.npz``,
+covers *end-to-end* runs of the swap/merge-heavy algorithms on the
+tight-t cases of ``golden_datasets.E2E_CASES``: kanon-first with and
+without the merge fallback, plus Algorithm 1 (MDAV + merge).  For each
+run it stores the partition labels, the per-cluster EMDs, and the
+swap/merge counters.  It was generated ONCE from the dense pre-refactor
+swap/merge implementations (commit 2a51dac tree); the sparse EMD engine
+introduced afterwards is held to identical labels and counters
+(bit-for-bit) and to EMDs equal within 1e-12 — the reported EMD values
+are evaluated sparsely post-refactor, which regroups the same float
+summation and may shift the last ulp.
+
 Usage::
 
     PYTHONPATH=src python scripts/generate_engine_golden.py [--check]
 
 ``--check`` verifies the current implementations against the committed
-fixture instead of overwriting it (exit code 1 on any difference).
+fixtures instead of overwriting them (exit code 1 on any difference).
 """
 
 from __future__ import annotations
@@ -33,18 +45,27 @@ sys.path.insert(0, str(REPO_ROOT))
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro.core.kanon_first import kanonymity_first  # noqa: E402
+from repro.core.merge import microaggregation_merge  # noqa: E402
 from repro.core.tclose_first import tcloseness_first  # noqa: E402
 from repro.microagg import mdav, vmdav  # noqa: E402
 
 from tests.microagg.golden_datasets import (  # noqa: E402
+    E2E_CASES,
     MATRIX_CASES,
     MICRODATA_CASES,
     VMDAV_GAMMAS,
+    e2e_case,
     matrix_case,
     microdata_case,
 )
 
-FIXTURE_PATH = REPO_ROOT / "tests" / "microagg" / "fixtures" / "engine_golden.npz"
+FIXTURES_DIR = REPO_ROOT / "tests" / "microagg" / "fixtures"
+FIXTURE_PATH = FIXTURES_DIR / "engine_golden.npz"
+E2E_FIXTURE_PATH = FIXTURES_DIR / "kanon_first_golden.npz"
+
+#: Keys within one e2e case holding float EMDs (compared to 1e-12, not
+#: bitwise — the sparse evaluation regroups the dense summation).
+_EMD_KEY_SUFFIXES = ("emds",)
 
 
 def compute_labels() -> dict[str, np.ndarray]:
@@ -62,35 +83,99 @@ def compute_labels() -> dict[str, np.ndarray]:
     return out
 
 
+def compute_e2e() -> dict[str, np.ndarray]:
+    """End-to-end kanon-first / Algorithm-1 runs, keyed ``<case>/<field>``."""
+    out: dict[str, np.ndarray] = {}
+    for case, dataset_name, k, t in E2E_CASES:
+        data = e2e_case(dataset_name)
+        full = kanonymity_first(data, k, t)
+        raw = kanonymity_first(data, k, t, merge_fallback=False)
+        alg1 = microaggregation_merge(data, k, t)
+        out[f"{case}/labels"] = full.partition.labels
+        out[f"{case}/emds"] = full.cluster_emds
+        out[f"{case}/counters"] = np.array(
+            [
+                full.info["n_swaps"],
+                full.info["n_merges"],
+                full.info["clusters_before_merge"],
+            ],
+            dtype=np.int64,
+        )
+        out[f"{case}/raw/labels"] = raw.partition.labels
+        out[f"{case}/raw/emds"] = raw.cluster_emds
+        out[f"{case}/alg1/labels"] = alg1.partition.labels
+        out[f"{case}/alg1/emds"] = alg1.cluster_emds
+        out[f"{case}/alg1/counters"] = np.array(
+            [alg1.info["n_merges"]], dtype=np.int64
+        )
+    return out
+
+
+def _check_fixture(
+    path: Path, fresh: dict[str, np.ndarray], *, emd_atol: float = 0.0
+) -> int:
+    """Compare freshly computed arrays against one committed fixture."""
+    status = 0
+    with np.load(path) as stored:
+        stored_keys = set(stored.files)
+        fresh_keys = set(fresh)
+        for key in sorted(stored_keys | fresh_keys):
+            if key not in stored_keys or key not in fresh_keys:
+                print(f"MISSING  {key}")
+                status = 1
+                continue
+            if emd_atol and key.split("/")[-1] in _EMD_KEY_SUFFIXES:
+                same = stored[key].shape == fresh[key].shape and np.allclose(
+                    stored[key], fresh[key], atol=emd_atol, rtol=0.0
+                )
+            else:
+                same = np.array_equal(stored[key], fresh[key])
+            if not same:
+                print(f"DIFFERS  {key}")
+                status = 1
+            else:
+                print(f"ok       {key}")
+    return status
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--check",
         action="store_true",
-        help="compare against the committed fixture instead of rewriting it",
+        help="compare against the committed fixtures instead of rewriting them",
+    )
+    parser.add_argument(
+        "--write-e2e",
+        action="store_true",
+        help=(
+            "ALSO rewrite kanon_first_golden.npz from the CURRENT "
+            "implementations.  That fixture's value is its dense "
+            "pre-refactor provenance; regenerating it from the sparse code "
+            "makes the equivalence tests compare the sparse engine against "
+            "itself.  Only do this when deliberately re-baselining."
+        ),
     )
     args = parser.parse_args()
 
     labels = compute_labels()
+    e2e = compute_e2e()
     if args.check:
-        with np.load(FIXTURE_PATH) as stored:
-            stored_keys = set(stored.files)
-            fresh_keys = set(labels)
-            status = 0
-            for key in sorted(stored_keys | fresh_keys):
-                if key not in stored_keys or key not in fresh_keys:
-                    print(f"MISSING  {key}")
-                    status = 1
-                elif not np.array_equal(stored[key], labels[key]):
-                    print(f"DIFFERS  {key}")
-                    status = 1
-                else:
-                    print(f"ok       {key}")
+        status = _check_fixture(FIXTURE_PATH, labels)
+        status |= _check_fixture(E2E_FIXTURE_PATH, e2e, emd_atol=1e-12)
         return status
 
-    FIXTURE_PATH.parent.mkdir(parents=True, exist_ok=True)
+    FIXTURES_DIR.mkdir(parents=True, exist_ok=True)
     np.savez_compressed(FIXTURE_PATH, **labels)
     print(f"wrote {len(labels)} partitions to {FIXTURE_PATH}")
+    if args.write_e2e:
+        np.savez_compressed(E2E_FIXTURE_PATH, **e2e)
+        print(f"wrote {len(e2e)} arrays to {E2E_FIXTURE_PATH}")
+    else:
+        print(
+            f"left {E2E_FIXTURE_PATH} untouched (pre-refactor provenance); "
+            "pass --write-e2e to deliberately re-baseline it"
+        )
     return 0
 
 

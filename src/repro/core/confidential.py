@@ -77,14 +77,25 @@ class ConfidentialModel:
 
     # -- one-shot evaluation -------------------------------------------------------
 
-    def cluster_emd(self, members: np.ndarray) -> float:
-        """EMD of the cluster given by record indices (max over attributes)."""
+    def cluster_emd(self, members: np.ndarray, *, sparse: bool = False) -> float:
+        """EMD of the cluster given by record indices (max over attributes).
+
+        ``sparse=True`` evaluates ordered distinct-mode attributes with the
+        O(c log m) segment path
+        (:meth:`OrderedEMDReference.emd_of_bins_sparse`) instead of the
+        dense O(m) histogram; the two agree to the last float ulp (same
+        terms, different summation grouping).  The merge phase runs sparse;
+        the dense default remains the Definition-2 reference arithmetic the
+        formal verifier (:mod:`repro.privacy.tcloseness`) applies.
+        """
         members = np.asarray(members)
         if members.size == 0:
             raise ValueError("cluster must be non-empty")
         worst = 0.0
         for ref, bins, values in zip(self._refs, self._bins, self._values):
-            if bins is not None:
+            if sparse and bins is not None and isinstance(ref, OrderedEMDReference):
+                value = ref.emd_of_bins_sparse(bins[members])
+            elif bins is not None:
                 value = ref.emd_of_bins(bins[members])
             else:
                 value = ref.emd(values[members])
@@ -99,13 +110,15 @@ class ConfidentialModel:
         With ``sparse=True`` (the bulk-reporting default), ordered
         distinct-mode attributes are evaluated with
         :meth:`OrderedEMDReference.emd_of_bins_sparse` (O(c log m) per
-        cluster instead of O(m)), which can differ from
+        cluster instead of O(m)), which can differ from the dense
         :meth:`cluster_emd` in the last float ulp.  Pass ``sparse=False``
-        wherever the value feeds a *decision* against a threshold (the
-        formal t-closeness verifier does), so the verdict uses exactly the
-        dense Definition-2 evaluation the algorithms enforce; algorithmic
-        decisions inside the algorithms (merge selection, swap refinement)
-        always go through the dense evaluations already.
+        wherever the value feeds a *verification verdict* against a
+        threshold — the formal t-closeness verifier does — so the verdict
+        uses exactly the dense Definition-2 evaluation.  The algorithms'
+        own decisions (swap refinement, merge selection) run on the sparse
+        evaluations, whose agreement with the dense definition is pinned by
+        the differential suite in ``tests/distance/test_emd_sparse.py`` and
+        the end-to-end golden fixtures.
         """
         if not clusters:
             return np.array([])
@@ -155,8 +168,30 @@ class ClusterTrackerSet:
 
     @property
     def emd(self) -> float:
-        """Current cluster EMD (max over confidential attributes)."""
+        """Current cluster EMD (max over confidential attributes).
+
+        The fast sparse evaluation — within ~1e-14 of :attr:`exact_emd`;
+        decisions landing inside that float-resolution band should consult
+        the exact value.
+        """
         return max(tracker.emd for tracker, _ in self._trackers)
+
+    @property
+    def exact_emd(self) -> float:
+        """Cluster EMD in the dense reference arithmetic (tie adjudication)."""
+        return max(tracker.exact_emd for tracker, _ in self._trackers)
+
+    def bins_key(self, record: int) -> tuple[int, ...]:
+        """Per-attribute bins of one record — records sharing a key are
+        interchangeable for swap scoring (identical scores, all paths)."""
+        return tuple(int(bins[record]) for _, bins in self._trackers)
+
+    def exact_swap_emd(self, member_record: int, new_record: int) -> float:
+        """One swap's cluster EMD in the dense reference arithmetic."""
+        return max(
+            tracker.exact_swap_emd(int(bins[member_record]), int(bins[new_record]))
+            for tracker, bins in self._trackers
+        )
 
     def swap_emds(self, member_records: np.ndarray, new_record: int) -> np.ndarray:
         """Cluster EMD after replacing each member by ``new_record``.

@@ -35,6 +35,49 @@ from .merge import merge_to_t_closeness
 #: against float-noise swap cycles without affecting genuine improvements.
 _MIN_IMPROVEMENT = 1e-12
 
+#: Decision band for the sparse fast path.  Sparse and dense EMD
+#: evaluations sum the same terms in different groupings and agree to
+#: ~1e-14; any comparison (stop check, candidate argmin, accept threshold)
+#: landing within this band of flipping is re-judged with the dense
+#: reference arithmetic (``ClusterTrackerSet.exact_*``), so every decision
+#: — and therefore every partition — matches the dense predecessor
+#: bit-for-bit while the off-band bulk of the work stays O(c log m).
+_TIE_BAND = 1e-12
+
+
+def _swap_pool(engine: ClusteringEngine, k: int):
+    """Lazily yield the swap pool — ``engine.sorted_alive()[k:]`` — in order.
+
+    The refinement loop usually consumes a handful of pool records before
+    the cluster reaches t, so sorting the whole shrinking window per cluster
+    (O(n log n), the dominant cost of tight-t runs) is wasted work.  Instead
+    the stable (distance, id) prefix is materialized in geometrically
+    growing steps via :meth:`ClusteringEngine.k_nearest_sorted`, which
+    reuses the already-evaluated seed distances; each prefix is bitwise the
+    corresponding slice of the full stable argsort, so consumption order —
+    and therefore every downstream swap decision — is unchanged.  Deep
+    consumption degrades gracefully: doubling prefixes cost at most ~2x one
+    full sort.
+    """
+    total = engine.n_alive
+    hi = k
+    while hi < total:
+        new_hi = min(total, max(hi + 64, 2 * hi))
+        prefix = engine.k_nearest_sorted(new_hi)
+        yield from prefix[hi:]
+        hi = new_hi
+
+
+def _cluster_overshoots(tracker, t: float) -> bool:
+    """Dense-faithful ``tracker.emd > t``, consulting the exact value only
+    inside the float-resolution band around t."""
+    emd = tracker.emd
+    if emd <= t - _TIE_BAND:
+        return False
+    if emd > t + _TIE_BAND:
+        return True
+    return tracker.exact_emd > t
+
 
 def _generate_cluster(
     engine: ClusteringEngine,
@@ -67,22 +110,45 @@ def _generate_cluster(
     if engine.n_alive < 2 * k:
         return engine.alive_ids(), 0
 
-    by_distance = engine.sorted_alive(point=engine.row(seed_record))
-    members = by_distance[:k].copy()
-    pool = by_distance[k:]  # ascending distance from the seed
-
+    members = engine.k_nearest_sorted(k, point=engine.row(seed_record))
     tracker = model.make_tracker(members)
     n_swaps = 0
-    for y in pool:
-        if tracker.emd <= t:
-            break
-        scores = tracker.swap_emds(members, int(y))
-        j = int(np.argmin(scores))
-        if scores[j] < tracker.emd - _MIN_IMPROVEMENT:
-            tracker.apply_swap(int(members[j]), int(y))
-            members[j] = y
-            n_swaps += 1
-        # y is consumed either way (the paper's X' = X' \ {y}).
+    if _cluster_overshoots(tracker, t):
+        # The swap pool — every other unclustered record, ascending by
+        # (distance to the seed, id) — is materialized only now that the
+        # seed cluster overshoots t, and lazily even then: at loose t this
+        # branch almost never runs, and at tight t the loop usually stops
+        # after a few pool records, so no full sort happens either way.
+        for y in _swap_pool(engine, k):
+            if not _cluster_overshoots(tracker, t):
+                break
+            scores = tracker.swap_emds(members, int(y))
+            j = int(np.argmin(scores))
+            banded = np.flatnonzero(scores <= scores[j] + _TIE_BAND)
+            threshold = tracker.emd - _MIN_IMPROVEMENT
+            if banded.size > 1 or abs(scores[j] - threshold) <= _TIE_BAND:
+                # A candidate tie or a threshold graze at float resolution:
+                # re-judge exactly those candidates with the dense
+                # arithmetic (first index wins, as the dense argmin did).
+                # Records with identical bins across every confidential
+                # attribute score identically, so each distinct bin profile
+                # is evaluated once.
+                exact: dict[tuple[int, ...], float] = {}
+                j, best = -1, np.inf
+                for i in banded:
+                    key = tracker.bins_key(int(members[i]))
+                    if key not in exact:
+                        exact[key] = tracker.exact_swap_emd(int(members[i]), int(y))
+                    if exact[key] < best:
+                        j, best = int(i), exact[key]
+                accept = best < tracker.exact_emd - _MIN_IMPROVEMENT
+            else:
+                accept = scores[j] < threshold
+            if accept:
+                tracker.apply_swap(int(members[j]), int(y))
+                members[j] = y
+                n_swaps += 1
+            # y is consumed either way (the paper's X' = X' \ {y}).
     return members, n_swaps
 
 

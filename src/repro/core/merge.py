@@ -13,16 +13,37 @@ single cluster, whose EMD to the table is zero.  The merging phase is
 exposed separately (:func:`merge_to_t_closeness`) because the paper reuses
 it as the closing step of Algorithm 2, which cannot guarantee t-closeness
 on its own.
+
+Implementation notes — the phase runs on incremental state end to end:
+
+* per-cluster EMDs are evaluated sparsely (O(c log m) segment evaluation,
+  :meth:`~repro.distance.emd.OrderedEMDReference.emd_of_bins_sparse`)
+  instead of densely over all m bins, both for the initial scan and for
+  each merged cluster;
+* the worst cluster is popped from a lazy-deletion max-heap keyed by EMD —
+  only the merged cluster's key changes per round, so re-selection is
+  O(log G) instead of an O(G) scan;
+* nearest-centroid partner search runs on a
+  :class:`~repro.microagg.engine.ClusteringEngine` built over the cluster
+  centroids, reusing its preallocated distance buffer, masked selections
+  and O(d) in-place centroid updates (:meth:`~ClusteringEngine.replace_row`)
+  instead of recomputing a Python-loop distance scan from scratch per
+  merge.  Near-tie candidates are re-judged with the pre-engine
+  ``diff @ diff`` arithmetic so partner choices — and therefore partitions
+  — stay bit-for-bit identical to the reference implementation (pinned by
+  ``tests/microagg/test_kanon_first_golden.py``).
 """
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable
 
 import numpy as np
 
 from ..data.dataset import Microdata
 from ..distance.records import encode_mixed
+from ..microagg.engine import ClusteringEngine
 from ..microagg.mdav import mdav
 from ..microagg.partition import Partition
 from .base import TClosenessResult
@@ -30,6 +51,49 @@ from .confidential import ConfidentialModel
 
 #: Signature every base partitioner must satisfy: (QI matrix, k) -> Partition.
 Partitioner = Callable[[np.ndarray, int], Partition]
+
+#: Relative margin within which centroid-distance near-ties are re-judged
+#: with the reference ``diff @ diff`` arithmetic (the engine's canonical
+#: column-sequential kernel can differ from it in the last ulp, which is
+#: enough to pick a different — equally near — merge partner).
+_PARTNER_MARGIN = 1e-6
+
+#: Decision band for the sparse EMD fast path (see
+#: ``repro.core.kanon_first._TIE_BAND``): worst-cluster selection, the
+#: stop check against t and lowest-emd partner selection re-judge any
+#: comparison within this band of flipping with the dense Definition-2
+#: arithmetic the pre-refactor merge loop used throughout.
+_TIE_BAND = 1e-12
+
+
+def _nearest_partner(cengine: ClusteringEngine, worst: int) -> int:
+    """Live cluster nearest to ``worst``'s centroid (reference tie-breaking).
+
+    Evaluates squared centroid distances through the engine's shared buffer,
+    masks dead clusters and ``worst`` itself, and takes the argmin (lowest
+    cluster id on exact ties).  Whenever more than one cluster lands within
+    a conservative margin of the minimum, exactly those candidates are
+    re-judged with the pre-engine arithmetic (``diff @ diff``, first index
+    wins), mirroring :meth:`ClusteringEngine.farthest_from_centroid`'s
+    near-tie adjudication.
+    """
+    cengine.eval_distances(cengine.row(worst))
+    buf = cengine.masked_distances(np.inf)
+    buf[int(cengine.positions_of(np.array([worst]))[0])] = np.inf
+    pos = int(np.argmin(buf))
+    d2_min = float(buf[pos])
+    band = _PARTNER_MARGIN * (1.0 + d2_min)
+    cand_pos = np.flatnonzero(buf <= d2_min + band)
+    if cand_pos.size == 1:
+        return int(cengine.ids_at(cand_pos)[0])
+    worst_centroid = cengine.row(worst)
+    best_g, best_d2 = -1, np.inf
+    for g in cengine.ids_at(cand_pos):  # ascending position == ascending id
+        diff = cengine.row(int(g)) - worst_centroid
+        d2 = float(diff @ diff)
+        if d2 < best_d2:
+            best_g, best_d2 = int(g), d2
+    return best_g
 
 
 def merge_to_t_closeness(
@@ -92,44 +156,120 @@ def merge_to_t_closeness(
     rng = np.random.default_rng(seed)
 
     members: list[np.ndarray | None] = [m for m in partition.clusters()]
-    emds = [model.cluster_emd(m) for m in members]
-    centroids = [qi_matrix[m].mean(axis=0) for m in members]
-    alive = [True] * len(members)
-    n_alive = len(members)
+    n_groups = len(members)
+    emds = [float(e) for e in model.partition_emds(members, sparse=True)]
+    sizes = [len(m) for m in members]
+    alive = [True] * n_groups
+    n_alive = n_groups
     n_merges = 0
 
+    # Worst-cluster selection: lazy-deletion max-heap on (EMD, cluster id).
+    # Only the surviving cluster's EMD changes per merge, so a version
+    # counter per cluster invalidates its stale entries on the fly; exact
+    # EMD ties pop the lowest cluster id first — the same cluster the
+    # reference linear scan's ``max`` selected.
+    versions = [0] * n_groups
+    heap = [(-e, g, 0) for g, e in enumerate(emds)]
+    heapq.heapify(heap)
+
+    def worst_alive() -> int:
+        while True:
+            neg_e, g, v = heap[0]
+            if alive[g] and v == versions[g]:
+                return g
+            heapq.heappop(heap)
+
+    # Partner search: a ClusteringEngine over the cluster-centroid matrix,
+    # built lazily on the first merge (the loose-t common case never pays
+    # for it).  Merges update it in place: the survivor's centroid row is
+    # replaced (O(d)), the absorbed cluster is killed and masked out.
+    cengine: ClusteringEngine | None = None
+
     while n_alive > 1:
-        worst = max(
-            (g for g in range(len(members)) if alive[g]), key=lambda g: emds[g]
-        )
-        if emds[worst] <= t:
+        worst = worst_alive()
+        top = emds[worst]
+        # Runner-up peek: pop the worst entry, clean stale entries off the
+        # new top, read the second-best live EMD, restore.  Each stale
+        # entry is popped exactly once over the whole run, so selection
+        # stays amortized O(log G); the O(G) banded rescan below only runs
+        # when the runner-up actually sits inside the tie band.
+        top_entry = heapq.heappop(heap)
+        runner_emd = -np.inf
+        while heap:
+            neg_e, g, v = heap[0]
+            if alive[g] and v == versions[g]:
+                runner_emd = -neg_e
+                break
+            heapq.heappop(heap)
+        heapq.heappush(heap, top_entry)
+        if runner_emd >= top - _TIE_BAND:
+            # Sparse near-tie for the worst cluster: re-judge the banded
+            # clusters with the dense arithmetic the reference linear scan
+            # maximized (first index wins on exact dense ties).
+            banded = [
+                g
+                for g in range(n_groups)
+                if alive[g] and emds[g] >= top - _TIE_BAND
+            ]
+            worst, worst_emd = -1, -np.inf
+            for g in banded:
+                value = model.cluster_emd(members[g], sparse=False)
+                if value > worst_emd:
+                    worst, worst_emd = g, value
+        elif abs(top - t) <= _TIE_BAND:
+            worst_emd = model.cluster_emd(members[worst], sparse=False)
+        else:
+            worst_emd = top
+        if worst_emd <= t:
             break
-        candidates = [g for g in range(len(members)) if alive[g] and g != worst]
         if partner_policy == "nearest-qi":
-            worst_centroid = centroids[worst]
-            best_g, best_d2 = -1, np.inf
-            for g in candidates:
-                diff = centroids[g] - worst_centroid
-                d2 = float(diff @ diff)
-                if d2 < best_d2:
-                    best_g, best_d2 = g, d2
-        elif partner_policy == "lowest-emd":
-            best_g, best_emd = -1, np.inf
-            for g in candidates:
-                value = model.cluster_emd(
-                    np.concatenate([members[worst], members[g]])
+            if cengine is None:
+                # No merge has happened yet, so every initial cluster is
+                # intact; the reference gather-and-mean keeps centroid
+                # floats identical to the pre-engine implementation's.
+                cengine = ClusteringEngine(
+                    np.stack([qi_matrix[m].mean(axis=0) for m in members])
                 )
-                if value < best_emd:
-                    best_g, best_emd = g, value
+            best_g = _nearest_partner(cengine, worst)
+        elif partner_policy == "lowest-emd":
+            candidates = [g for g in range(n_groups) if alive[g] and g != worst]
+            values = [
+                model.cluster_emd(
+                    np.concatenate([members[worst], members[g]]), sparse=True
+                )
+                for g in candidates
+            ]
+            lowest = min(values)
+            near = [g for g, v in zip(candidates, values) if v <= lowest + _TIE_BAND]
+            if len(near) > 1:
+                # Sparse near-tie between merge partners: the dense
+                # arithmetic picks, first index winning exact ties.
+                best_g, best_emd = -1, np.inf
+                for g in near:
+                    value = model.cluster_emd(
+                        np.concatenate([members[worst], members[g]]), sparse=False
+                    )
+                    if value < best_emd:
+                        best_g, best_emd = g, value
+            else:
+                best_g = candidates[int(np.argmin(values))]
         else:  # random
+            candidates = [g for g in range(n_groups) if alive[g] and g != worst]
             best_g = int(rng.choice(candidates))
         merged = np.concatenate([members[worst], members[best_g]])
-        size_w, size_b = len(members[worst]), len(members[best_g])
-        centroids[worst] = (
-            size_w * centroids[worst] + size_b * centroids[best_g]
-        ) / (size_w + size_b)
+        size_w, size_b = sizes[worst], sizes[best_g]
+        if cengine is not None:
+            cengine.replace_row(
+                worst,
+                (size_w * cengine.row(worst) + size_b * cengine.row(best_g))
+                / (size_w + size_b),
+            )
+            cengine.kill(np.array([best_g]))
+        sizes[worst] = size_w + size_b
         members[worst] = merged
-        emds[worst] = model.cluster_emd(merged)
+        emds[worst] = model.cluster_emd(merged, sparse=True)
+        versions[worst] += 1
+        heapq.heappush(heap, (-emds[worst], worst, versions[worst]))
         members[best_g] = None
         alive[best_g] = False
         n_alive -= 1

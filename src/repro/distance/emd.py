@@ -30,9 +30,10 @@ al.'s microaggregation algorithms:
     subtree boundary pays that subtree's height over the tree height.
 
 The module also provides :class:`OrderedEMDReference` — a precomputed frame
-for evaluating many clusters against one dataset — and
-:class:`ClusterEMDTracker`, an O(m) incremental evaluator for the
-add/remove-one-record updates that dominate Algorithm 2's running time.
+for evaluating many clusters against one dataset, including the sparse
+segment-wise evaluation that costs O(c log m) per cluster instead of O(m) —
+and :class:`ClusterEMDTracker`, the sparse incremental evaluator for the
+replace-one-record updates that dominate Algorithm 2's running time.
 """
 
 from __future__ import annotations
@@ -172,6 +173,39 @@ class OrderedEMDReference:
         p = np.bincount(bins, minlength=self.m).astype(np.float64) / c
         return self.emd_of_histogram(p)
 
+    def _ensure_prefix(self) -> tuple[np.ndarray, np.ndarray]:
+        """Lazily built cumulative distribution and its prefix sums.
+
+        ``qcum[i] = sum_{j<=i} q_j`` and ``qprefix[i] = sum_{j<i} qcum[j]``;
+        together they let any segment sum of ``|const - qcum|`` be evaluated
+        with two lookups (see :meth:`_segment_abs_sums`).  Built once per
+        reference and shared by every sparse evaluation against it.
+        """
+        if self._qcum is None:
+            self._qcum = np.cumsum(self.q)
+            self._qcum_prefix = np.concatenate([[0.0], np.cumsum(self._qcum)])
+        return self._qcum, self._qcum_prefix
+
+    def _segment_abs_sums(
+        self, starts: np.ndarray, stops: np.ndarray, consts: np.ndarray
+    ) -> np.ndarray:
+        """Sum of ``|consts_j - qcum_i|`` over segments ``[starts_j, stops_j)``.
+
+        ``consts`` holds the cluster's (constant) cumulative mass on each
+        segment; it may be 1-D ``(S,)`` for one cluster or 2-D ``(R, S)``
+        for R candidate clusters sharing one segment grid — the reduction
+        runs over the last axis either way.  Within a segment ``qcum`` is
+        non-decreasing, so ``|const - qcum|`` changes sign at most once; the
+        crossing is located by binary search and both halves collapse to
+        prefix-sum lookups.
+        """
+        qcum, qprefix = self._ensure_prefix()
+        # First bin index in each segment where cum_q exceeds the constant.
+        cross = np.clip(np.searchsorted(qcum, consts, side="right"), starts, stops)
+        below = consts * (cross - starts) - (qprefix[cross] - qprefix[starts])
+        above = (qprefix[stops] - qprefix[cross]) - consts * (stops - cross)
+        return (below + above).sum(axis=-1)
+
     def emd_of_bins_sparse(
         self, bins: np.ndarray, cluster_size: int | None = None
     ) -> float:
@@ -183,10 +217,13 @@ class OrderedEMDReference:
         ``|cum_p - cum_q|`` over the segment reduces to two prefix-sum
         lookups around the point where the dataset's cumulative distribution
         crosses that constant.  Results can differ from the dense evaluation
-        in the last float ulp (different summation order), which is why the
-        dense form remains the reference for the incremental trackers and
-        merge decisions; use this for bulk reporting over many clusters
-        (:meth:`repro.core.confidential.ConfidentialModel.partition_emds`).
+        in the last float ulp (different summation order).  This is the
+        evaluation the incremental trackers (:class:`ClusterEMDTracker`) and
+        all bulk reporting
+        (:meth:`repro.core.confidential.ConfidentialModel.partition_emds`)
+        are built on; the dense form remains the *definitional* reference,
+        pinned to this one by the differential tests in
+        ``tests/distance/test_emd_sparse.py``.
         """
         if self.mode != "distinct":
             raise ValueError("emd_of_bins_sparse is only defined for mode='distinct'")
@@ -194,11 +231,6 @@ class OrderedEMDReference:
         c = cluster_size if cluster_size is not None else len(bins)
         if c <= 0:
             raise ValueError("cluster_size must be positive")
-        if self._qcum is None:
-            self._qcum = np.cumsum(self.q)
-            self._qcum_prefix = np.concatenate([[0.0], np.cumsum(self._qcum)])
-        qcum, qprefix = self._qcum, self._qcum_prefix
-
         uniq, counts = np.unique(bins, return_counts=True)
         # Segment j covers bin range [starts[j], stops[j]) where the
         # cluster's cumulative mass is the constant consts[j]; the leading
@@ -206,60 +238,226 @@ class OrderedEMDReference:
         consts = np.concatenate([[0.0], np.cumsum(counts) / c])
         starts = np.concatenate([[0], uniq])
         stops = np.concatenate([uniq, [self.m]])
-        # First bin index in each segment where cum_q exceeds the constant.
-        cross = np.clip(
-            np.searchsorted(qcum, consts, side="right"), starts, stops
-        )
-        below = consts * (cross - starts) - (qprefix[cross] - qprefix[starts])
-        above = (qprefix[stops] - qprefix[cross]) - consts * (stops - cross)
-        return float((below + above).sum() / self._denom)
+        return float(self._segment_abs_sums(starts, stops, consts) / self._denom)
 
 
 class ClusterEMDTracker:
     """Incremental ordered-EMD evaluator for one mutable cluster.
 
-    Maintains the cumulative difference vector
-    ``D_i = sum_{j<=i} (p_j - q_j)`` so that
+    Keeps the cluster as a *sorted multiset of member bins* — O(c) state for
+    a cluster of c records, independent of the m dataset bins — plus the
+    current EMD as a cached float, so that
 
-    * the current EMD is ``sum|D| / (m-1)`` — O(m);
-    * *evaluating* a swap (replace member ``b`` with candidate ``a``) is a
-      vectorized O(m) per candidate instead of a full recount, and all |C|
-      candidate removals are scored in a single numpy broadcast
-      (:meth:`swap_emds`);
-    * *applying* a swap is an O(m) range update (:meth:`apply_swap`).
+    * reading the current EMD is O(1) (:attr:`emd`);
+    * *evaluating* a swap (replace the member at bin ``b`` with a candidate
+      at bin ``a``) costs O(c log m): the swapped cluster's cumulative mass
+      is piecewise constant over at most c + 2 segments, and each segment
+      collapses to two prefix-sum lookups against the reference's cached
+      cumulative distribution
+      (:meth:`OrderedEMDReference._segment_abs_sums`, the engine under
+      :meth:`OrderedEMDReference.emd_of_bins_sparse`).  All |C| candidate
+      removals share one segment grid and are scored in a single
+      vectorized O(c^2 log m) pass (:meth:`swap_emds`) — replacing the
+      dense O(|C| x m) broadcast that dominated Algorithm 2's swap phase;
+    * *applying* a swap is an O(c) delta update of the sorted member array
+      (:meth:`apply_swap`); the cached EMD is refreshed with the same
+      segment evaluation the swap was scored with, so the committed value
+      equals the score bit-for-bit.
+
+    Swap-contract (shared with :class:`NominalClusterTracker`): a swap
+    *replaces* one member — remove at ``remove_bin`` and add at ``add_bin``
+    happen simultaneously at constant cluster size (no intermediate
+    c - 1-sized cluster); ``remove_bin == add_bin`` is a no-op and scores
+    exactly the current :attr:`emd`; bins outside ``[0, m)`` raise
+    ``IndexError``; *committing* a removal at a bin that holds no member
+    raises ``ValueError``.
+
+    Sparse and dense sums of the same terms can land an ulp apart, and an
+    ulp is enough to break an exact tie between two candidate swaps
+    differently than the dense predecessor did.  For callers that need the
+    predecessor's decisions bit-for-bit (Algorithm 2's golden-pinned swap
+    loop), :attr:`exact_emd` and :meth:`exact_swap_emd` reproduce the dense
+    tracker's arithmetic *including its path dependence*: the cumulative
+    difference vector is materialized lazily from the initial members plus
+    the applied-swap history (replayed as the dense O(m) range updates) and
+    kept incrementally up to date afterwards.  The fast sparse values stay
+    within ~1e-14 of these, so consulting them is only ever needed inside a
+    float-resolution decision band.
 
     This is the data structure that brings the paper's Algorithm 2 from
     unusably slow to the O(n^2/k)–O(n^3/k) envelope the paper reports.
     """
 
-    __slots__ = ("ref", "size", "_delta_cum", "_step")
+    __slots__ = (
+        "ref",
+        "size",
+        "_member_bins",
+        "_emd",
+        "_uniq",
+        "_cum_counts",
+        "_last_scores",
+        "_initial_bins",
+        "_history",
+        "_dense_cum",
+        "_dense_emd",
+    )
 
     def __init__(self, ref: OrderedEMDReference, member_bins: np.ndarray) -> None:
         if ref.mode != "distinct":
             raise ValueError("ClusterEMDTracker requires a 'distinct'-mode reference")
-        member_bins = np.asarray(member_bins)
+        member_bins = np.asarray(member_bins, dtype=np.int64)
         if member_bins.size == 0:
             raise ValueError("cluster must be non-empty")
+        if member_bins.min() < 0 or member_bins.max() >= ref.m:
+            raise IndexError(f"member bins out of range [0, {ref.m})")
         self.ref = ref
         self.size = int(member_bins.size)
-        p = np.bincount(member_bins, minlength=ref.m).astype(np.float64) / self.size
-        self._delta_cum = np.cumsum(p - ref.q)
-        self._step = 1.0 / self.size
+        self._member_bins = np.sort(member_bins)
+        self._emd = ref.emd_of_bins_sparse(self._member_bins)
+        self._rebuild_grid_cache()
+        self._initial_bins = member_bins.copy()
+        self._history: list[tuple[int, int]] = []
+        self._dense_cum: np.ndarray | None = None
+        self._dense_emd = 0.0
+
+    def _rebuild_grid_cache(self) -> None:
+        """Per-cluster prefix sums over the member multiset.
+
+        ``_uniq`` holds the distinct member bins and ``_cum_counts[i]`` the
+        number of members at or below ``_uniq[i]`` — the add_bin-independent
+        half of every scoring grid.  Rebuilt (O(c)) only when the multiset
+        changes, i.e. on accepted swaps; between swaps, scoring a candidate
+        touches nothing larger than these c-element arrays.
+        """
+        self._uniq, counts = np.unique(self._member_bins, return_counts=True)
+        self._cum_counts = np.cumsum(counts)
+        self._last_scores: tuple[np.ndarray, int, np.ndarray] | None = None
 
     @property
     def emd(self) -> float:
-        """Current EMD of the tracked cluster to the dataset."""
-        return float(np.abs(self._delta_cum).sum() / self.ref._denom)
+        """Current EMD of the tracked cluster to the dataset (cached)."""
+        return self._emd
+
+    # -- dense reference arithmetic (tie adjudication) -------------------------
+
+    def _materialize_dense(self) -> np.ndarray:
+        """Cumulative difference vector, exactly as the dense tracker held it.
+
+        Rebuilt from the initial members and the applied-swap history so the
+        float state is *path-dependent* in the same way: the dense tracker
+        initialized ``cumsum(p - q)`` once and then applied signed O(m)
+        range updates per swap, and a fresh histogram of today's members
+        would round differently.
+        """
+        if self._dense_cum is None:
+            p = (
+                np.bincount(self._initial_bins, minlength=self.ref.m).astype(
+                    np.float64
+                )
+                / self.size
+            )
+            self._dense_cum = np.cumsum(p - self.ref.q)
+            for remove_bin, add_bin in self._history:
+                self._dense_range_update(remove_bin, add_bin)
+            self._refresh_dense_emd()
+        return self._dense_cum
+
+    def _dense_range_update(self, remove_bin: int, add_bin: int) -> None:
+        if add_bin < remove_bin:
+            lo, hi, sign = add_bin, remove_bin, +1.0
+        else:
+            lo, hi, sign = remove_bin, add_bin, -1.0
+        self._dense_cum[lo:hi] += sign / self.size
+
+    def _refresh_dense_emd(self) -> None:
+        self._dense_emd = float(
+            np.abs(self._dense_cum).sum() / self.ref._denom
+        )
+
+    @property
+    def exact_emd(self) -> float:
+        """Current EMD in the dense predecessor's exact arithmetic."""
+        self._materialize_dense()
+        return self._dense_emd
+
+    def exact_swap_emd(self, remove_bin: int, add_bin: int) -> float:
+        """One swap's EMD in the dense predecessor's exact arithmetic.
+
+        Replicates the retired O(|C| x m) broadcast for a single candidate
+        (same expressions, same reduction order), evaluated against the
+        materialized path-dependent cumulative state — the value the dense
+        ``swap_emds`` row for this candidate would have held bit-for-bit.
+        """
+        self._check_bin(remove_bin)
+        self._check_bin(add_bin)
+        dense = self._materialize_dense()
+        idx = np.arange(self.ref.m)
+        add_step = (idx >= add_bin).astype(np.float64)
+        remove_steps = (idx[None, :] >= np.array([remove_bin])[:, None]).astype(
+            np.float64
+        )
+        new_cum = dense[None, :] + (1.0 / self.size) * (
+            add_step[None, :] - remove_steps
+        )
+        return float((np.abs(new_cum).sum(axis=1) / self.ref._denom)[0])
+
+    def _check_bin(self, b: int) -> None:
+        if not 0 <= b < self.ref.m:
+            raise IndexError(f"bin {b} out of range [0, {self.ref.m})")
+
+    def _score_swaps(self, remove_bins: np.ndarray, add_bin: int) -> np.ndarray:
+        """Segment-wise EMD of every candidate swap, one shared bin grid.
+
+        The grid's breakpoints are the current member bins plus ``add_bin``
+        — a superset of every candidate cluster's breakpoints, so each
+        candidate's cumulative mass is constant on every segment (redundant
+        breakpoints only split a constant segment in two, which leaves the
+        value unchanged up to float regrouping).  Candidate (row) r's
+        constant on the segment starting at s is
+        ``(#members <= s + [add_bin <= s] - [remove_bins[r] <= s]) / c`` —
+        exact integer arithmetic until the single division.  The
+        member-only half of the grid comes from the cached per-cluster
+        prefix sums (:meth:`_rebuild_grid_cache`); only ``add_bin``'s
+        insertion is computed per call.
+        """
+        ref = self.ref
+        uniq, cum = self._uniq, self._cum_counts
+        n_uniq = uniq.size
+        pos = int(np.searchsorted(uniq, add_bin))
+        if pos < n_uniq and uniq[pos] == add_bin:
+            grid, grid_cum = uniq, cum
+        else:
+            grid = np.empty(n_uniq + 1, dtype=np.int64)
+            grid[:pos] = uniq[:pos]
+            grid[pos] = add_bin
+            grid[pos + 1 :] = uniq[pos:]
+            grid_cum = np.empty(n_uniq + 1, dtype=np.int64)
+            grid_cum[:pos] = cum[:pos]
+            grid_cum[pos] = cum[pos - 1] if pos else 0
+            grid_cum[pos + 1 :] = cum[pos:]
+        n_seg = grid.size + 1
+        starts = np.empty(n_seg, dtype=np.int64)
+        starts[0] = 0
+        starts[1:] = grid
+        stops = np.empty(n_seg, dtype=np.int64)
+        stops[:-1] = grid
+        stops[-1] = ref.m
+        counts = np.empty(n_seg, dtype=np.int64)
+        counts[0] = cum[0] if uniq[0] == 0 else 0  # members at bin 0
+        counts[1:] = grid_cum
+        counts += add_bin <= starts
+        consts = (counts[None, :] - (remove_bins[:, None] <= starts[None, :])) / (
+            self.size
+        )
+        return ref._segment_abs_sums(starts, stops, consts) / ref._denom
 
     def emd_with_swap(self, remove_bin: int, add_bin: int) -> float:
-        """EMD if the member at ``remove_bin`` were replaced by ``add_bin``."""
+        """EMD if one member at ``remove_bin`` were replaced by ``add_bin``."""
+        self._check_bin(remove_bin)
+        self._check_bin(add_bin)
         if remove_bin == add_bin:
-            return self.emd
-        lo, hi, sign = self._swap_range(remove_bin, add_bin)
-        d = self._delta_cum
-        changed = np.abs(d[lo:hi] + sign * self._step).sum()
-        unchanged = np.abs(d).sum() - np.abs(d[lo:hi]).sum()
-        return float((unchanged + changed) / self.ref._denom)
+            return self._emd
+        return float(self._score_swaps(np.array([remove_bin]), add_bin)[0])
 
     def swap_emds(self, remove_bins: np.ndarray, add_bin: int) -> np.ndarray:
         """EMD for every candidate swap (vectorized over removal candidates).
@@ -275,31 +473,63 @@ class ClusterEMDTracker:
         -------
         np.ndarray
             ``out[j]`` is the cluster EMD after replacing member ``j`` by the
-            incoming record.
+            incoming record; entries with ``remove_bins[j] == add_bin`` are
+            exactly the current :attr:`emd` (the swap is a no-op).
         """
-        remove_bins = np.asarray(remove_bins)
-        idx = np.arange(self.ref.m)
-        # Adding at bin a shifts the cumulative sum up by 1/c for i >= a;
-        # removing at bin b shifts it down by 1/c for i >= b.
-        add_step = (idx >= add_bin).astype(np.float64)
-        remove_steps = (idx[None, :] >= remove_bins[:, None]).astype(np.float64)
-        new_cum = self._delta_cum[None, :] + self._step * (add_step[None, :] - remove_steps)
-        return np.abs(new_cum).sum(axis=1) / self.ref._denom
+        remove_bins = np.asarray(remove_bins, dtype=np.int64)
+        if remove_bins.size:
+            self._check_bin(int(remove_bins.min()))
+            self._check_bin(int(remove_bins.max()))
+        self._check_bin(add_bin)
+        out = self._score_swaps(remove_bins, add_bin)
+        out[remove_bins == add_bin] = self._emd
+        # Remember this scoring pass so a subsequent apply_swap of one of
+        # these candidates commits the already-computed value instead of
+        # re-evaluating it (invalidated as soon as the cluster changes).
+        self._last_scores = (remove_bins, add_bin, out)
+        return out
 
     def apply_swap(self, remove_bin: int, add_bin: int) -> None:
-        """Commit a swap previously scored by :meth:`swap_emds`."""
+        """Commit a swap previously scored by :meth:`swap_emds`.
+
+        Delta-updates the sorted member multiset in O(c) and caches the
+        swapped cluster's EMD, evaluated with exactly the arithmetic of the
+        scoring pass — so :attr:`emd` afterwards equals the accepted
+        ``swap_emds`` entry bit-for-bit.  ``remove_bin`` must currently hold
+        a member (the dense predecessor silently produced a negative-mass
+        histogram here; that was never a meaningful cluster).
+        """
+        self._check_bin(remove_bin)
+        self._check_bin(add_bin)
         if remove_bin == add_bin:
             return
-        lo, hi, sign = self._swap_range(remove_bin, add_bin)
-        self._delta_cum[lo:hi] += sign * self._step
-
-    def _swap_range(self, remove_bin: int, add_bin: int) -> tuple[int, int, float]:
-        for b in (remove_bin, add_bin):
-            if not 0 <= b < self.ref.m:
-                raise IndexError(f"bin {b} out of range [0, {self.ref.m})")
-        if add_bin < remove_bin:
-            return add_bin, remove_bin, +1.0
-        return remove_bin, add_bin, -1.0
+        members = self._member_bins
+        idx = int(np.searchsorted(members, remove_bin))
+        if idx >= self.size or members[idx] != remove_bin:
+            raise ValueError(
+                f"remove_bin {remove_bin} is not a member of the cluster"
+            )
+        score: float | None = None
+        if self._last_scores is not None:
+            last_removes, last_add, last_out = self._last_scores
+            if last_add == add_bin:
+                hits = np.flatnonzero(last_removes == remove_bin)
+                if hits.size:
+                    # remove_bin != add_bin here, so the no-op fill never
+                    # touched this entry: it is the raw scoring-pass value.
+                    score = float(last_out[hits[0]])
+        if score is None:
+            score = float(self._score_swaps(np.array([remove_bin]), add_bin)[0])
+        self._emd = score
+        without = np.delete(members, idx)
+        self._member_bins = np.insert(
+            without, int(np.searchsorted(without, add_bin)), add_bin
+        )
+        self._rebuild_grid_cache()
+        self._history.append((remove_bin, add_bin))
+        if self._dense_cum is not None:
+            self._dense_range_update(remove_bin, add_bin)
+            self._refresh_dense_emd()
 
 
 class NominalEMDReference:
@@ -349,29 +579,53 @@ class NominalEMDReference:
 class NominalClusterTracker:
     """Incremental total-variation EMD evaluator for one mutable cluster.
 
-    The nominal counterpart of :class:`ClusterEMDTracker`: scoring a swap
-    only touches the two affected category bins, so evaluating all |C|
-    candidate removals is O(|C|).
+    The nominal counterpart of :class:`ClusterEMDTracker`, under the same
+    swap-contract (see that class's docstring): swaps *replace* one member
+    at constant cluster size, ``remove_bin == add_bin`` scores exactly the
+    current :attr:`emd`, out-of-range bins raise ``IndexError``, and
+    committing a removal from an empty category raises ``ValueError``.
+    Scoring a swap only touches the two affected category bins, so
+    evaluating all |C| candidate removals is O(|C|).
     """
 
-    __slots__ = ("ref", "size", "_diff", "_step")
+    __slots__ = ("ref", "size", "_diff", "_counts", "_step")
 
     def __init__(self, ref: NominalEMDReference, member_bins: np.ndarray) -> None:
         member_bins = np.asarray(member_bins, dtype=np.int64)
         if member_bins.size == 0:
             raise ValueError("cluster must be non-empty")
+        if member_bins.min() < 0 or member_bins.max() >= ref.n_categories:
+            raise IndexError(f"member bins out of range [0, {ref.n_categories})")
         self.ref = ref
         self.size = int(member_bins.size)
-        p = np.bincount(member_bins, minlength=ref.n_categories) / self.size
+        self._counts = np.bincount(member_bins, minlength=ref.n_categories)
+        p = self._counts / self.size
         self._diff = p - ref.q
         self._step = 1.0 / self.size
 
     @property
     def emd(self) -> float:
+        """Current EMD (total variation) of the tracked cluster."""
         return float(0.5 * np.abs(self._diff).sum())
+
+    @property
+    def exact_emd(self) -> float:
+        """Alias of :attr:`emd` — this tracker's fast path *is* the dense
+        predecessor's arithmetic (O(categories) state, unchanged)."""
+        return self.emd
+
+    def exact_swap_emd(self, remove_bin: int, add_bin: int) -> float:
+        """One swap's EMD, grouped exactly as the vectorized scoring pass."""
+        return float(self.swap_emds(np.array([remove_bin]), add_bin)[0])
+
+    def _check_bin(self, b: int) -> None:
+        if not 0 <= b < self.ref.n_categories:
+            raise IndexError(f"bin {b} out of range [0, {self.ref.n_categories})")
 
     def emd_with_swap(self, remove_bin: int, add_bin: int) -> float:
         """EMD if one member at ``remove_bin`` were replaced by ``add_bin``."""
+        self._check_bin(remove_bin)
+        self._check_bin(add_bin)
         if remove_bin == add_bin:
             return self.emd
         d = self._diff
@@ -384,8 +638,28 @@ class NominalClusterTracker:
         return float(self.emd + 0.5 * delta)
 
     def swap_emds(self, remove_bins: np.ndarray, add_bin: int) -> np.ndarray:
-        """EMD for every candidate swap (vectorized over removals)."""
+        """EMD for every candidate swap (vectorized over removal candidates).
+
+        Parameters
+        ----------
+        remove_bins:
+            Bin (category) index of each current member considered for
+            removal.
+        add_bin:
+            Bin (category) index of the incoming record.
+
+        Returns
+        -------
+        np.ndarray
+            ``out[j]`` is the cluster EMD after replacing member ``j`` by the
+            incoming record; entries with ``remove_bins[j] == add_bin`` are
+            exactly the current :attr:`emd` (the swap is a no-op).
+        """
         remove_bins = np.asarray(remove_bins, dtype=np.int64)
+        if remove_bins.size:
+            self._check_bin(int(remove_bins.min()))
+            self._check_bin(int(remove_bins.max()))
+        self._check_bin(add_bin)
         d = self._diff
         base = self.emd
         gain_add = abs(d[add_bin] + self._step) - abs(d[add_bin])
@@ -396,9 +670,21 @@ class NominalClusterTracker:
         return out
 
     def apply_swap(self, remove_bin: int, add_bin: int) -> None:
-        """Commit a swap previously scored by :meth:`swap_emds`."""
+        """Commit a swap previously scored by :meth:`swap_emds`.
+
+        ``remove_bin`` must currently hold at least one member; removing
+        from an empty category would leave a negative-mass histogram.
+        """
+        self._check_bin(remove_bin)
+        self._check_bin(add_bin)
         if remove_bin == add_bin:
             return
+        if self._counts[remove_bin] <= 0:
+            raise ValueError(
+                f"remove_bin {remove_bin} is not a member of the cluster"
+            )
+        self._counts[remove_bin] -= 1
+        self._counts[add_bin] += 1
         self._diff[add_bin] += self._step
         self._diff[remove_bin] -= self._step
 

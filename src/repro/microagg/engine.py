@@ -133,6 +133,7 @@ class ClusteringEngine:
         self._chunk = chunk_size
         self._dead_pos = np.empty(n, dtype=np.int64)  # kills since compaction
         self._n_dead = 0
+        self._X_owned = False  # _X may alias caller data until replace_row
         self._n_evals = 0
         self._n_compactions = 0
 
@@ -178,6 +179,11 @@ class ClusteringEngine:
         undefined: their entries go stale once a compaction drops them.
         """
         return self._pos[record_ids]
+
+    def ids_at(self, positions: np.ndarray) -> np.ndarray:
+        """Record ids at the given window positions (inverse of
+        :meth:`positions_of`; same staleness rules apply)."""
+        return self._ids[positions]
 
     def row(self, record_id: int) -> np.ndarray:
         """The (original) coordinate row of one record, dead or alive."""
@@ -351,7 +357,61 @@ class ClusteringEngine:
         order = np.argsort(d2, kind="stable")[: self._n_alive]
         return self._ids[order]
 
+    def k_nearest_sorted(self, k: int, point: np.ndarray | None = None) -> np.ndarray:
+        """``sorted_alive(point)[:k]`` — bitwise — at argpartition cost.
+
+        Returns the k nearest live records ordered ascending by
+        (distance, id), exactly the prefix a full stable argsort would
+        produce, but in O(window + k log k) instead of O(window log window):
+        an argpartition bounds the k-th smallest distance, every record at
+        or below that bound is gathered (so boundary ties are all present),
+        and only those are stably sorted.  Stability plus the window's
+        ascending-id layout makes the tie order identical to
+        :meth:`sorted_alive`'s.  This is what lets Algorithm 2 seed a
+        cluster without sorting the whole candidate pool it usually never
+        consumes (the pool is materialized lazily, only when the seed
+        cluster's EMD overshoots t).
+        """
+        if point is not None:
+            self.eval_distances(point)
+        if k >= self._n_alive:
+            return self.sorted_alive()
+        d2 = self._masked(np.inf)
+        bound = d2[np.argpartition(d2, k - 1)[:k]].max()
+        cand = np.flatnonzero(d2 <= bound)
+        order = np.argsort(d2[cand], kind="stable")[:k]
+        return self._ids[cand[order]]
+
     # -- state updates ---------------------------------------------------------
+
+    def replace_row(self, record_id: int, row: np.ndarray) -> None:
+        """Overwrite one *live* record's coordinates in-place.
+
+        The buffer-sharing primitive behind the merge phase
+        (:func:`repro.core.merge.merge_to_t_closeness`): there the engine's
+        records are cluster centroids, and a merge moves the surviving
+        cluster's centroid.  Updates the working columns, the original-row
+        view (:meth:`row`) and the running coordinate sum; previously
+        evaluated distances for this row go stale (re-evaluate before the
+        next selection).  The caller's input matrix is never touched — the
+        row storage is copied on the first replacement.
+        """
+        row = np.ascontiguousarray(row, dtype=np.float64)
+        if row.shape != (self._X.shape[1],):
+            raise ValueError(
+                f"row must have shape ({self._X.shape[1]},), got {row.shape}"
+            )
+        pos = int(self._pos[record_id])
+        if pos < 0 or not self._alive[pos]:
+            raise ValueError("cannot replace a record that is already assigned")
+        if not self._X_owned:
+            # __init__ may have kept a no-copy view of the caller's array;
+            # mutation must never write through into caller data.
+            self._X = self._X.copy()
+            self._X_owned = True
+        self._sum += row - self._X[record_id]
+        self._X[record_id] = row
+        self._XwT[:, pos] = row
 
     def kill(self, record_ids: np.ndarray) -> None:
         """Mark records as assigned: mask them out and update the sum.

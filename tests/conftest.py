@@ -1,0 +1,23 @@
+"""Shared test configuration: hypothesis profiles.
+
+Two profiles are registered:
+
+* ``dev`` (default) — hypothesis defaults with deadlines disabled, so
+  occasional slow numpy warm-up doesn't flake local runs.
+* ``ci`` — additionally derandomized: every run executes the same example
+  sequence, so the property suites are deterministic in CI (the
+  ``hypothesis`` job in ``.github/workflows/ci.yml`` selects it via
+  ``HYPOTHESIS_PROFILE=ci``).
+
+A test's own ``@settings(...)`` overrides only the fields it names; the
+active profile supplies the rest — which is how ``ci`` derandomizes even
+tests that pin their own ``max_examples``.
+"""
+
+import os
+
+from hypothesis import settings
+
+settings.register_profile("dev", deadline=None)
+settings.register_profile("ci", deadline=None, derandomize=True)
+settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))

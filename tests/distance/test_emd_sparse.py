@@ -1,16 +1,40 @@
-"""Sparse (segment-wise) ordered EMD vs the dense histogram evaluation.
+"""Differential tests: sparse ordered-EMD paths vs the dense definition.
 
-``OrderedEMDReference.emd_of_bins_sparse`` is the O(c log m) bulk-reporting
-path used by ``ConfidentialModel.partition_emds``; it must agree with the
-dense ``emd_of_bins`` to float precision on any cluster.
+``OrderedEMDReference.emd_of_bins_sparse`` is the O(c log m) segment
+evaluation that the incremental swap/merge engine of Algorithm 2 is built
+on, and ``ClusterEMDTracker`` scores and commits swaps through the same
+segment arithmetic.  Both must agree with the *dense* Definition-2
+evaluation (``emd_of_bins`` — explicit histogram, cumulative sum, absolute
+sum) to float precision on any cluster, any swap, and any adversarial
+shape: clusters spanning empty bins, single-bin clusters, all-duplicate
+datasets, a one-bin reference (m=1), and — exhaustively — every multiset
+cluster and every (remove, add) pair over small bin grids.
 """
+
+import itertools
 
 import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.distance.emd import OrderedEMDReference
+from repro.distance.emd import (
+    ClusterEMDTracker,
+    NominalClusterTracker,
+    NominalEMDReference,
+    OrderedEMDReference,
+)
+
+#: Sparse and dense evaluations sum identical terms in different orders;
+#: agreement is asserted to well below any decision margin in the library.
+ATOL = 1e-12
+
+
+def dense_swap_emd(ref, bins, j, add_bin):
+    """Definitional EMD of ``bins`` with member ``j`` replaced by ``add_bin``."""
+    swapped = np.asarray(bins).copy()
+    swapped[j] = add_bin
+    return ref.emd_of_bins(swapped)
 
 
 @settings(max_examples=60, deadline=None)
@@ -48,3 +72,235 @@ def test_sparse_full_table_is_zero():
 def test_sparse_single_bin_dataset():
     ref = OrderedEMDReference(np.full(4, 2.5), mode="distinct")
     assert ref.emd_of_bins_sparse(np.array([0, 0])) == pytest.approx(0.0)
+
+
+class TestSparseAdversarial:
+    """Hand-picked shapes where segment bookkeeping is easiest to get wrong."""
+
+    def test_cluster_spanning_empty_bins(self):
+        # Dataset mass concentrated at the ends; the cluster sits on bins
+        # 0 and m-1 with a long run of interior bins it never touches —
+        # one giant segment whose crossing point lies strictly inside.
+        values = np.concatenate([np.zeros(5), np.arange(1.0, 9.0), np.full(5, 9.0)])
+        ref = OrderedEMDReference(values, mode="distinct")
+        bins = np.array([0, ref.m - 1])
+        assert ref.emd_of_bins_sparse(bins) == pytest.approx(
+            ref.emd_of_bins(bins), abs=ATOL
+        )
+
+    def test_single_bin_cluster_each_position(self):
+        values = np.arange(7.0)
+        ref = OrderedEMDReference(values, mode="distinct")
+        for b in range(ref.m):
+            bins = np.array([b])
+            assert ref.emd_of_bins_sparse(bins) == pytest.approx(
+                ref.emd_of_bins(bins), abs=ATOL
+            )
+
+    def test_all_duplicates_cluster(self):
+        values = np.array([1.0, 1.0, 2.0, 3.0, 3.0, 3.0, 4.0])
+        ref = OrderedEMDReference(values, mode="distinct")
+        bins = np.zeros(6, dtype=int)  # six copies of the first bin
+        assert ref.emd_of_bins_sparse(bins) == pytest.approx(
+            ref.emd_of_bins(bins), abs=ATOL
+        )
+
+    def test_m_equals_one(self):
+        # Degenerate reference: every dataset value identical, one bin,
+        # denom clamped to 1; every cluster has EMD exactly 0.
+        ref = OrderedEMDReference(np.full(6, 42.0), mode="distinct")
+        for c in (1, 2, 5):
+            bins = np.zeros(c, dtype=int)
+            assert ref.emd_of_bins(bins) == 0.0
+            assert ref.emd_of_bins_sparse(bins) == 0.0
+            tracker = ClusterEMDTracker(ref, bins)
+            assert tracker.emd == 0.0
+            assert tracker.swap_emds(bins, 0) == pytest.approx(0.0)
+
+    def test_cluster_size_larger_than_bins(self):
+        values = np.array([0.0, 0.0, 1.0, 1.0, 2.0])
+        ref = OrderedEMDReference(values, mode="distinct")
+        bins = np.array([0, 0, 1, 1, 2, 2, 2])
+        assert ref.emd_of_bins_sparse(bins) == pytest.approx(
+            ref.emd_of_bins(bins), abs=ATOL
+        )
+
+
+class TestTrackerDifferential:
+    """The incremental swap deltas vs the dense definitional evaluation."""
+
+    @settings(max_examples=60)
+    @given(
+        n=st.integers(2, 80),
+        c=st.integers(1, 10),
+        tied=st.booleans(),
+        seed=st.integers(0, 10_000),
+    )
+    def test_swap_emds_match_dense_definition(self, n, c, tied, seed):
+        rng = np.random.default_rng(seed)
+        if tied:
+            values = rng.integers(0, max(2, n // 3), size=n).astype(float)
+        else:
+            values = rng.permutation(np.arange(float(n)))
+        ref = OrderedEMDReference(values, mode="distinct")
+        bins = rng.integers(0, ref.m, size=c)
+        tracker = ClusterEMDTracker(ref, bins)
+        add_bin = int(rng.integers(0, ref.m))
+        scores = tracker.swap_emds(bins, add_bin)
+        for j in range(c):
+            assert scores[j] == pytest.approx(
+                dense_swap_emd(ref, bins, j, add_bin), abs=ATOL
+            )
+
+    @settings(max_examples=40)
+    @given(n=st.integers(2, 60), c=st.integers(1, 8), seed=st.integers(0, 10_000))
+    def test_random_swap_walk_stays_on_dense_definition(self, n, c, seed):
+        """After any sequence of applied swaps, cached, sparse and dense
+        evaluations of the current cluster all agree."""
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, max(2, n // 2), size=n).astype(float)
+        ref = OrderedEMDReference(values, mode="distinct")
+        bins = rng.integers(0, ref.m, size=c)
+        tracker = ClusterEMDTracker(ref, bins)
+        for _ in range(12):
+            j = int(rng.integers(c))
+            add = int(rng.integers(ref.m))
+            tracker.apply_swap(int(bins[j]), add)
+            bins[j] = add
+            assert tracker.emd == pytest.approx(ref.emd_of_bins(bins), abs=ATOL)
+            assert tracker.exact_emd == pytest.approx(
+                ref.emd_of_bins(bins), abs=ATOL
+            )
+
+    def test_exhaustive_small_m(self):
+        """Every multiset cluster x every (remove, add) pair, m in 1..4.
+
+        Small grids are where segment edge cases concentrate (leading
+        segment empty, add_bin below/above every member, total mass 1 on
+        the last bin); enumeration leaves no corner unvisited.
+        """
+        for m in range(1, 5):
+            # A dataset with m distinct values, mildly non-uniform.
+            values = np.repeat(np.arange(float(m)), np.arange(1, m + 1))
+            ref = OrderedEMDReference(values, mode="distinct")
+            assert ref.m == m
+            for c in range(1, 4):
+                for bins in itertools.combinations_with_replacement(range(m), c):
+                    bins = np.array(bins)
+                    tracker = ClusterEMDTracker(ref, bins)
+                    assert tracker.emd == pytest.approx(
+                        ref.emd_of_bins(bins), abs=ATOL
+                    )
+                    for j, add in itertools.product(range(c), range(m)):
+                        expected = dense_swap_emd(ref, bins, j, add)
+                        scores = tracker.swap_emds(bins, add)
+                        assert scores[j] == pytest.approx(expected, abs=ATOL)
+                        assert tracker.emd_with_swap(
+                            int(bins[j]), add
+                        ) == pytest.approx(expected, abs=ATOL)
+
+    @settings(max_examples=30)
+    @given(n=st.integers(2, 60), c=st.integers(1, 8), seed=st.integers(0, 10_000))
+    def test_exact_arithmetic_within_band_of_sparse(self, n, c, seed):
+        """The dense-adjudication values stay within the decision band
+        (1e-12) of the sparse fast path — the invariant the banded
+        tie-breaking in Algorithm 2 and the merge phase relies on."""
+        rng = np.random.default_rng(seed)
+        values = rng.integers(0, max(2, n // 2), size=n).astype(float)
+        ref = OrderedEMDReference(values, mode="distinct")
+        bins = rng.integers(0, ref.m, size=c)
+        tracker = ClusterEMDTracker(ref, bins)
+        assert abs(tracker.emd - tracker.exact_emd) < 1e-12
+        add_bin = int(rng.integers(ref.m))
+        scores = tracker.swap_emds(bins, add_bin)
+        for j in range(c):
+            exact = tracker.exact_swap_emd(int(bins[j]), add_bin)
+            assert abs(scores[j] - exact) < 1e-12
+
+
+class TestSwapContract:
+    """Regression tests for the unified swap-contract of both trackers.
+
+    The two ``swap_emds`` implementations historically drifted: the ordered
+    docstring documented per-member semantics the nominal one lacked, the
+    nominal scorer silently accepted out-of-range (even negative) bins via
+    wrap-around indexing, and neither stated what committing an impossible
+    removal does.  Both now share one contract: replace-at-constant-size
+    semantics, ``remove_bin == add_bin`` scores exactly the current EMD,
+    out-of-range bins raise ``IndexError`` everywhere, and committing a
+    removal from an empty bin raises ``ValueError``.
+    """
+
+    @pytest.fixture
+    def ordered(self):
+        rng = np.random.default_rng(3)
+        ref = OrderedEMDReference(rng.integers(0, 12, size=40).astype(float))
+        bins = np.array([0, 2, 2, 5, 8])
+        return ClusterEMDTracker(ref, bins), bins
+
+    @pytest.fixture
+    def nominal(self):
+        codes = np.array([0, 0, 1, 2, 2, 2, 3, 4] * 3)
+        ref = NominalEMDReference(codes, 5)
+        bins = np.array([0, 2, 2, 3])
+        return NominalClusterTracker(ref, bins), bins
+
+    @pytest.mark.parametrize("which", ["ordered", "nominal"])
+    def test_noop_swap_scores_current_emd_exactly(self, which, request):
+        tracker, bins = request.getfixturevalue(which)
+        base = tracker.emd
+        scores = tracker.swap_emds(bins, int(bins[1]))
+        noop = bins == bins[1]
+        assert (scores[noop] == base).all()  # bitwise, not approx
+        assert tracker.emd_with_swap(int(bins[1]), int(bins[1])) == base
+
+    @pytest.mark.parametrize("which", ["ordered", "nominal"])
+    def test_out_of_range_bins_raise_everywhere(self, which, request):
+        tracker, bins = request.getfixturevalue(which)
+        m = tracker.ref.m
+        for bad in (-1, m, m + 7):
+            with pytest.raises(IndexError, match="out of range"):
+                tracker.swap_emds(np.array([bad]), 0)
+            with pytest.raises(IndexError, match="out of range"):
+                tracker.swap_emds(bins, bad)
+            with pytest.raises(IndexError, match="out of range"):
+                tracker.emd_with_swap(bad, 0)
+            with pytest.raises(IndexError, match="out of range"):
+                tracker.apply_swap(0, bad)
+
+    @pytest.mark.parametrize("which", ["ordered", "nominal"])
+    def test_removing_a_non_member_raises(self, which, request):
+        tracker, bins = request.getfixturevalue(which)
+        absent = next(
+            b for b in range(tracker.ref.m) if b not in set(bins.tolist())
+        )
+        with pytest.raises(ValueError, match="not a member"):
+            tracker.apply_swap(absent, int(bins[0]))
+
+    @pytest.mark.parametrize("which", ["ordered", "nominal"])
+    def test_replace_semantics_constant_size(self, which, request):
+        """Swaps are simultaneous remove+add at constant cluster size: the
+        scored value equals the from-scratch EMD of the swapped multiset,
+        never of a (c-1)-sized intermediate."""
+        tracker, bins = request.getfixturevalue(which)
+        ref = tracker.ref
+        add = int(bins[0])  # present elsewhere too: exercises multiplicity
+        scores = tracker.swap_emds(bins, add)
+        for j in range(len(bins)):
+            swapped = bins.copy()
+            swapped[j] = add
+            assert scores[j] == pytest.approx(ref.emd_of_bins(swapped), abs=ATOL)
+
+    def test_ordered_apply_commits_the_scored_value(self, ordered):
+        tracker, bins = ordered
+        add = (int(bins[-1]) + 1) % tracker.ref.m
+        scores = tracker.swap_emds(bins, add)
+        tracker.apply_swap(int(bins[2]), add)
+        assert tracker.emd == scores[2]  # bitwise: the committed value IS the score
+
+    def test_nominal_apply_consistent_with_scoring(self, nominal):
+        tracker, bins = nominal
+        add = (int(bins[-1]) + 1) % tracker.ref.m
+        scores = tracker.swap_emds(bins, add)
+        tracker.apply_swap(int(bins[2]), add)
+        assert tracker.emd == pytest.approx(scores[2], abs=ATOL)

@@ -45,6 +45,25 @@ MICRODATA_CASES = (
     ("md_single_qi", 160, 4, 0.3),  # one numeric QI: univariate geometry
 )
 
+#: (case name, dataset name, k, t) for the *end-to-end* kanon-first and
+#: Algorithm-1 golden runs (``fixtures/kanon_first_golden.npz``).  The t
+#: levels are deliberately tighter than :data:`MICRODATA_CASES` so the swap
+#: phase accepts many swaps and the merge fallback actually merges — the two
+#: phases the sparse EMD engine rewrote, pinned here bit-for-bit (labels,
+#: swap/merge counters) against the pre-refactor dense implementation.
+E2E_CASES = (
+    ("md_numeric_tight", "md_numeric", 3, 0.125),  # swaps + 1 merge
+    ("md_numeric_strict", "md_numeric", 3, 0.08),  # merge cascade (~21 merges)
+    ("md_mixed_tight", "md_mixed", 4, 0.15),
+    ("md_mixed_strict_tight", "md_mixed_strict", 3, 0.05),  # ~42 merges
+    ("md_tied_tight", "md_tied_secret", 5, 0.12),  # tied secret: bin ties
+    ("md_categorical_tight", "md_categorical", 4, 0.1),  # QI-tie dense
+    ("md_int_grid_tight", "md_int_grid", 4, 0.1),
+    ("md_single_qi_tight", "md_single_qi", 4, 0.1),
+    ("md_nominal_secret", "md_nominal_secret", 4, 0.15),  # nominal tracker
+    ("md_two_secrets", "md_two_secrets", 4, 0.2),  # max over two trackers
+)
+
 
 def matrix_case(name: str) -> np.ndarray:
     """Record matrix for one entry of :data:`MATRIX_CASES`."""
@@ -112,6 +131,47 @@ def microdata_case(name: str) -> Microdata:
         secret = rng.permutation(np.arange(float(n)))
     columns["secret"] = secret
     schema.append(numeric("secret", role=AttributeRole.CONFIDENTIAL))
+    return Microdata(columns, schema)
+
+
+def e2e_case(name: str) -> Microdata:
+    """Microdata table for one *dataset* name of :data:`E2E_CASES`.
+
+    Reuses :func:`microdata_case` for the shared datasets and adds two
+    confidential-attribute schemas the partition-layer cases never needed:
+    a nominal secret (exercising ``NominalClusterTracker``) and a pair of
+    confidential attributes (exercising the max-over-attributes tracker
+    set).
+    """
+    if name in {case for case, *_ in MICRODATA_CASES}:
+        return microdata_case(name)
+    if name not in ("md_nominal_secret", "md_two_secrets"):
+        raise KeyError(name)
+    rng = np.random.default_rng(abs(hash_stable(name)) % (2**32))
+    n = 120
+    columns: dict[str, np.ndarray] = {}
+    schema = []
+    for i in range(2):
+        columns[f"num{i}"] = rng.normal(size=n)
+        schema.append(numeric(f"num{i}", role=AttributeRole.QUASI_IDENTIFIER))
+    if name == "md_nominal_secret":
+        # Skewed five-way nominal secret: rare categories make clusters
+        # overshoot t easily, forcing swap traffic on the nominal tracker.
+        columns["disease"] = rng.choice(5, size=n, p=(0.45, 0.25, 0.15, 0.1, 0.05))
+        schema.append(
+            nominal(
+                "disease",
+                ("flu", "cold", "asthma", "ulcer", "cancer"),
+                role=AttributeRole.CONFIDENTIAL,
+            )
+        )
+    else:
+        columns["salary"] = rng.integers(0, n // 3, size=n).astype(float)
+        schema.append(numeric("salary", role=AttributeRole.CONFIDENTIAL))
+        columns["disease"] = rng.integers(0, 3, size=n)
+        schema.append(
+            nominal("disease", ("a", "b", "c"), role=AttributeRole.CONFIDENTIAL)
+        )
     return Microdata(columns, schema)
 
 

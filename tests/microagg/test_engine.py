@@ -221,3 +221,72 @@ class TestChunkedPairwise:
     def test_chunk_size_validated(self):
         with pytest.raises(ValueError, match="block_size"):
             pairwise_sq_distances(np.zeros((4, 2)), chunk_size=-1)
+
+
+class TestKNearestSorted:
+    def test_matches_sorted_alive_prefix_bitwise(self):
+        X, engine = make_engine(n=120, d=2, seed=7)
+        engine.eval_distances(X[3])
+        full = engine.sorted_alive()
+        for k in (1, 5, 40, 119, 120, 500):
+            np.testing.assert_array_equal(
+                engine.k_nearest_sorted(k), full[:k]
+            )
+
+    def test_boundary_ties_match_stable_order(self):
+        # Duplicate rows create exact zero-distance and boundary ties; the
+        # argpartition shortcut must reproduce the stable (distance, id)
+        # order of the full argsort, including ties at the k-th value.
+        rng = np.random.default_rng(11)
+        X = rng.integers(0, 3, size=(90, 2)).astype(float)
+        engine = ClusteringEngine(X)
+        engine.eval_distances(X[0])
+        full = engine.sorted_alive()
+        for k in (1, 4, 17, 50, 89):
+            np.testing.assert_array_equal(engine.k_nearest_sorted(k), full[:k])
+
+    def test_respects_kills(self):
+        X, engine = make_engine(n=40, d=2, seed=3)
+        engine.eval_distances(X[0])
+        engine.kill(engine.k_nearest_sorted(5))
+        rest = engine.k_nearest_sorted(35)
+        assert rest.size == 35
+        np.testing.assert_array_equal(rest, engine.sorted_alive())
+
+
+class TestReplaceRow:
+    def test_updates_row_distances_and_centroid(self):
+        X, engine = make_engine(n=30, d=3, seed=5)
+        new_row = np.full(3, 0.25)
+        engine.replace_row(4, new_row)
+        np.testing.assert_array_equal(engine.row(4), new_row)
+        d2 = engine.eval_distances(new_row)
+        assert d2[engine.positions_of(np.array([4]))[0]] == 0.0
+        mutated = X.copy()
+        mutated[4] = new_row
+        np.testing.assert_allclose(
+            engine.centroid_fast(), mutated.mean(axis=0), atol=1e-12
+        )
+
+    def test_never_writes_through_to_caller_array(self):
+        rng = np.random.default_rng(9)
+        X = np.ascontiguousarray(rng.normal(size=(12, 2)))
+        engine = ClusteringEngine(X)
+        before = X.copy()
+        engine.replace_row(0, np.zeros(2))
+        np.testing.assert_array_equal(X, before)
+
+    def test_dead_or_bad_rows_rejected(self):
+        X, engine = make_engine(n=10, d=2, seed=1)
+        engine.kill(np.array([3]))
+        with pytest.raises(ValueError, match="already assigned"):
+            engine.replace_row(3, np.zeros(2))
+        with pytest.raises(ValueError, match="shape"):
+            engine.replace_row(0, np.zeros(5))
+
+    def test_ids_at_inverts_positions_of(self):
+        X, engine = make_engine(n=25, d=2, seed=2)
+        ids = np.array([1, 7, 19])
+        np.testing.assert_array_equal(
+            engine.ids_at(engine.positions_of(ids)), ids
+        )

@@ -1,10 +1,18 @@
 """Shared hypothesis strategies for property-based tests.
 
 `microdata()` generates small but structurally diverse Microdata tables —
-mixed numeric/ordinal/nominal quasi-identifiers, a rankable confidential
-attribute, optional value ties — so cross-cutting properties ("any valid
+mixed numeric/ordinal/nominal quasi-identifiers, configurable confidential
+attributes, optional value ties — so cross-cutting properties ("any valid
 input anonymizes to a verifiable release") get exercised over the whole
 schema space rather than the numeric-only happy path.
+
+The ``confidential`` parameter controls the sensitive-attribute
+distribution space (:data:`SENSITIVE_KINDS`): tie-free numeric columns,
+heavily tied numeric columns, skewed ordinal scales, skewed nominal
+categories, and multi-attribute (ordered + categorical) schemas.  Skew is
+drawn per example from Dirichlet concentrations spanning near-uniform to
+one-category-dominates — the regimes where EMD trackers see empty bins,
+single-bin clusters and rare categories.
 """
 
 from __future__ import annotations
@@ -14,6 +22,73 @@ from hypothesis import strategies as st
 
 from repro.data import AttributeRole, Microdata, nominal, numeric, ordinal
 
+#: Sensitive-attribute schema kinds understood by :func:`microdata`.
+#: ``numeric`` — tie-free rankable floats (one bin per record);
+#: ``numeric-tied`` — rankable floats over a small support (heavy bin ties);
+#: ``ordinal`` — ordered categorical scale (ordered EMD over codes);
+#: ``nominal`` — unordered categories (total-variation EMD);
+#: ``multi`` — one ordered plus one nominal confidential attribute
+#: (max-over-attributes t-closeness).
+SENSITIVE_KINDS = ("numeric", "numeric-tied", "ordinal", "nominal", "multi")
+
+#: Dirichlet concentrations for drawn category distributions: 0.3 yields
+#: spiky near-degenerate distributions (rare categories), 3.0 near-uniform.
+_SKEW_ALPHAS = (0.3, 1.0, 3.0)
+
+_ORDINAL_LEVELS = ("lv0", "lv1", "lv2", "lv3", "lv4", "lv5")
+_NOMINAL_LEVELS = ("c0", "c1", "c2", "c3", "c4", "c5")
+
+
+def _skewed_codes(draw, rng: np.random.Generator, n: int, n_levels: int) -> np.ndarray:
+    """n category codes from a drawn-skew distribution over n_levels."""
+    alpha = draw(st.sampled_from(_SKEW_ALPHAS))
+    probs = rng.dirichlet(np.full(n_levels, alpha))
+    return rng.choice(n_levels, size=n, p=probs)
+
+
+def add_sensitive_attributes(
+    draw,
+    rng: np.random.Generator,
+    n: int,
+    kind: str,
+    columns: dict[str, np.ndarray],
+    schema: list,
+) -> None:
+    """Append confidential column(s) of the given kind to a table under
+    construction (see :data:`SENSITIVE_KINDS`)."""
+    if kind == "numeric":
+        columns["secret"] = rng.permutation(np.arange(float(n)))
+        schema.append(numeric("secret", role=AttributeRole.CONFIDENTIAL))
+    elif kind == "numeric-tied":
+        n_levels = draw(st.integers(2, 6))
+        columns["secret"] = _skewed_codes(draw, rng, n, n_levels).astype(float)
+        schema.append(numeric("secret", role=AttributeRole.CONFIDENTIAL))
+    elif kind == "ordinal":
+        n_levels = draw(st.integers(2, 5))
+        columns["secret"] = _skewed_codes(draw, rng, n, n_levels)
+        schema.append(
+            ordinal(
+                "secret",
+                _ORDINAL_LEVELS[:n_levels],
+                role=AttributeRole.CONFIDENTIAL,
+            )
+        )
+    elif kind == "nominal":
+        n_levels = draw(st.integers(2, 5))
+        columns["secret_cat"] = _skewed_codes(draw, rng, n, n_levels)
+        schema.append(
+            nominal(
+                "secret_cat",
+                _NOMINAL_LEVELS[:n_levels],
+                role=AttributeRole.CONFIDENTIAL,
+            )
+        )
+    elif kind == "multi":
+        add_sensitive_attributes(draw, rng, n, "numeric-tied", columns, schema)
+        add_sensitive_attributes(draw, rng, n, "nominal", columns, schema)
+    else:
+        raise ValueError(f"unknown sensitive kind {kind!r}")
+
 
 @st.composite
 def microdata(
@@ -21,8 +96,16 @@ def microdata(
     min_records: int = 8,
     max_records: int = 40,
     allow_ties: bool = True,
+    confidential: str | tuple[str, ...] = "legacy",
 ):
-    """Strategy producing a Microdata with >= 1 QI and 1 confidential column."""
+    """Strategy producing a Microdata with >= 1 QI and >= 1 confidential column.
+
+    ``confidential`` selects the sensitive-attribute space: ``"legacy"``
+    (default) reproduces the original behaviour — one numeric column, tied
+    or tie-free per ``allow_ties`` — while a kind from
+    :data:`SENSITIVE_KINDS`, a tuple of kinds, or ``"any"`` draws from the
+    wider ordered/categorical distribution space.
+    """
     n = draw(st.integers(min_records, max_records))
     seed = draw(st.integers(0, 2**31 - 1))
     rng = np.random.default_rng(seed)
@@ -47,12 +130,22 @@ def microdata(
             nominal("nom", ("x", "y", "z"), role=AttributeRole.QUASI_IDENTIFIER)
         )
 
-    tied = allow_ties and draw(st.booleans())
-    if tied:
-        secret = rng.integers(0, max(2, n // 3), size=n).astype(float)
+    if confidential == "legacy":
+        tied = allow_ties and draw(st.booleans())
+        if tied:
+            secret = rng.integers(0, max(2, n // 3), size=n).astype(float)
+        else:
+            secret = rng.permutation(np.arange(float(n)))
+        columns["secret"] = secret
+        schema.append(numeric("secret", role=AttributeRole.CONFIDENTIAL))
     else:
-        secret = rng.permutation(np.arange(float(n)))
-    columns["secret"] = secret
-    schema.append(numeric("secret", role=AttributeRole.CONFIDENTIAL))
+        if confidential == "any":
+            kinds: tuple[str, ...] = SENSITIVE_KINDS
+        elif isinstance(confidential, str):
+            kinds = (confidential,)
+        else:
+            kinds = tuple(confidential)
+        kind = draw(st.sampled_from(kinds))
+        add_sensitive_attributes(draw, rng, n, kind, columns, schema)
 
     return Microdata(columns, schema)
