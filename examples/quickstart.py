@@ -1,17 +1,22 @@
 """Quickstart: anonymize a microdata set with k-anonymous t-closeness.
 
-Loads the paper's moderately-correlated Census surrogate (1,080 records),
-runs all three microaggregation algorithms at k=5, t=0.15, and prints what
-each achieved — cluster sizes, the worst equivalence-class EMD, information
-loss, and an independent privacy audit of the best release.
+Loads the paper's moderately-correlated Census surrogate (1,080 records)
+and walks the two public entry points:
+
+1. the one-shot :func:`repro.anonymize` over all three registered
+   algorithms at k=5, t=0.15 — cluster sizes, worst equivalence-class
+   EMD, information loss;
+2. the policy-driven lifecycle — a composed requirement
+   (k-anonymity & t-closeness & distinct l-diversity), ``fit`` on the
+   table, ``transform`` of a fresh batch against the fitted
+   representatives, and an independent policy audit of the release.
 
 Run:  python examples/quickstart.py
 """
 
-from repro import anonymize
+from repro import Anonymizer, DistinctLDiversity, KAnonymity, TCloseness, anonymize
 from repro.data import load_mcd
 from repro.metrics import normalized_sse
-from repro.privacy import audit
 
 K, T = 5, 0.15
 
@@ -23,17 +28,28 @@ def main() -> None:
     print(f"confidential:      {data.confidential}")
     print()
 
-    releases = {}
+    # -- one-shot releases with each registered algorithm -----------------
     for method in ("merge", "kanon-first", "tclose-first"):
         release, result = anonymize(data, k=K, t=T, method=method)
-        releases[method] = release
         sse = normalized_sse(data, release)
         print(f"{method:>13}: {result.summary()}")
         print(f"{'':>13}  normalized SSE = {sse:.4f}")
     print()
 
-    print("independent audit of the tclose-first release:")
-    print(audit(releases["tclose-first"], data).format())
+    # -- the lifecycle: composed policy, fit, serve, audit ----------------
+    policy = KAnonymity(K) & TCloseness(T) & DistinctLDiversity(3)
+    print(f"fitting policy {policy} with tclose-first...")
+    model = Anonymizer(policy, method="tclose-first").fit(data)
+    print(model.report_.format())
+    print()
+
+    batch = data.subset(range(100))  # stand-in for newly arriving records
+    served = model.transform(batch)
+    print(f"served a {served.n_records}-record batch against the fitted model")
+    print()
+
+    print("independent policy audit of the fitted release:")
+    print(model.audit(data).format())
 
 
 if __name__ == "__main__":

@@ -8,17 +8,40 @@ releases, plus the substrates they rest on (microdata model, EMD distances,
 MDAV-family partitioners, privacy verifiers, generalization baselines and
 information-loss metrics).
 
-Quickstart
-----------
->>> from repro import anonymize
->>> from repro.data import load_mcd
->>> release, result = anonymize(load_mcd(), k=5, t=0.15, method="tclose-first")
->>> result.satisfies_t
-True
+Quickstart — one-shot release::
+
+    >>> from repro import anonymize
+    >>> from repro.data import load_mcd
+    >>> release, result = anonymize(load_mcd(), k=5, t=0.15, method="tclose-first")
+    >>> result.satisfies_t
+    True
+
+Quickstart — composable policies and the fit/transform lifecycle::
+
+    >>> from repro import Anonymizer, KAnonymity, TCloseness, DistinctLDiversity
+    >>> policy = KAnonymity(5) & TCloseness(0.15) & DistinctLDiversity(3)
+    >>> model = Anonymizer(policy).fit(load_mcd())
+    >>> release = model.release_            # release of the fitted table
+    >>> served = model.transform(batch)     # map new records to fitted clusters
+    >>> model.save("model.npz")             # ship to server workers; Anonymizer.load
+    >>> model.audit().satisfied             # independent policy audit
+    True
+
+Algorithms, partitioners and EMD modes are discovered through the named
+registries in :mod:`repro.registry`; extensions register their own with
+``@register_method`` / ``@register_partitioner`` / ``register_emd_mode``.
 """
 
 from .core import (
     METHODS,
+    Anonymizer,
+    DistinctLDiversity,
+    KAnonymity,
+    PrivacyPolicy,
+    PSensitivity,
+    Requirement,
+    RunReport,
+    TCloseness,
     TClosenessAnonymizer,
     TClosenessResult,
     anonymize,
@@ -31,14 +54,26 @@ from .core import (
     tcloseness_first,
 )
 from .data import Microdata
+from .registry import EMD_MODES, PARTITIONERS, Registry
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "anonymize",
+    "Anonymizer",
     "TClosenessAnonymizer",
     "TClosenessResult",
+    "RunReport",
+    "PrivacyPolicy",
+    "Requirement",
+    "KAnonymity",
+    "TCloseness",
+    "DistinctLDiversity",
+    "PSensitivity",
     "METHODS",
+    "PARTITIONERS",
+    "EMD_MODES",
+    "Registry",
     "Microdata",
     "microaggregation_merge",
     "kanonymity_first",

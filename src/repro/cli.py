@@ -1,4 +1,4 @@
-"""Command-line interface: anonymize and audit CSV microdata.
+"""Command-line interface: anonymize, audit, fit and apply CSV microdata.
 
 Examples
 --------
@@ -7,9 +7,22 @@ Anonymize a CSV with the t-closeness-first algorithm::
     repro-anonymize anonymize patients.csv release.csv \\
         --qi age,zip,admission_day --confidential charge -k 5 -t 0.15
 
-Audit an existing release::
+The same release under a composed policy (k-anonymity + t-closeness +
+distinct l-diversity)::
 
-    repro-anonymize audit release.csv --qi age,zip --confidential charge
+    repro-anonymize anonymize patients.csv release.csv \\
+        --qi age,zip --confidential charge --require k=5,t=0.15,l=3
+
+Fit once, serve batches later (the fit/apply lifecycle)::
+
+    repro-anonymize fit patients.csv model.npz \\
+        --qi age,zip --confidential charge --require k=5,t=0.15
+    repro-anonymize apply model.npz new_batch.csv batch_release.csv
+
+Audit an existing release (exit code 1 when a declared requirement fails)::
+
+    repro-anonymize audit release.csv --qi age,zip --confidential charge \\
+        --require k=5,t=0.15
 
 ``python -m repro ...`` is equivalent.
 """
@@ -21,8 +34,11 @@ import sys
 from typing import Sequence
 
 from .core.anonymizer import METHODS, anonymize
+from .core.model import Anonymizer
+from .core.policy import KAnonymity, PolicyError, PrivacyPolicy, TCloseness
+from .core.repair import PolicyInfeasibleError
 from .data.io import read_csv, write_csv
-from .privacy.audit import audit
+from .privacy.audit import audit, audit_policy
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -36,32 +52,56 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
+    def add_roles(p: argparse.ArgumentParser, *, identifier: bool = False) -> None:
+        p.add_argument(
+            "--qi",
+            required=True,
+            help="comma-separated quasi-identifier column names",
+        )
+        p.add_argument(
+            "--confidential",
+            required=True,
+            help="comma-separated confidential column names",
+        )
+        if identifier:
+            p.add_argument(
+                "--identifier",
+                default="",
+                help="comma-separated identifier columns (dropped from the release)",
+            )
+
+    def add_policy(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "-k", type=int, default=None, help="k-anonymity level"
+        )
+        p.add_argument(
+            "-t", type=float, default=None, help="t-closeness level"
+        )
+        p.add_argument(
+            "--require",
+            default=None,
+            metavar="SPEC",
+            help=(
+                "privacy policy spec, e.g. k=5,t=0.15,l=3 "
+                "(keys: k-anonymity, t-closeness, distinct l-diversity, "
+                "p-sensitivity); combines with -k/-t"
+            ),
+        )
+
+    def add_method(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--method",
+            choices=sorted(METHODS),
+            default="tclose-first",
+            help="algorithm (default: tclose-first, the paper's best)",
+        )
+
     anon = sub.add_parser("anonymize", help="anonymize a CSV file")
     anon.add_argument("input", help="input CSV (header row required)")
     anon.add_argument("output", help="output CSV for the release")
-    anon.add_argument(
-        "--qi",
-        required=True,
-        help="comma-separated quasi-identifier column names",
-    )
-    anon.add_argument(
-        "--confidential",
-        required=True,
-        help="comma-separated confidential column names",
-    )
-    anon.add_argument(
-        "--identifier",
-        default="",
-        help="comma-separated identifier columns (dropped from the release)",
-    )
-    anon.add_argument("-k", type=int, required=True, help="k-anonymity level")
-    anon.add_argument("-t", type=float, required=True, help="t-closeness level")
-    anon.add_argument(
-        "--method",
-        choices=sorted(METHODS),
-        default="tclose-first",
-        help="algorithm (default: tclose-first, the paper's best)",
-    )
+    add_roles(anon, identifier=True)
+    add_policy(anon)
+    add_method(anon)
     anon.add_argument(
         "--report",
         action="store_true",
@@ -70,8 +110,37 @@ def build_parser() -> argparse.ArgumentParser:
 
     aud = sub.add_parser("audit", help="audit an existing release CSV")
     aud.add_argument("input", help="released CSV to audit")
-    aud.add_argument("--qi", required=True, help="quasi-identifier columns")
-    aud.add_argument("--confidential", required=True, help="confidential columns")
+    add_roles(aud)
+    aud.add_argument(
+        "--require",
+        default=None,
+        metavar="SPEC",
+        help=(
+            "audit against this policy spec (e.g. k=5,t=0.15,l=3) and "
+            "exit 1 when any requirement fails"
+        ),
+    )
+
+    fit = sub.add_parser(
+        "fit", help="fit an anonymization model and save it for `apply`"
+    )
+    fit.add_argument("input", help="input CSV (header row required)")
+    fit.add_argument("model", help="output model path (.npz + .json sidecar)")
+    add_roles(fit, identifier=True)
+    add_policy(fit)
+    add_method(fit)
+    fit.add_argument(
+        "--release",
+        default=None,
+        help="optionally also write the fitted table's release CSV here",
+    )
+
+    apply_ = sub.add_parser(
+        "apply", help="anonymize a batch CSV with a fitted model"
+    )
+    apply_.add_argument("model", help="model path written by `fit`")
+    apply_.add_argument("input", help="batch CSV to anonymize")
+    apply_.add_argument("output", help="output CSV for the batch release")
 
     return parser
 
@@ -80,41 +149,116 @@ def _split(arg: str) -> list[str]:
     return [name.strip() for name in arg.split(",") if name.strip()]
 
 
-def _cmd_anonymize(args: argparse.Namespace) -> int:
-    data = read_csv(
-        args.input,
+def _build_policy(args: argparse.Namespace) -> PrivacyPolicy:
+    """Combine ``--require`` with the legacy ``-k``/``-t`` flags."""
+    policy = PrivacyPolicy()
+    if args.require:
+        policy = PrivacyPolicy.parse(args.require)
+    if args.k is not None:
+        policy = policy & KAnonymity(args.k)
+    if args.t is not None:
+        policy = policy & TCloseness(args.t)
+    if not policy.requirements:
+        raise PolicyError(
+            "no privacy requirements declared; pass -k/-t or --require"
+        )
+    return policy
+
+
+def _read_roles(args: argparse.Namespace, path: str):
+    return read_csv(
+        path,
         quasi_identifiers=_split(args.qi),
         confidential=_split(args.confidential),
-        identifiers=_split(args.identifier),
+        identifiers=_split(getattr(args, "identifier", "") or ""),
     )
-    release, result = anonymize(data, args.k, args.t, method=args.method)
+
+
+def _cmd_anonymize(args: argparse.Namespace) -> int:
+    data = _read_roles(args, args.input)
+    policy = _build_policy(args)
+    model = Anonymizer(policy, method=args.method).fit(data)
+    release, result = model.release_, model.result_
     write_csv(release, args.output)
     print(f"wrote {release.n_records} records to {args.output}")
     print(result.summary())
     if args.report:
+        verdict = model.audit(data.drop_identifiers())
         print()
-        print(audit(release, data.drop_identifiers()).format())
-    return 0 if result.satisfies_t else 1
+        print(verdict.format())
+    else:
+        # Exit code only: skip the posture report and the linkage attack.
+        verdict = model.audit(posture=False)
+        if not verdict.satisfied:
+            print(f"policy {policy.spec()} VIOLATED by the release")
+    return 0 if verdict.satisfied else 1
 
 
 def _cmd_audit(args: argparse.Namespace) -> int:
-    data = read_csv(
-        args.input,
-        quasi_identifiers=_split(args.qi),
-        confidential=_split(args.confidential),
-    )
+    data = _read_roles(args, args.input)
+    if args.require:
+        verdict = audit_policy(data, PrivacyPolicy.parse(args.require))
+        print(verdict.format())
+        return 0 if verdict.satisfied else 1
     print(audit(data).format())
     return 0
+
+
+def _cmd_fit(args: argparse.Namespace) -> int:
+    data = _read_roles(args, args.input)
+    policy = _build_policy(args)
+    model = Anonymizer(policy, method=args.method).fit(data)
+    # Write every output before printing, so an interrupted pipe cannot
+    # leave a model without its companion release.
+    npz_path, sidecar = model.save(args.model)
+    if args.release:
+        write_csv(model.release_, args.release)
+    print(f"wrote model to {npz_path} (+ {sidecar})")
+    if args.release:
+        print(f"wrote {model.release_.n_records} records to {args.release}")
+    print(model.report_.format())
+    verdict = model.audit(posture=False)
+    if not verdict.satisfied:
+        print(f"policy {policy.spec()} VIOLATED by the fitted release")
+    return 0 if verdict.satisfied else 1
+
+
+def _cmd_apply(args: argparse.Namespace) -> int:
+    import csv
+
+    model = Anonymizer.load(args.model)
+    with open(args.input, newline="") as handle:
+        header = next(csv.reader(handle), [])
+    batch = read_csv(args.input, schema=model.batch_schema(tuple(header)))
+    release = model.transform(batch)
+    write_csv(release, args.output)
+    print(
+        f"wrote {release.n_records} records to {args.output} "
+        f"(policy {model.policy.spec()}, method {model.method})"
+    )
+    return 0
+
+
+_COMMANDS = {
+    "anonymize": _cmd_anonymize,
+    "audit": _cmd_audit,
+    "fit": _cmd_fit,
+    "apply": _cmd_apply,
+}
 
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
-    if args.command == "anonymize":
-        return _cmd_anonymize(args)
-    if args.command == "audit":
-        return _cmd_audit(args)
-    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover
+    try:
+        handler = _COMMANDS[args.command]
+    except KeyError:  # pragma: no cover - argparse enforces the choices
+        raise AssertionError(f"unhandled command {args.command!r}") from None
+    try:
+        return handler(args)
+    except (PolicyError, PolicyInfeasibleError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -1,0 +1,17 @@
+"""Library-wide numeric constants shared across layers.
+
+This module sits below every other package (it imports nothing from
+:mod:`repro`), so the anonymization core, the privacy verifiers and the
+policy machinery can all reference the same values without import cycles.
+"""
+
+from __future__ import annotations
+
+#: Absolute tolerance applied to every t-closeness threshold comparison
+#: ("achieved <= t"), absorbing the float round-off that accumulates while
+#: summing EMD terms.  Result objects (`TClosenessResult.satisfies_t`), the
+#: formal verifier (`repro.privacy.tcloseness.is_t_close`), the policy
+#: requirement (`repro.core.policy.TCloseness`) and the release audit all
+#: use this single value, so a release can never be "t-close" to one layer
+#: and "not t-close" to another.
+T_TOLERANCE: float = 1e-12

@@ -1,9 +1,16 @@
 """High-level anonymization API.
 
-Wraps the three algorithms behind one entry point, applies the aggregation
-step (quasi-identifiers → cluster representatives) and returns the release
-plus the run's diagnostics.  This is the API the examples, the CLI and most
-downstream users should touch.
+Wraps the registered algorithms behind one entry point, applies the
+aggregation step (quasi-identifiers → cluster representatives) and returns
+the release plus the run's diagnostics.  :func:`anonymize` is the one-shot
+convenience; the full lifecycle (policies beyond k/t, fit/transform,
+serializable models) lives in :class:`repro.core.model.Anonymizer`, of
+which everything here is a thin shim.
+
+Algorithms are discovered through the :data:`repro.registry.METHODS`
+registry — the paper's three ship pre-registered; extensions add their own
+with ``@register_method("name")`` and become available to this function,
+the CLI and the sweep runner alike.
 """
 
 from __future__ import annotations
@@ -11,18 +18,23 @@ from __future__ import annotations
 from typing import Callable
 
 from ..data.dataset import Microdata
-from ..microagg.aggregate import aggregate_partition
-from .base import TClosenessResult
-from .kanon_first import kanonymity_first
-from .merge import microaggregation_merge
-from .tclose_first import tcloseness_first
 
-#: Registry of the paper's algorithms by their user-facing names.
-METHODS: dict[str, Callable[..., TClosenessResult]] = {
-    "merge": microaggregation_merge,
-    "kanon-first": kanonymity_first,
-    "tclose-first": tcloseness_first,
-}
+# Importing the algorithm modules registers the paper's three methods.
+from ..registry import METHODS
+from . import kanon_first, merge, tclose_first  # noqa: F401  (registration)
+from .base import TClosenessResult
+from .model import Anonymizer
+from .policy import KAnonymity, TCloseness
+
+
+def resolve_method(method: str) -> Callable[..., TClosenessResult]:
+    """Look up a registered algorithm by name.
+
+    The single validation path behind :func:`anonymize`,
+    :class:`TClosenessAnonymizer`, the CLI and the sweep runner; unknown
+    names raise a ``ValueError`` listing the registered alternatives.
+    """
+    return METHODS.resolve(method)
 
 
 def anonymize(
@@ -46,9 +58,9 @@ def anonymize(
         t-closeness level (maximum EMD between any class's confidential
         distribution and the whole table's).
     method:
-        ``"merge"`` (Algorithm 1), ``"kanon-first"`` (Algorithm 2) or
-        ``"tclose-first"`` (Algorithm 3, default — the paper's best
-        performer on utility and speed).
+        A registered algorithm name: ``"merge"`` (Algorithm 1),
+        ``"kanon-first"`` (Algorithm 2) or ``"tclose-first"`` (Algorithm 3,
+        default — the paper's best performer on utility and speed).
     method_kwargs:
         Forwarded to the underlying algorithm (e.g. ``partitioner=`` for
         Algorithm 1, ``merge_fallback=`` for Algorithm 2).
@@ -59,18 +71,29 @@ def anonymize(
         The anonymized dataset (quasi-identifiers replaced by cluster
         representatives, confidential attributes untouched, identifiers
         dropped) and the algorithm diagnostics.
+
+    Notes
+    -----
+    This is a shim over ``Anonymizer(KAnonymity(k) & TCloseness(t),
+    method=method).fit(data)``.  The repair phase engages only when the
+    algorithm's raw output misses t (possible for Algorithm 3's
+    extra-record clusters on small tables) — and is skipped entirely when
+    the caller explicitly opted out of t enforcement with
+    ``merge_fallback=False``, preserving that flag's raw-partition
+    contract.
     """
-    if method not in METHODS:
-        raise ValueError(
-            f"unknown method {method!r}; expected one of {sorted(METHODS)}"
-        )
-    result = METHODS[method](data, k, t, **method_kwargs)
-    release = aggregate_partition(data, result.partition).drop_identifiers()
-    return release, result
+    repair = method_kwargs.get("merge_fallback", True) is not False
+    model = Anonymizer(
+        KAnonymity(int(k)) & TCloseness(float(t)),
+        method=method,
+        repair=repair,
+        **method_kwargs,
+    ).fit(data)
+    return model.release_, model.result_
 
 
-class TClosenessAnonymizer:
-    """Stateful wrapper around :func:`anonymize` (estimator-style).
+class TClosenessAnonymizer(Anonymizer):
+    """Backwards-compatible estimator: ``(k, t)`` instead of a policy.
 
     Example
     -------
@@ -82,24 +105,27 @@ class TClosenessAnonymizer:
     True
     """
 
-    def __init__(self, k: int, t: float, *, method: str = "tclose-first", **method_kwargs: object) -> None:
-        if method not in METHODS:
-            raise ValueError(
-                f"unknown method {method!r}; expected one of {sorted(METHODS)}"
-            )
+    def __init__(
+        self,
+        k: int,
+        t: float,
+        *,
+        method: str = "tclose-first",
+        **method_kwargs: object,
+    ) -> None:
+        repair = method_kwargs.get("merge_fallback", True) is not False
+        super().__init__(
+            KAnonymity(int(k)) & TCloseness(float(t)),
+            method=method,
+            repair=repair,
+            **method_kwargs,
+        )
         self.k = k
         self.t = t
-        self.method = method
-        self.method_kwargs = method_kwargs
-        self.result_: TClosenessResult | None = None
 
     def anonymize(self, data: Microdata) -> Microdata:
         """Run the configured algorithm; diagnostics land in ``result_``."""
-        release, result = anonymize(
-            data, self.k, self.t, method=self.method, **self.method_kwargs
-        )
-        self.result_ = result
-        return release
+        return self.fit_transform(data)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -6,6 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..constants import T_TOLERANCE
 from ..microagg.partition import Partition
 
 
@@ -53,8 +54,13 @@ class TClosenessResult:
 
     @property
     def satisfies_t(self) -> bool:
-        """Whether every cluster meets the requested threshold."""
-        return bool(self.max_emd <= self.t + 1e-12)
+        """Whether every cluster meets the requested threshold.
+
+        Uses the library-wide :data:`~repro.constants.T_TOLERANCE`, so this
+        verdict can never disagree with the formal verifier's
+        (:func:`repro.privacy.tcloseness.is_t_close`) on the same EMDs.
+        """
+        return bool(self.max_emd <= self.t + T_TOLERANCE)
 
     @property
     def min_cluster_size(self) -> int:

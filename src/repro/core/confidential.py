@@ -27,6 +27,7 @@ from ..distance.emd import (
     NominalEMDReference,
     OrderedEMDReference,
 )
+from ..registry import EMD_MODES
 
 
 class ConfidentialModel:
@@ -61,9 +62,10 @@ class ConfidentialModel:
                 self._refs.append(ref)
                 self._bins.append(column.astype(np.int64))
             else:
-                ref = OrderedEMDReference(column.astype(np.float64), mode=emd_mode)
+                mode_spec = EMD_MODES.resolve(emd_mode)
+                ref = mode_spec.make(column.astype(np.float64))
                 self._refs.append(ref)
-                if emd_mode == "distinct":
+                if mode_spec.supports_trackers:
                     self._bins.append(ref.bins_of(column.astype(np.float64)))
                 else:
                     self._bins.append(None)

@@ -27,6 +27,7 @@ from ..data.dataset import Microdata
 from ..distance.records import encode_mixed
 from ..microagg.engine import ClusteringEngine
 from ..microagg.partition import Partition
+from ..registry import register_method
 from .base import TClosenessResult
 from .confidential import ConfidentialModel
 from .merge import merge_to_t_closeness
@@ -152,6 +153,7 @@ def _generate_cluster(
     return members, n_swaps
 
 
+@register_method("kanon-first")
 def kanonymity_first(
     data: Microdata,
     k: int,

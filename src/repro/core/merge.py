@@ -46,6 +46,7 @@ from ..distance.records import encode_mixed
 from ..microagg.engine import ClusteringEngine
 from ..microagg.mdav import mdav
 from ..microagg.partition import Partition
+from ..registry import PARTITIONERS, register_method
 from .base import TClosenessResult
 from .confidential import ConfidentialModel
 
@@ -285,12 +286,13 @@ def merge_to_t_closeness(
     return final, final_emds, n_merges
 
 
+@register_method("merge")
 def microaggregation_merge(
     data: Microdata,
     k: int,
     t: float,
     *,
-    partitioner: Partitioner = mdav,
+    partitioner: Partitioner | str = mdav,
     emd_mode: str = "distinct",
 ) -> TClosenessResult:
     """Algorithm 1: microaggregate the quasi-identifiers, then merge.
@@ -304,8 +306,9 @@ def microaggregation_merge(
     t:
         t-closeness level to enforce.
     partitioner:
-        Base microaggregation heuristic; MDAV by default, V-MDAV or the
-        optimal univariate partitioner are drop-in alternatives.
+        Base microaggregation heuristic; MDAV by default.  Accepts either a
+        callable ``(X, k) -> Partition`` or a registered partitioner name
+        (see :data:`repro.registry.PARTITIONERS`).
     emd_mode:
         ``"distinct"`` (default) or ``"rank"`` ordered-EMD flavour.
 
@@ -318,6 +321,8 @@ def microaggregation_merge(
         raise ValueError("dataset is empty")
     if not 1 <= k <= data.n_records:
         raise ValueError(f"k must be in [1, {data.n_records}], got {k}")
+    if isinstance(partitioner, str):
+        partitioner = PARTITIONERS.resolve(partitioner)
     qi_matrix = encode_mixed(data, data.quasi_identifiers)
     model = ConfidentialModel(data, emd_mode=emd_mode)
     initial = partitioner(qi_matrix, k)

@@ -1,0 +1,517 @@
+"""Fitted anonymization models: fit → transform → save/load.
+
+:func:`repro.anonymize` is one-shot: partition, aggregate, release.  A
+production deployment amortizes that work — the expensive clustering runs
+once on a reference table (**fit**), and the fitted state (partition,
+per-cluster representatives, the declared privacy policy and a structured
+:class:`RunReport`) then serves incoming batches (**transform**) by
+mapping each new record onto the nearest fitted representative, exactly
+the generalization a k-anonymous release promises.  The fitted state
+serializes to an ``.npz`` + JSON sidecar pair (:meth:`Anonymizer.save` /
+:meth:`Anonymizer.load`), so a model fitted offline ships to stateless
+server workers.
+
+    >>> from repro import Anonymizer, KAnonymity, TCloseness
+    >>> model = Anonymizer(KAnonymity(5) & TCloseness(0.15)).fit(data)
+    >>> release = model.release_                 # the fitted table's release
+    >>> served = model.transform(batch)          # new records, same geometry
+    >>> model.save("model.npz")                  # + model.json sidecar
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from ..data.attributes import AttributeKind, AttributeRole, AttributeSpec
+from ..data.dataset import Microdata
+from ..distance.records import QIEncoder, sq_distances_to
+from ..microagg.aggregate import aggregate_partition, cluster_centroids
+from ..microagg.partition import Partition
+from ..registry import METHODS
+from .base import TClosenessResult
+from .policy import PrivacyPolicy, as_policy
+from .repair import enforce_policy
+
+#: On-disk model format version (bump on incompatible layout changes).
+MODEL_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """Structured diagnostics of one ``fit`` run.
+
+    Replaces spelunking through the untyped ``info`` dict: the quantities
+    every release decision needs are first-class fields, per-phase timings
+    are a mapping, and algorithm-specific counters stay available under
+    ``details``.
+
+    Attributes
+    ----------
+    algorithm:
+        Registered method name that produced the partition.
+    policy:
+        Canonical spec string of the declared policy (``"k=5,t=0.15"``).
+    n_records, n_clusters, min_cluster_size, mean_cluster_size, max_emd:
+        Shape and achieved t-closeness of the fitted partition.
+    satisfied:
+        Whether the fitted partition meets every declared requirement.
+    achieved:
+        Measured level per requirement key (``{"k": 5, "t": 0.12, ...}``).
+    timings:
+        Wall-clock seconds per phase: ``cluster``, ``repair``,
+        ``aggregate``, ``verify``.
+    details:
+        Algorithm-specific counters (the former ``info`` dict, plus the
+        repair counters when the repair phase engaged).
+    """
+
+    algorithm: str
+    policy: str
+    n_records: int
+    n_clusters: int
+    min_cluster_size: int
+    mean_cluster_size: float
+    max_emd: float
+    satisfied: bool
+    achieved: Mapping[str, float] = field(default_factory=dict)
+    timings: Mapping[str, float] = field(default_factory=dict)
+    details: Mapping[str, object] = field(default_factory=dict)
+
+    def format(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            "Run report",
+            "----------",
+            f"algorithm        : {self.algorithm}",
+            f"policy           : {self.policy} "
+            f"({'satisfied' if self.satisfied else 'NOT satisfied'})",
+            f"records          : {self.n_records}",
+            f"clusters         : {self.n_clusters} "
+            f"(min {self.min_cluster_size}, avg {self.mean_cluster_size:.1f})",
+            f"max EMD          : {self.max_emd:.4f}",
+        ]
+        for key in sorted(self.achieved):
+            lines.append(f"achieved {key:<8}: {self.achieved[key]:g}")
+        for phase in ("cluster", "repair", "aggregate", "verify"):
+            if phase in self.timings:
+                lines.append(f"{phase + ' time':<17}: {self.timings[phase]:.3f}s")
+        return "\n".join(lines)
+
+    def to_dict(self) -> dict:
+        """JSON-ready payload (numpy scalars coerced to Python numbers)."""
+        return {
+            "algorithm": self.algorithm,
+            "policy": self.policy,
+            "n_records": int(self.n_records),
+            "n_clusters": int(self.n_clusters),
+            "min_cluster_size": int(self.min_cluster_size),
+            "mean_cluster_size": float(self.mean_cluster_size),
+            "max_emd": float(self.max_emd),
+            "satisfied": bool(self.satisfied),
+            "achieved": {k: float(v) for k, v in self.achieved.items()},
+            "timings": {k: float(v) for k, v in self.timings.items()},
+            "details": _json_safe(dict(self.details)),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "RunReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**payload)
+
+
+class NotFittedError(RuntimeError):
+    """Raised when a lifecycle operation needs a fitted model."""
+
+
+class Anonymizer:
+    """Policy-driven anonymization model with a fit/transform lifecycle.
+
+    Parameters
+    ----------
+    policy:
+        A :class:`~repro.core.policy.PrivacyPolicy`, a single requirement,
+        a spec string (``"k=5,t=0.15"``) or a mapping (``{"k": 5}``).
+    method:
+        Registered algorithm name (see ``repro.METHODS``); the method
+        receives the policy's k and t, and the repair phase enforces any
+        further requirements (l-diversity, p-sensitivity) by merging.
+    repair:
+        Run the post-clustering policy repair (:func:`~repro.core.repair.enforce_policy`).
+        Disable only to study an algorithm's raw output — the released
+        table may then violate the declared policy.
+    method_kwargs:
+        Forwarded to the algorithm (e.g. ``partitioner=`` for ``"merge"``).
+    """
+
+    def __init__(
+        self,
+        policy: PrivacyPolicy | object,
+        *,
+        method: str = "tclose-first",
+        repair: bool = True,
+        **method_kwargs: object,
+    ) -> None:
+        self.policy = as_policy(policy)
+        self._method_fn = METHODS.resolve(method)  # eager: unknown names fail here
+        self.method = method
+        self.repair = repair
+        self.method_kwargs = method_kwargs
+        self._fitted = False
+        self.result_: TClosenessResult | None = None
+        self.release_: Microdata | None = None
+        self.report_: RunReport | None = None
+        self._schema: tuple[AttributeSpec, ...] | None = None
+        self._qi_names: tuple[str, ...] = ()
+        self._representatives: np.ndarray | None = None
+        self._encoded_representatives: np.ndarray | None = None
+        self._encoder: QIEncoder | None = None
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def fit(self, data: Microdata) -> "Anonymizer":
+        """Cluster ``data`` under the policy and keep the fitted state.
+
+        Phases (timed individually in ``report_.timings``): **cluster**
+        (the registered algorithm at the policy's k and t), **repair**
+        (policy enforcement by merging — a no-op when the algorithm's
+        output already complies), **aggregate** (per-cluster
+        representatives and the fitted table's release) and **verify**
+        (measuring every declared requirement on the fitted partition).
+        """
+        timings: dict[str, float] = {}
+        t_level = self.policy.t if self.policy.t is not None else math.inf
+
+        start = time.perf_counter()
+        result = self._method_fn(
+            data, self.policy.k, t_level, **self.method_kwargs
+        )
+        timings["cluster"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        if self.repair:
+            result = enforce_policy(data, result, self.policy)
+        timings["repair"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        release = aggregate_partition(data, result.partition).drop_identifiers()
+        qi_names = data.quasi_identifiers
+        representatives = cluster_centroids(data, result.partition, qi_names)
+        encoder = QIEncoder.fit(data, qi_names)
+        encoded_representatives = encoder.encode(representatives)
+        timings["aggregate"] = time.perf_counter() - start
+
+        start = time.perf_counter()
+        achieved, satisfied = self._measure(data, result)
+        timings["verify"] = time.perf_counter() - start
+
+        self.result_ = result
+        self.release_ = release
+        self._schema = data.schema
+        self._qi_names = qi_names
+        self._representatives = representatives
+        self._encoded_representatives = encoded_representatives
+        self._encoder = encoder
+        self.report_ = RunReport(
+            algorithm=result.algorithm,
+            policy=self.policy.spec(),
+            n_records=data.n_records,
+            n_clusters=result.partition.n_clusters,
+            min_cluster_size=result.min_cluster_size,
+            mean_cluster_size=result.mean_cluster_size,
+            max_emd=result.max_emd,
+            satisfied=satisfied,
+            achieved=achieved,
+            timings=timings,
+            details=dict(result.info),
+        )
+        self._fitted = True
+        return self
+
+    def _measure(
+        self, data: Microdata, result: TClosenessResult
+    ) -> tuple[dict[str, float], bool]:
+        """Achieved level per declared requirement, on the fitted partition."""
+        from .policy import (  # local: keep module-level imports acyclic-simple
+            DistinctLDiversity,
+            KAnonymity,
+            PSensitivity,
+            TCloseness,
+        )
+        from .repair import cluster_distinct_counts
+
+        achieved: dict[str, float] = {}
+        satisfied = True
+        distinct: int | None = None
+        for req in self.policy:
+            if isinstance(req, KAnonymity):
+                level: float = result.partition.min_size
+            elif isinstance(req, TCloseness):
+                level = result.max_emd
+            elif isinstance(req, (DistinctLDiversity, PSensitivity)):
+                if distinct is None:
+                    distinct = int(
+                        cluster_distinct_counts(data, result.partition).min()
+                    )
+                level = distinct
+            else:  # pragma: no cover - future requirement types
+                continue
+            achieved[req.key] = float(level)
+            satisfied = satisfied and req.satisfied_by(level)
+        return achieved, satisfied
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise NotFittedError(
+                "this Anonymizer is not fitted; call fit(data) or load(path) first"
+            )
+
+    def fit_transform(self, data: Microdata) -> Microdata:
+        """Fit on ``data`` and return its release (the one-shot path)."""
+        return self.fit(data).release_
+
+    def transform(self, batch: Microdata) -> Microdata:
+        """Anonymize new records against the fitted representatives.
+
+        Each batch record's quasi-identifiers are replaced by those of the
+        nearest fitted cluster representative (squared Euclidean distance
+        in the *fit* data's encoded geometry; exact ties resolve to the
+        lowest cluster id).  Confidential and non-confidential columns
+        pass through untouched; identifier columns are dropped.
+        """
+        self._require_fitted()
+        self._check_batch_schema(batch)
+        assignment = self.assign(batch)
+        replacements = {
+            name: self._representatives[assignment, j]
+            for j, name in enumerate(self._qi_names)
+        }
+        return batch.with_columns(replacements).drop_identifiers()
+
+    def assign(self, batch: Microdata) -> np.ndarray:
+        """Nearest fitted cluster id for each batch record."""
+        self._require_fitted()
+        self._check_batch_schema(batch)
+        encoded = self._encoder.encode(batch.matrix(self._qi_names))
+        n = encoded.shape[0]
+        best_d2 = np.full(n, np.inf)
+        assignment = np.zeros(n, dtype=np.int64)
+        for g, rep in enumerate(self._encoded_representatives):
+            d2 = sq_distances_to(encoded, rep)
+            better = d2 < best_d2
+            assignment[better] = g
+            best_d2[better] = d2[better]
+        return assignment
+
+    def _check_batch_schema(self, batch: Microdata) -> None:
+        by_name = {s.name: s for s in self._schema}
+        for name in self._qi_names:
+            if name not in batch:
+                raise ValueError(
+                    f"batch is missing quasi-identifier column {name!r}"
+                )
+            fitted, incoming = by_name[name], batch.spec(name)
+            if fitted.kind is not incoming.kind or fitted.categories != incoming.categories:
+                raise ValueError(
+                    f"batch column {name!r} does not match the fitted schema "
+                    f"(fitted {fitted.kind}/{len(fitted.categories)} categories, "
+                    f"batch {incoming.kind}/{len(incoming.categories)})"
+                )
+
+    def batch_schema(
+        self, available: tuple[str, ...] | None = None
+    ) -> tuple[AttributeSpec, ...]:
+        """Schema for reading serving batches (e.g. ``read_csv(path, schema=...)``).
+
+        The fitted schema minus identifier columns (a serving batch should
+        not carry direct identifiers; any that do appear are dropped by
+        :meth:`transform` anyway).  With ``available`` (e.g. a CSV header),
+        the schema is additionally filtered to the columns actually
+        present — every quasi-identifier must still be among them.
+        """
+        self._require_fitted()
+        specs = tuple(
+            s for s in self._schema if s.role is not AttributeRole.IDENTIFIER
+        )
+        if available is not None:
+            present = set(available)
+            missing = [n for n in self._qi_names if n not in present]
+            if missing:
+                raise ValueError(
+                    f"batch is missing quasi-identifier column(s) {missing}"
+                )
+            specs = tuple(s for s in specs if s.name in present)
+        return specs
+
+    # -- policy audit -------------------------------------------------------------
+
+    def audit(self, original: Microdata | None = None, *, posture: bool = True):
+        """Independent policy audit of the fitted release.
+
+        Recomputes every declared requirement from the released table alone
+        (see :func:`repro.privacy.audit.audit_policy`) — nothing is trusted
+        from the fit run.  The EMD flavour follows the fitted run's
+        ``emd_mode`` (recorded in ``result_.info``, so it survives
+        ``save``/``load``): a policy enforced under rank-mode EMDs is
+        audited under rank-mode EMDs.  ``posture=False`` skips the bundled
+        model-agnostic posture report and computes only the
+        per-requirement verdicts.
+        """
+        self._require_fitted()
+        from ..privacy.audit import audit_policy  # local: privacy imports core
+
+        return audit_policy(
+            self.release_,
+            self.policy,
+            original,
+            emd_mode=str(self.result_.info.get("emd_mode", "distinct")),
+            posture=posture,
+        )
+
+    # -- serialization ------------------------------------------------------------
+
+    def save(self, path: str | Path) -> tuple[Path, Path]:
+        """Write the fitted model to ``path`` (.npz) + a ``.json`` sidecar.
+
+        The npz holds the arrays (partition labels, per-cluster EMDs, raw
+        quasi-identifier representatives); the sidecar holds everything
+        human-auditable: policy, schema, encoder parameters and the run
+        report.  Returns the two paths written.
+        """
+        self._require_fitted()
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        sidecar = path.with_suffix(".json")
+        np.savez(
+            path,
+            labels=self.result_.partition.labels,
+            cluster_emds=self.result_.cluster_emds,
+            representatives=self._representatives,
+        )
+        payload = {
+            "format_version": MODEL_FORMAT_VERSION,
+            "policy": self.policy.to_dict(),
+            "method": self.method,
+            "algorithm": self.result_.algorithm,
+            "result_k": int(self.result_.k),
+            "result_t": _json_float(self.result_.t),
+            "info": _json_safe(dict(self.result_.info)),
+            "qi_names": list(self._qi_names),
+            "schema": [_spec_to_dict(s) for s in self._schema],
+            "encoder": self._encoder.to_dict(),
+            "report": self.report_.to_dict(),
+        }
+        sidecar.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        return path, sidecar
+
+    @classmethod
+    def load(cls, path: str | Path) -> "Anonymizer":
+        """Rebuild a fitted model from :meth:`save` output.
+
+        The loaded model serves ``transform``/``assign``/``save`` and keeps
+        ``result_`` and ``report_``; the fitted table itself is not stored,
+        so ``release_`` is None and ``fit`` must be called with data to
+        refit.
+        """
+        path = Path(path)
+        if path.suffix != ".npz":
+            path = path.with_suffix(path.suffix + ".npz")
+        sidecar = path.with_suffix(".json")
+        payload = json.loads(sidecar.read_text())
+        version = payload.get("format_version")
+        if version != MODEL_FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported model format version {version!r} "
+                f"(this build reads version {MODEL_FORMAT_VERSION})"
+            )
+        arrays = np.load(path)
+
+        model = cls(
+            PrivacyPolicy.from_dict(payload["policy"]), method=payload["method"]
+        )
+        model.result_ = TClosenessResult(
+            algorithm=payload["algorithm"],
+            k=payload["result_k"],
+            t=_from_json_float(payload["result_t"]),
+            partition=Partition(arrays["labels"]),
+            cluster_emds=arrays["cluster_emds"],
+            info=dict(payload["info"]),
+        )
+        model._schema = tuple(_spec_from_dict(d) for d in payload["schema"])
+        model._qi_names = tuple(payload["qi_names"])
+        model._representatives = arrays["representatives"]
+        model._encoder = QIEncoder.from_dict(payload["encoder"])
+        model._encoded_representatives = model._encoder.encode(
+            model._representatives
+        )
+        model.report_ = RunReport.from_dict(payload["report"])
+        model._fitted = True
+        return model
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        state = "fitted" if self._fitted else "unfitted"
+        return (
+            f"Anonymizer(policy={self.policy.spec()!r}, "
+            f"method={self.method!r}, {state})"
+        )
+
+
+# -- (de)serialization helpers ----------------------------------------------------
+
+
+def _spec_to_dict(spec: AttributeSpec) -> dict:
+    return {
+        "name": spec.name,
+        "kind": spec.kind.value,
+        "role": spec.role.value,
+        "categories": list(spec.categories),
+    }
+
+
+def _spec_from_dict(payload: dict) -> AttributeSpec:
+    return AttributeSpec(
+        name=payload["name"],
+        kind=AttributeKind(payload["kind"]),
+        role=AttributeRole(payload["role"]),
+        categories=tuple(payload["categories"]),
+    )
+
+
+def _json_float(value: float) -> float | str:
+    """JSON has no inf/nan literals; encode them as strings."""
+    value = float(value)
+    if math.isfinite(value):
+        return value
+    return repr(value)
+
+
+def _from_json_float(value: float | str) -> float:
+    return float(value)
+
+
+def _json_safe(obj: object) -> object:
+    """Recursively coerce numpy scalars/arrays to JSON-ready Python values."""
+    if isinstance(obj, dict):
+        return {str(k): _json_safe(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple)):
+        return [_json_safe(v) for v in obj]
+    if isinstance(obj, np.ndarray):
+        return [_json_safe(v) for v in obj.tolist()]
+    if isinstance(obj, (bool, np.bool_)):
+        return bool(obj)
+    if isinstance(obj, (int, np.integer)):
+        return int(obj)
+    if isinstance(obj, (float, np.floating)):
+        return _json_float(float(obj))
+    return obj

@@ -1,0 +1,343 @@
+"""Composable privacy requirements and release policies.
+
+The paper treats t-closeness as one member of a family of
+microaggregation-enforceable privacy models (Section 2 surveys
+k-anonymity, p-sensitivity, l-diversity and t-closeness).  This module
+makes that family first-class: each model is a small immutable
+*requirement* object, and requirements compose with ``&`` into a
+:class:`PrivacyPolicy` that the anonymization lifecycle consumes and the
+release audit verifies::
+
+    policy = KAnonymity(5) & TCloseness(0.15) & DistinctLDiversity(3)
+    policy = PrivacyPolicy.parse("k=5,t=0.15,l=3")   # equivalent
+
+Requirement objects are deliberately *pure*: they know their parameter,
+how to serialize themselves, and whether a measured level satisfies them
+— but they never measure anything.  Measurement lives with the verifiers
+in :mod:`repro.privacy` (see :func:`repro.privacy.audit.audit_policy`),
+so the policy layer stays import-free of the heavier machinery.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterator, Mapping
+
+from ..constants import T_TOLERANCE
+
+
+class PolicyError(ValueError):
+    """Raised for malformed policies (bad parameters, duplicates, parse errors)."""
+
+
+@dataclass(frozen=True)
+class Requirement:
+    """Base class for one privacy requirement.
+
+    Subclasses define the class attributes ``key`` (the one-letter spec
+    token, e.g. ``"k"``) and ``label`` (the human-readable model name) and
+    implement :meth:`satisfied_by`.
+    """
+
+    #: Spec token used by :meth:`PrivacyPolicy.parse` and ``str()``.
+    key = ""
+    #: Human-readable privacy-model name for reports.
+    label = ""
+
+    def __and__(self, other: "Requirement | PrivacyPolicy") -> "PrivacyPolicy":
+        return PrivacyPolicy(self) & other
+
+    @property
+    def value(self) -> int | float:
+        """The requirement's single parameter (k, t, l or p)."""
+        raise NotImplementedError
+
+    def satisfied_by(self, achieved: int | float) -> bool:
+        """Whether a measured level meets this requirement."""
+        raise NotImplementedError
+
+    def spec(self) -> str:
+        """The ``key=value`` token (``repr`` of floats, so parsing is exact)."""
+        return f"{self.key}={self.value!r}"
+
+
+@dataclass(frozen=True)
+class KAnonymity(Requirement):
+    """Every equivalence class holds at least ``k`` records."""
+
+    k: int
+    key = "k"
+    label = "k-anonymity"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.k, int) or isinstance(self.k, bool) or self.k < 1:
+            raise PolicyError(f"k must be an integer >= 1, got {self.k!r}")
+
+    @property
+    def value(self) -> int:
+        return self.k
+
+    def satisfied_by(self, achieved: int | float) -> bool:
+        return achieved >= self.k
+
+
+@dataclass(frozen=True)
+class TCloseness(Requirement):
+    """Every class's confidential distribution is within EMD ``t`` of the table's."""
+
+    t: float
+    key = "t"
+    label = "t-closeness"
+
+    def __post_init__(self) -> None:
+        if isinstance(self.t, bool) or not isinstance(self.t, (int, float)):
+            raise PolicyError(f"t must be a number >= 0, got {self.t!r}")
+        object.__setattr__(self, "t", float(self.t))
+        if math.isnan(self.t) or self.t < 0:
+            raise PolicyError(f"t must be a number >= 0, got {self.t!r}")
+
+    @property
+    def value(self) -> float:
+        return self.t
+
+    def satisfied_by(self, achieved: int | float) -> bool:
+        return achieved <= self.t + T_TOLERANCE
+
+
+@dataclass(frozen=True)
+class DistinctLDiversity(Requirement):
+    """Every class holds at least ``l`` distinct values per confidential attribute."""
+
+    l: int
+    key = "l"
+    label = "distinct l-diversity"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.l, int) or isinstance(self.l, bool) or self.l < 1:
+            raise PolicyError(f"l must be an integer >= 1, got {self.l!r}")
+
+    @property
+    def value(self) -> int:
+        return self.l
+
+    def satisfied_by(self, achieved: int | float) -> bool:
+        return achieved >= self.l
+
+
+@dataclass(frozen=True)
+class PSensitivity(Requirement):
+    """p-sensitive k-anonymity's attribute condition (Truta & Vinay 2006).
+
+    Structurally identical to distinct l-diversity with ``l = p``; kept as
+    a separate requirement so a policy can name the model it promises.
+    """
+
+    p: int
+    key = "p"
+    label = "p-sensitivity"
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.p, int) or isinstance(self.p, bool) or self.p < 1:
+            raise PolicyError(f"p must be an integer >= 1, got {self.p!r}")
+
+    @property
+    def value(self) -> int:
+        return self.p
+
+    def satisfied_by(self, achieved: int | float) -> bool:
+        return achieved >= self.p
+
+
+#: Canonical requirement order (and the full parse vocabulary).
+REQUIREMENT_TYPES: tuple[type[Requirement], ...] = (
+    KAnonymity,
+    TCloseness,
+    DistinctLDiversity,
+    PSensitivity,
+)
+
+_BY_KEY: dict[str, type[Requirement]] = {cls.key: cls for cls in REQUIREMENT_TYPES}
+_ORDER: dict[str, int] = {cls.key: i for i, cls in enumerate(REQUIREMENT_TYPES)}
+
+
+class PrivacyPolicy:
+    """An immutable conjunction of privacy requirements.
+
+    Parameters
+    ----------
+    requirements:
+        At most one requirement per privacy model; stored in canonical
+        (k, t, l, p) order regardless of construction order, so policies
+        that promise the same thing compare (and serialize) identically.
+    """
+
+    __slots__ = ("_requirements",)
+
+    def __init__(self, *requirements: Requirement) -> None:
+        seen: dict[str, Requirement] = {}
+        for req in requirements:
+            if not isinstance(req, Requirement):
+                raise PolicyError(
+                    f"expected a Requirement, got {req!r} "
+                    f"(compose policies with &)"
+                )
+            if req.key in seen:
+                raise PolicyError(
+                    f"duplicate {req.label} requirement: "
+                    f"{seen[req.key].spec()} and {req.spec()}"
+                )
+            seen[req.key] = req
+        ordered = sorted(seen.values(), key=lambda r: _ORDER[r.key])
+        self._requirements: tuple[Requirement, ...] = tuple(ordered)
+
+    # -- composition -------------------------------------------------------------
+
+    def __and__(self, other: "Requirement | PrivacyPolicy") -> "PrivacyPolicy":
+        if isinstance(other, Requirement):
+            return PrivacyPolicy(*self._requirements, other)
+        if isinstance(other, PrivacyPolicy):
+            return PrivacyPolicy(*self._requirements, *other._requirements)
+        return NotImplemented
+
+    __rand__ = __and__
+
+    # -- access ------------------------------------------------------------------
+
+    @property
+    def requirements(self) -> tuple[Requirement, ...]:
+        return self._requirements
+
+    def __iter__(self) -> Iterator[Requirement]:
+        return iter(self._requirements)
+
+    def __len__(self) -> int:
+        return len(self._requirements)
+
+    def requirement(self, cls: type[Requirement]) -> Requirement | None:
+        """The policy's requirement of type ``cls``, or None."""
+        for req in self._requirements:
+            if isinstance(req, cls):
+                return req
+        return None
+
+    @property
+    def k(self) -> int:
+        """k-anonymity level (1 — no constraint — when unspecified)."""
+        req = self.requirement(KAnonymity)
+        return req.k if req is not None else 1
+
+    @property
+    def t(self) -> float | None:
+        """t-closeness level, or None when the policy does not require it."""
+        req = self.requirement(TCloseness)
+        return req.t if req is not None else None
+
+    @property
+    def l(self) -> int | None:
+        req = self.requirement(DistinctLDiversity)
+        return req.l if req is not None else None
+
+    @property
+    def p(self) -> int | None:
+        req = self.requirement(PSensitivity)
+        return req.p if req is not None else None
+
+    @property
+    def required_distinct(self) -> int:
+        """Distinct confidential values every class must hold (l and p unified)."""
+        return max(self.l or 1, self.p or 1)
+
+    # -- serialization ------------------------------------------------------------
+
+    @classmethod
+    def parse(cls, spec: str) -> "PrivacyPolicy":
+        """Parse a ``"k=5,t=0.15,l=3"`` spec string (the CLI ``--require`` format)."""
+        requirements = []
+        for token in spec.split(","):
+            token = token.strip()
+            if not token:
+                continue
+            key, sep, value = token.partition("=")
+            key = key.strip().lower()
+            if not sep or key not in _BY_KEY:
+                raise PolicyError(
+                    f"cannot parse requirement {token!r}; expected key=value "
+                    f"with key in {sorted(_BY_KEY)}"
+                )
+            req_cls = _BY_KEY[key]
+            try:
+                number = float(value) if req_cls is TCloseness else int(value)
+            except ValueError:
+                kind = "a number" if req_cls is TCloseness else "an integer"
+                raise PolicyError(
+                    f"requirement {token!r}: {value!r} is not {kind}"
+                ) from None
+            requirements.append(req_cls(number))
+        if not requirements:
+            raise PolicyError(f"policy spec {spec!r} declares no requirements")
+        return cls(*requirements)
+
+    def spec(self) -> str:
+        """Canonical spec string; ``PrivacyPolicy.parse`` inverts it exactly."""
+        return ",".join(req.spec() for req in self._requirements)
+
+    def to_dict(self) -> dict[str, int | float]:
+        """JSON-ready mapping ``{key: value}`` (see :meth:`from_dict`)."""
+        return {req.key: req.value for req in self._requirements}
+
+    @classmethod
+    def from_dict(cls, mapping: Mapping[str, int | float]) -> "PrivacyPolicy":
+        """Inverse of :meth:`to_dict`."""
+        requirements = []
+        for key, value in mapping.items():
+            if key not in _BY_KEY:
+                raise PolicyError(
+                    f"unknown requirement key {key!r}; expected one of {sorted(_BY_KEY)}"
+                )
+            req_cls = _BY_KEY[key]
+            requirements.append(
+                req_cls(float(value) if req_cls is TCloseness else int(value))
+            )
+        if not requirements:
+            raise PolicyError("policy mapping declares no requirements")
+        return cls(*requirements)
+
+    # -- comparison / repr ---------------------------------------------------------
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, PrivacyPolicy):
+            return NotImplemented
+        return self._requirements == other._requirements
+
+    def __hash__(self) -> int:
+        return hash(self._requirements)
+
+    def __str__(self) -> str:
+        return self.spec()
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(req) for req in self._requirements)
+        return f"PrivacyPolicy({inner})"
+
+
+def as_policy(
+    policy: "PrivacyPolicy | Requirement | str | Mapping[str, int | float]",
+) -> PrivacyPolicy:
+    """Coerce any accepted policy form to a :class:`PrivacyPolicy`.
+
+    Accepts a policy, a single requirement, a ``"k=5,t=0.15"`` spec string,
+    or a ``{"k": 5, "t": 0.15}`` mapping.
+    """
+    if isinstance(policy, PrivacyPolicy):
+        return policy
+    if isinstance(policy, Requirement):
+        return PrivacyPolicy(policy)
+    if isinstance(policy, str):
+        return PrivacyPolicy.parse(policy)
+    if isinstance(policy, Mapping):
+        return PrivacyPolicy.from_dict(policy)
+    raise PolicyError(
+        f"cannot interpret {policy!r} as a privacy policy; expected a "
+        "PrivacyPolicy, a Requirement, a spec string or a mapping"
+    )

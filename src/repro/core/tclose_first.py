@@ -20,6 +20,13 @@ Proposition 2 guarantees every such cluster is within
 ``(n-k')/(2(n-1)k') <= t`` of the table, so — uniquely among the three
 algorithms — no EMD is ever computed during clustering, and the cost is
 MDAV's O(n^2/k').
+
+The guarantee is exact when k' divides n.  Otherwise both the uneven
+buckets and the extra-record rule sit outside the proposition's setting,
+and on small tables a cluster can land slightly above t; the release
+lifecycle (:mod:`repro.core.repair`, run by ``Anonymizer``/``anonymize``)
+re-merges such clusters so released tables always meet the declared
+policy.  Call this function directly to study the raw construction.
 """
 
 from __future__ import annotations
@@ -31,6 +38,7 @@ from ..data.dataset import Microdata
 from ..distance.records import encode_mixed
 from ..microagg.engine import ClusteringEngine
 from ..microagg.partition import Partition
+from ..registry import register_method
 from .base import TClosenessResult
 from .bounds import emd_upper_bound, tclose_first_cluster_size
 from .confidential import ConfidentialModel
@@ -55,6 +63,7 @@ def _bucket_sizes(n: int, k_eff: int) -> np.ndarray:
     return sizes
 
 
+@register_method("tclose-first")
 def tcloseness_first(
     data: Microdata,
     k: int,

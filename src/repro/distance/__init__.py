@@ -9,7 +9,9 @@ from .emd import (
     emd_nominal,
     emd_ordered,
 )
+from .emd import EMDModeSpec
 from .records import (
+    QIEncoder,
     centroid,
     encode_mixed,
     farthest_index,
@@ -37,4 +39,6 @@ __all__ = [
     "nearest_index",
     "k_nearest_indices",
     "encode_mixed",
+    "QIEncoder",
+    "EMDModeSpec",
 ]

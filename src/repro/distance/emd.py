@@ -38,10 +38,12 @@ replace-one-record updates that dominate Algorithm 2's running time.
 
 from __future__ import annotations
 
-from typing import Sequence
+from dataclasses import dataclass as _dataclass
+from typing import Callable as _Callable, Sequence
 
 import numpy as np
 
+from ..registry import register_emd_mode
 from .taxonomy import Taxonomy
 
 
@@ -530,6 +532,51 @@ class ClusterEMDTracker:
         if self._dense_cum is not None:
             self._dense_range_update(remove_bin, add_bin)
             self._refresh_dense_emd()
+
+
+@_dataclass(frozen=True)
+class EMDModeSpec:
+    """Registry descriptor for one ordered-EMD flavour.
+
+    Attributes
+    ----------
+    name:
+        Registered mode name (``emd_mode=`` accepts it everywhere).
+    supports_trackers:
+        Whether references built by this mode expose the incremental
+        swap-tracker protocol (``bins_of`` / :class:`ClusterEMDTracker`)
+        that Algorithm 2 and the sparse merge phase require.
+    factory:
+        ``(dataset_values) -> reference`` builder; the reference must offer
+        ``emd(cluster_values)`` and, when ``supports_trackers``, the
+        distinct-mode bin API.
+    """
+
+    name: str
+    supports_trackers: bool
+    factory: _Callable[[np.ndarray], object]
+
+    def make(self, dataset_values: np.ndarray) -> object:
+        """Build the mode's EMD reference for one confidential column."""
+        return self.factory(dataset_values)
+
+
+register_emd_mode(
+    "distinct",
+    EMDModeSpec(
+        name="distinct",
+        supports_trackers=True,
+        factory=lambda values: OrderedEMDReference(values, mode="distinct"),
+    ),
+)
+register_emd_mode(
+    "rank",
+    EMDModeSpec(
+        name="rank",
+        supports_trackers=False,
+        factory=lambda values: OrderedEMDReference(values, mode="rank"),
+    ),
+)
 
 
 class NominalEMDReference:

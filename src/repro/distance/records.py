@@ -184,3 +184,117 @@ def encode_mixed(
             onehot[np.arange(len(column)), column.astype(np.int64)] = 1.0
             blocks.append(onehot / np.sqrt(2.0))
     return np.hstack(blocks)
+
+
+class QIEncoder:
+    """Parametric form of :func:`encode_mixed`, fitted once and reusable.
+
+    :func:`encode_mixed` derives its normalization (column means/stds, or
+    ranges for the Gower embedding) from the table it encodes — correct for
+    one-shot anonymization, but a fitted model serving incoming batches
+    must embed *new* records into the geometry of the *fit* data, not into
+    each batch's own.  ``QIEncoder`` captures those parameters at fit time;
+    :meth:`encode` then reproduces ``encode_mixed(fit_data, names)``
+    bit-for-bit on the fit table (same expressions, same stored scalars)
+    and applies the identical map to any later matrix.
+
+    The fitted state is a handful of floats per column, (de)serializable
+    via :meth:`to_dict`/:meth:`from_dict` — this is what makes
+    ``Anonymizer.save``/``load`` round-trip ``transform`` exactly.
+    """
+
+    def __init__(
+        self,
+        names: tuple[str, ...],
+        kinds: tuple[str, ...],
+        params: tuple[tuple[float, ...], ...],
+        standardized: bool,
+    ) -> None:
+        self.names = tuple(names)
+        self.kinds = tuple(kinds)
+        self.params = tuple(tuple(float(p) for p in ps) for ps in params)
+        self.standardized = bool(standardized)
+
+    @classmethod
+    def fit(cls, data: Microdata, names: tuple[str, ...] | None = None) -> "QIEncoder":
+        """Capture the encoding parameters of ``data`` (see :func:`encode_mixed`)."""
+        if names is None:
+            names = data.quasi_identifiers or data.attribute_names
+        specs = [data.spec(name) for name in names]
+        kinds = tuple(str(s.kind) for s in specs)
+        if all(s.is_numeric for s in specs):
+            mat = data.matrix(names)
+            mean = mat.mean(axis=0)
+            std = mat.std(axis=0)
+            std[std == 0.0] = 1.0
+            params = tuple((m, s) for m, s in zip(mean, std))
+            return cls(tuple(names), kinds, params, standardized=True)
+        params_list: list[tuple[float, ...]] = []
+        for spec in specs:
+            column = data.values(spec.name).astype(np.float64)
+            if spec.kind is AttributeKind.NUMERIC:
+                lo, hi = column.min(), column.max()
+                span = hi - lo if hi > lo else 1.0
+                params_list.append((float(lo), float(span)))
+            elif spec.kind is AttributeKind.ORDINAL:
+                params_list.append((float(max(spec.n_categories - 1, 1)),))
+            else:
+                params_list.append((float(spec.n_categories),))
+        return cls(tuple(names), kinds, tuple(params_list), standardized=False)
+
+    def encode(self, matrix: np.ndarray) -> np.ndarray:
+        """Embed a raw value/code matrix (columns parallel to ``names``)."""
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.ndim != 2 or matrix.shape[1] != len(self.names):
+            raise ValueError(
+                f"matrix must have shape (n, {len(self.names)}), got {matrix.shape}"
+            )
+        if self.standardized:
+            mean = np.array([p[0] for p in self.params])
+            std = np.array([p[1] for p in self.params])
+            return (matrix - mean) / std
+        blocks: list[np.ndarray] = []
+        for j, (kind, params) in enumerate(zip(self.kinds, self.params)):
+            column = matrix[:, j]
+            if kind == "numeric":
+                lo, span = params
+                blocks.append(((column - lo) / span)[:, None])
+            elif kind == "ordinal":
+                blocks.append((column / params[0])[:, None])
+            else:
+                n_categories = int(params[0])
+                codes = column.astype(np.int64)
+                if codes.size and (codes.min() < 0 or codes.max() >= n_categories):
+                    raise ValueError(
+                        f"column {self.names[j]!r} has codes outside "
+                        f"[0, {n_categories})"
+                    )
+                onehot = np.zeros((len(column), n_categories))
+                onehot[np.arange(len(column)), codes] = 1.0
+                blocks.append(onehot / np.sqrt(2.0))
+        return np.hstack(blocks)
+
+    def encode_data(self, data: Microdata) -> np.ndarray:
+        """Embed the ``names`` columns of a :class:`Microdata` table."""
+        return self.encode(data.matrix(self.names))
+
+    # -- serialization ------------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """JSON-ready parameters (floats survive exactly via ``repr``)."""
+        return {
+            "names": list(self.names),
+            "kinds": list(self.kinds),
+            "params": [list(ps) for ps in self.params],
+            "standardized": self.standardized,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QIEncoder":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            tuple(payload["names"]),
+            tuple(payload["kinds"]),
+            tuple(tuple(ps) for ps in payload["params"]),
+            bool(payload["standardized"]),
+        )

@@ -13,7 +13,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Mapping
 
-from ..core.anonymizer import METHODS
+from ..core.anonymizer import resolve_method
 from ..core.base import TClosenessResult
 from ..data.dataset import Microdata
 from ..metrics.information_loss import normalized_sse
@@ -57,20 +57,16 @@ def run_cell(
     data:
         Evaluation dataset (roles assigned).
     algorithm:
-        One of the registered method names (``"merge"``, ``"kanon-first"``,
-        ``"tclose-first"``) or any callable with the same signature —
-        baselines like :func:`repro.generalization.sabre` plug in directly.
+        Any registered method name (see ``repro.METHODS``) or any callable
+        with the same signature — baselines like
+        :func:`repro.generalization.sabre` plug in directly.
     k, t:
         The cell's privacy parameters.
     kwargs:
         Forwarded to the algorithm.
     """
     if isinstance(algorithm, str):
-        if algorithm not in METHODS:
-            raise ValueError(
-                f"unknown algorithm {algorithm!r}; expected one of {sorted(METHODS)}"
-            )
-        fn = METHODS[algorithm]
+        fn = resolve_method(algorithm)
         name = algorithm
     else:
         fn = algorithm

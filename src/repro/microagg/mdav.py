@@ -27,10 +27,12 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..registry import register_partitioner
 from .engine import ClusteringEngine
 from .partition import Partition
 
 
+@register_partitioner("mdav")
 def mdav(X: np.ndarray, k: int) -> Partition:
     """Partition the rows of ``X`` into clusters of size >= k with MDAV.
 

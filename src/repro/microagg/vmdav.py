@@ -26,10 +26,12 @@ from __future__ import annotations
 import numpy as np
 
 from ..distance.records import sq_distances_to
+from ..registry import register_partitioner
 from .engine import ClusteringEngine
 from .partition import Partition
 
 
+@register_partitioner("vmdav")
 def vmdav(X: np.ndarray, k: int, *, gamma: float = 0.2) -> Partition:
     """Partition rows of ``X`` into variable-size clusters (k .. 2k-1).
 

@@ -1,6 +1,12 @@
 """Privacy-model verifiers and disclosure-risk estimation."""
 
-from .audit import PrivacyAudit, audit
+from .audit import (
+    PolicyAudit,
+    PrivacyAudit,
+    RequirementCheck,
+    audit,
+    audit_policy,
+)
 from .kanonymity import equivalence_classes, is_k_anonymous, k_anonymity_level
 from .ldiversity import (
     distinct_l_diversity,
@@ -37,4 +43,7 @@ __all__ = [
     "reidentification_upper_bound",
     "audit",
     "PrivacyAudit",
+    "audit_policy",
+    "PolicyAudit",
+    "RequirementCheck",
 ]

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..constants import T_TOLERANCE
 from ..core.confidential import ConfidentialModel
 from ..data.dataset import Microdata
 from ..microagg.partition import Partition
@@ -54,7 +55,15 @@ def is_t_close(
     classes: Partition | None = None,
     emd_mode: str = "distinct",
 ) -> bool:
-    """Whether every equivalence class is within EMD t of the full table."""
+    """Whether every equivalence class is within EMD t of the full table.
+
+    The threshold comparison uses the library-wide
+    :data:`~repro.constants.T_TOLERANCE` shared with
+    ``TClosenessResult.satisfies_t`` and the policy audit.
+    """
     if t < 0:
         raise ValueError(f"t must be >= 0, got {t}")
-    return t_closeness_level(data, classes=classes, emd_mode=emd_mode) <= t + 1e-12
+    return (
+        t_closeness_level(data, classes=classes, emd_mode=emd_mode)
+        <= t + T_TOLERANCE
+    )

@@ -1,0 +1,198 @@
+"""Tests for requirement objects, policy composition and round-trips."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.policy import (
+    DistinctLDiversity,
+    KAnonymity,
+    PolicyError,
+    PrivacyPolicy,
+    PSensitivity,
+    TCloseness,
+    as_policy,
+)
+
+ALL_REQUIREMENTS = [
+    KAnonymity(5),
+    TCloseness(0.15),
+    DistinctLDiversity(3),
+    PSensitivity(2),
+]
+
+#: Every non-empty combination of requirement types (15 of them).
+ALL_COMBINATIONS = [
+    combo
+    for r in range(1, len(ALL_REQUIREMENTS) + 1)
+    for combo in itertools.combinations(ALL_REQUIREMENTS, r)
+]
+
+
+class TestRequirements:
+    def test_parameter_validation(self):
+        with pytest.raises(PolicyError):
+            KAnonymity(0)
+        with pytest.raises(PolicyError):
+            KAnonymity(2.5)
+        with pytest.raises(PolicyError):
+            TCloseness(-0.1)
+        with pytest.raises(PolicyError):
+            TCloseness(float("nan"))
+        with pytest.raises(PolicyError):
+            DistinctLDiversity(0)
+        with pytest.raises(PolicyError):
+            PSensitivity(-1)
+
+    def test_tcloseness_accepts_integer_levels(self):
+        assert TCloseness(1).t == 1.0
+
+    def test_satisfied_by(self):
+        assert KAnonymity(5).satisfied_by(5)
+        assert not KAnonymity(5).satisfied_by(4)
+        assert TCloseness(0.15).satisfied_by(0.15)
+        # The shared tolerance absorbs float round-off at the threshold.
+        assert TCloseness(0.15).satisfied_by(0.15 + 1e-13)
+        assert not TCloseness(0.15).satisfied_by(0.16)
+        assert DistinctLDiversity(3).satisfied_by(3)
+        assert not PSensitivity(2).satisfied_by(1)
+
+    def test_spec_tokens(self):
+        assert KAnonymity(5).spec() == "k=5"
+        assert TCloseness(0.15).spec() == "t=0.15"
+        assert DistinctLDiversity(3).spec() == "l=3"
+        assert PSensitivity(2).spec() == "p=2"
+
+
+class TestComposition:
+    def test_and_builds_policy(self):
+        policy = KAnonymity(5) & TCloseness(0.15)
+        assert isinstance(policy, PrivacyPolicy)
+        assert policy.k == 5
+        assert policy.t == 0.15
+
+    def test_canonical_order_is_construction_independent(self):
+        a = TCloseness(0.1) & KAnonymity(3) & DistinctLDiversity(2)
+        b = DistinctLDiversity(2) & KAnonymity(3) & TCloseness(0.1)
+        assert a == b
+        assert hash(a) == hash(b)
+        assert a.spec() == "k=3,t=0.1,l=2"
+
+    def test_duplicate_requirement_rejected(self):
+        with pytest.raises(PolicyError, match="duplicate"):
+            KAnonymity(3) & KAnonymity(5)
+
+    def test_defaults_when_absent(self):
+        policy = PrivacyPolicy(TCloseness(0.2))
+        assert policy.k == 1
+        assert policy.l is None
+        assert policy.p is None
+        assert policy.required_distinct == 1
+
+    def test_required_distinct_unifies_l_and_p(self):
+        assert (DistinctLDiversity(3) & PSensitivity(5)).required_distinct == 5
+        assert (DistinctLDiversity(4) & PSensitivity(2)).required_distinct == 4
+
+    def test_non_requirement_rejected(self):
+        with pytest.raises(PolicyError):
+            PrivacyPolicy("k=5")  # strings go through parse/as_policy
+
+
+@pytest.mark.parametrize(
+    "combo", ALL_COMBINATIONS, ids=lambda c: ",".join(r.key for r in c)
+)
+class TestRoundTrips:
+    """Satellite: parse/str/repr/dict round-trips for every combination."""
+
+    def test_spec_string_round_trip(self, combo):
+        policy = PrivacyPolicy(*combo)
+        assert PrivacyPolicy.parse(str(policy)) == policy
+
+    def test_repr_round_trip(self, combo):
+        policy = PrivacyPolicy(*combo)
+        namespace = {
+            "PrivacyPolicy": PrivacyPolicy,
+            "KAnonymity": KAnonymity,
+            "TCloseness": TCloseness,
+            "DistinctLDiversity": DistinctLDiversity,
+            "PSensitivity": PSensitivity,
+        }
+        assert eval(repr(policy), namespace) == policy
+
+    def test_dict_round_trip(self, combo):
+        policy = PrivacyPolicy(*combo)
+        assert PrivacyPolicy.from_dict(policy.to_dict()) == policy
+
+
+@given(
+    k=st.one_of(st.none(), st.integers(1, 10**6)),
+    t=st.one_of(
+        st.none(),
+        st.floats(0.0, 10.0, allow_nan=False, allow_subnormal=False),
+    ),
+    l=st.one_of(st.none(), st.integers(1, 10**6)),
+    p=st.one_of(st.none(), st.integers(1, 10**6)),
+)
+def test_round_trip_property(k, t, l, p):
+    """Spec strings round-trip for arbitrary parameter values (floats via
+    repr, so the reparsed t is bit-identical)."""
+    requirements = []
+    if k is not None:
+        requirements.append(KAnonymity(k))
+    if t is not None:
+        requirements.append(TCloseness(t))
+    if l is not None:
+        requirements.append(DistinctLDiversity(l))
+    if p is not None:
+        requirements.append(PSensitivity(p))
+    if not requirements:
+        return
+    policy = PrivacyPolicy(*requirements)
+    reparsed = PrivacyPolicy.parse(policy.spec())
+    assert reparsed == policy
+    assert reparsed.t == policy.t  # bit-identical, not approximately
+
+
+class TestParsing:
+    def test_parse_full_spec(self):
+        policy = PrivacyPolicy.parse("k=5,t=0.15,l=3,p=2")
+        assert policy.k == 5
+        assert policy.t == 0.15
+        assert policy.l == 3
+        assert policy.p == 2
+
+    def test_parse_tolerates_spacing_and_case(self):
+        assert PrivacyPolicy.parse(" K=5 , t=0.2 ") == KAnonymity(5) & TCloseness(0.2)
+
+    def test_parse_rejects_unknown_key(self):
+        with pytest.raises(PolicyError, match="cannot parse"):
+            PrivacyPolicy.parse("k=5,z=3")
+
+    def test_parse_rejects_bad_value(self):
+        with pytest.raises(PolicyError, match="not an integer"):
+            PrivacyPolicy.parse("k=five")
+        with pytest.raises(PolicyError, match="not a number"):
+            PrivacyPolicy.parse("t=tight")
+
+    def test_parse_rejects_empty(self):
+        with pytest.raises(PolicyError, match="no requirements"):
+            PrivacyPolicy.parse("")
+
+    def test_parse_rejects_duplicates(self):
+        with pytest.raises(PolicyError, match="duplicate"):
+            PrivacyPolicy.parse("k=3,k=5")
+
+
+class TestAsPolicy:
+    def test_accepts_policy_requirement_string_mapping(self):
+        policy = KAnonymity(5) & TCloseness(0.15)
+        assert as_policy(policy) is policy
+        assert as_policy(KAnonymity(5)) == PrivacyPolicy(KAnonymity(5))
+        assert as_policy("k=5,t=0.15") == policy
+        assert as_policy({"k": 5, "t": 0.15}) == policy
+
+    def test_rejects_garbage(self):
+        with pytest.raises(PolicyError, match="cannot interpret"):
+            as_policy(42)

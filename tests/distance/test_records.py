@@ -8,6 +8,7 @@ from hypothesis.extra import numpy as hnp
 
 from repro.data import AttributeRole, Microdata, nominal, numeric, ordinal
 from repro.distance import (
+    QIEncoder,
     centroid,
     encode_mixed,
     farthest_index,
@@ -160,3 +161,68 @@ class TestEncodeMixed:
         )
         X = encode_mixed(md)
         np.testing.assert_array_equal(X[:, 0], [0.0, 0.0])
+
+
+class TestQIEncoder:
+    """The fitted encoder must reproduce encode_mixed exactly on fit data."""
+
+    @pytest.fixture
+    def mixed(self):
+        schema = [
+            numeric("age", role=AttributeRole.QUASI_IDENTIFIER),
+            ordinal("level", ("low", "mid", "high"), role=AttributeRole.QUASI_IDENTIFIER),
+            nominal("city", ("paris", "rome"), role=AttributeRole.QUASI_IDENTIFIER),
+            numeric("salary", role=AttributeRole.CONFIDENTIAL),
+        ]
+        return Microdata(
+            {
+                "age": np.array([20.0, 40.0, 60.0]),
+                "level": np.array([0, 1, 2]),
+                "city": np.array([0, 0, 1]),
+                "salary": np.array([1.0, 2.0, 3.0]),
+            },
+            schema,
+        )
+
+    def test_matches_encode_mixed_on_mixed_fit_data(self, mixed):
+        encoder = QIEncoder.fit(mixed)
+        np.testing.assert_array_equal(
+            encoder.encode_data(mixed), encode_mixed(mixed)
+        )
+
+    def test_matches_encode_mixed_on_numeric_fit_data(self):
+        rng = np.random.default_rng(11)
+        md = Microdata(
+            {"a": rng.normal(size=30), "b": rng.normal(size=30) * 100},
+            [
+                numeric("a", role=AttributeRole.QUASI_IDENTIFIER),
+                numeric("b", role=AttributeRole.QUASI_IDENTIFIER),
+            ],
+        )
+        encoder = QIEncoder.fit(md)
+        np.testing.assert_array_equal(encoder.encode_data(md), encode_mixed(md))
+
+    def test_batch_uses_fit_geometry_not_its_own(self, mixed):
+        encoder = QIEncoder.fit(mixed)
+        batch = mixed.subset([0])  # a 1-record batch: own range would collapse
+        encoded = encoder.encode_data(batch)
+        np.testing.assert_array_equal(encoded, encode_mixed(mixed)[[0]])
+
+    def test_dict_round_trip_is_exact(self, mixed):
+        import json
+
+        encoder = QIEncoder.fit(mixed)
+        payload = json.loads(json.dumps(encoder.to_dict()))
+        clone = QIEncoder.from_dict(payload)
+        np.testing.assert_array_equal(
+            encoder.encode_data(mixed), clone.encode_data(mixed)
+        )
+
+    def test_rejects_wrong_width_and_bad_codes(self, mixed):
+        encoder = QIEncoder.fit(mixed)
+        with pytest.raises(ValueError, match="shape"):
+            encoder.encode(np.zeros((2, 5)))
+        bad = mixed.matrix(encoder.names)
+        bad[0, 2] = 7  # nominal code outside the fitted categories
+        with pytest.raises(ValueError, match="codes outside"):
+            encoder.encode(bad)

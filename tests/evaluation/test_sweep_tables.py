@@ -35,7 +35,7 @@ class TestRunCell:
         assert cell.satisfies_t
 
     def test_unknown_name(self, mcd_tiny):
-        with pytest.raises(ValueError, match="unknown algorithm"):
+        with pytest.raises(ValueError, match="unknown method"):
             run_cell(mcd_tiny, "nope", k=2, t=0.1)
 
     def test_size_cell_format(self):

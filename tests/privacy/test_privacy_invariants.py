@@ -26,7 +26,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.core import kanonymity_first, microaggregation_merge
+from repro.core import anonymize, kanonymity_first, microaggregation_merge
 from repro.core.tclose_first import tcloseness_first
 from repro.microagg import vmdav
 from repro.privacy.tcloseness import is_t_close, t_closeness_level
@@ -82,11 +82,37 @@ def test_privacy_invariants(name, data, k, t):
     t=st.floats(0.05, 0.5),
 )
 def test_privacy_invariants_tclose_first(data, k, t):
-    """Tie-free confidential values: rank and distinct EMD coincide, so the
-    construction's Proposition-2 guarantee holds under the default dense
-    distinct-mode verifier."""
-    result = RUNNERS["tclose-first"](data, k, t)
+    """Tie-free confidential values, *release path*: rank and distinct EMD
+    coincide, so Proposition 2 covers every one-record-per-bucket cluster —
+    but the extra-record rule (the ``n mod k'`` leftovers parked centrally,
+    Figures 3-4) sits outside the proposition, and on small tables a
+    cluster holding an extra record can exceed t.  The release lifecycle
+    repairs exactly that (``repro.core.repair``), so the released partition
+    must always pass the dense verifier."""
+    _, result = anonymize(data, k, t, method="tclose-first")
     assert_privacy_invariants(data, result, k, t)
+
+
+@settings(max_examples=25)
+@given(
+    data=microdata(confidential="numeric"),
+    k=st.integers(2, 5),
+    t=st.floats(0.05, 0.5),
+)
+def test_tclose_first_raw_construction_bound(data, k, t):
+    """The raw construction, without repair: when the effective cluster
+    size divides n — equal buckets, no extra records, exactly Proposition
+    2's setting (tie-free values make distinct EMD equal rank EMD, the
+    bound's formulation) — every cluster is within the bound.  With a
+    remainder, both the uneven buckets and the extra-record rule fall
+    outside the proposition and the bound may be exceeded (which is what
+    the release path's repair exists for)."""
+    result = tcloseness_first(data, k, t)
+    result.partition.validate_min_size(k)
+    assert result.partition.sizes().sum() == data.n_records
+    if data.n_records % result.info["effective_k"] == 0:
+        assert result.info["n_extra_records"] == 0
+        assert (result.cluster_emds <= result.info["emd_bound"] + 1e-9).all()
 
 
 @settings(max_examples=25)
@@ -96,11 +122,15 @@ def test_privacy_invariants_tclose_first(data, k, t):
     t=st.floats(0.05, 0.5),
 )
 def test_privacy_invariants_tclose_first_rank_mode(data, k, t):
-    """Tied/ordinal confidential values: Proposition 2 is stated for the
-    rank (per-record bins) formulation, so the dense rank-mode verifier is
-    the formal check — distinct-mode EMD may legitimately exceed t on ties
-    (the paper's construction slices *ranks*, not distinct values)."""
-    result = tcloseness_first(data, k, t, emd_mode="rank")
+    """Tied/ordinal confidential values, *release path*: Proposition 2 is
+    stated for the rank (per-record bins) formulation, so the dense
+    rank-mode verifier is the formal check — distinct-mode EMD may
+    legitimately exceed t on ties (the paper's construction slices
+    *ranks*, not distinct values).  The extra-record caveat applies in
+    rank mode exactly as in distinct mode (the rule sits outside the
+    proposition whenever k' does not divide n), so the guarantee is made
+    on the repaired release, not the raw construction."""
+    _, result = anonymize(data, k, t, method="tclose-first", emd_mode="rank")
     result.partition.validate_min_size(k)
     assert result.partition.sizes().sum() == data.n_records
     assert is_t_close(data, t, classes=result.partition, emd_mode="rank")

@@ -5,7 +5,7 @@ import pytest
 
 from repro.cli import main
 from repro.data import load_mcd, read_csv, write_csv
-from repro.privacy import is_k_anonymous, is_t_close
+from repro.privacy import distinct_l_diversity, is_k_anonymous, is_t_close
 
 
 @pytest.fixture
@@ -141,6 +141,195 @@ class TestAnonymizeCommand:
             )
 
 
+class TestRequireFlag:
+    def test_require_policy_release_passes_audit(self, census_csv, tmp_path, capsys):
+        out = tmp_path / "release.csv"
+        code = main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "--require",
+                "k=5,t=0.15,l=2",
+            ]
+        )
+        assert code == 0
+        release = read_csv(
+            out,
+            quasi_identifiers=["TAXINC", "POTHVAL"],
+            confidential=["FEDTAX"],
+        )
+        assert is_k_anonymous(release, 5)
+        assert is_t_close(release, 0.15 + 1e-9)
+        assert distinct_l_diversity(release) >= 2
+
+    def test_require_combines_with_k_and_t_flags(self, census_csv, tmp_path):
+        out = tmp_path / "release.csv"
+        code = main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "-k",
+                "4",
+                "--require",
+                "t=0.2",
+            ]
+        )
+        assert code == 0
+        release = read_csv(
+            out,
+            quasi_identifiers=["TAXINC", "POTHVAL"],
+            confidential=["FEDTAX"],
+        )
+        assert is_k_anonymous(release, 4)
+
+    def test_duplicate_requirement_is_an_error(self, census_csv, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(tmp_path / "o.csv"),
+                "--qi",
+                "TAXINC",
+                "--confidential",
+                "FEDTAX",
+                "-k",
+                "3",
+                "-t",
+                "0.2",
+                "--require",
+                "k=5",
+            ]
+        )
+        assert code == 2
+        assert "duplicate" in capsys.readouterr().err
+
+    def test_infeasible_policy_is_a_clean_error(self, census_csv, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(tmp_path / "o.csv"),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "--require",
+                "k=3,t=0.5,l=500",
+            ]
+        )
+        assert code == 2
+        assert "policy requires 500 distinct" in capsys.readouterr().err
+
+    def test_no_requirements_is_an_error(self, census_csv, tmp_path, capsys):
+        code = main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(tmp_path / "o.csv"),
+                "--qi",
+                "TAXINC",
+                "--confidential",
+                "FEDTAX",
+            ]
+        )
+        assert code == 2
+        assert "no privacy requirements" in capsys.readouterr().err
+
+
+class TestFitApplyCommands:
+    def test_fit_then_apply_round_trip(self, census_csv, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        release = tmp_path / "release.csv"
+        code = main(
+            [
+                "fit",
+                str(census_csv),
+                str(model),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "--require",
+                "k=4,t=0.2",
+                "--release",
+                str(release),
+            ]
+        )
+        assert code == 0
+        assert model.exists()
+        assert model.with_suffix(".json").exists()
+        assert release.exists()
+        stdout = capsys.readouterr().out
+        assert "Run report" in stdout
+        assert "satisfied" in stdout
+
+        out = tmp_path / "applied.csv"
+        code = main(["apply", str(model), str(census_csv), str(out)])
+        assert code == 0
+        applied = read_csv(
+            out,
+            quasi_identifiers=["TAXINC", "POTHVAL"],
+            confidential=["FEDTAX"],
+        )
+        assert applied.n_records == 150
+        # Every applied quasi-identifier row is one of the fitted
+        # representatives (a record may map to a *different* cluster's
+        # representative than at fit time, so exact class sizes — and thus
+        # batch-level k — are not guaranteed; the generalized values are).
+        fitted_release = read_csv(
+            release,
+            quasi_identifiers=["TAXINC", "POTHVAL"],
+            confidential=["FEDTAX"],
+        )
+        reps = {
+            tuple(row) for row in fitted_release.matrix(["TAXINC", "POTHVAL"])
+        }
+        for row in applied.matrix(["TAXINC", "POTHVAL"]):
+            assert tuple(row) in reps
+
+    def test_apply_rejects_batch_missing_qi(self, census_csv, tmp_path, capsys):
+        model = tmp_path / "model.npz"
+        main(
+            [
+                "fit",
+                str(census_csv),
+                str(model),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "-k",
+                "3",
+                "-t",
+                "0.3",
+            ]
+        )
+        capsys.readouterr()
+        bad = tmp_path / "bad.csv"
+        lines = census_csv.read_text().splitlines()
+        header = lines[0].split(",")
+        drop = header.index("TAXINC")
+        bad.write_text(
+            "\n".join(
+                ",".join(c for i, c in enumerate(line.split(",")) if i != drop)
+                for line in lines
+            )
+            + "\n"
+        )
+        with pytest.raises(ValueError, match="missing quasi-identifier"):
+            main(["apply", str(model), str(bad), str(tmp_path / "o.csv")])
+
+
 class TestAuditCommand:
     def test_audit_prints_report(self, census_csv, tmp_path, capsys):
         out = tmp_path / "release.csv"
@@ -173,6 +362,47 @@ class TestAuditCommand:
         assert code == 0
         stdout = capsys.readouterr().out
         assert "k-anonymity level    : 4" in stdout or "k-anonymity" in stdout
+
+    def test_audit_exit_codes_follow_declared_requirements(
+        self, census_csv, tmp_path, capsys
+    ):
+        """Satellite: audit returns 1 when the release fails the declared
+        requirements (matching anonymize's behavior), 0 when it passes."""
+        out = tmp_path / "release.csv"
+        main(
+            [
+                "anonymize",
+                str(census_csv),
+                str(out),
+                "--qi",
+                "TAXINC,POTHVAL",
+                "--confidential",
+                "FEDTAX",
+                "-k",
+                "4",
+                "-t",
+                "0.2",
+            ]
+        )
+        capsys.readouterr()
+        common = [
+            "audit",
+            str(out),
+            "--qi",
+            "TAXINC,POTHVAL",
+            "--confidential",
+            "FEDTAX",
+        ]
+        assert main(common + ["--require", "k=4,t=0.2"]) == 0
+        stdout = capsys.readouterr().out
+        assert "PASS" in stdout and "policy satisfied" in stdout
+
+        assert main(common + ["--require", "k=100,t=0.2"]) == 1
+        stdout = capsys.readouterr().out
+        assert "FAIL" in stdout and "VIOLATED" in stdout
+
+        # Without declared requirements the command stays informational.
+        assert main(common) == 0
 
     def test_requires_subcommand(self):
         with pytest.raises(SystemExit):

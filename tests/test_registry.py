@@ -1,0 +1,112 @@
+"""Tests for the named implementation registries."""
+
+import pytest
+
+from repro import EMD_MODES, METHODS, PARTITIONERS
+from repro.registry import Registry, RegistryError
+
+
+class TestRegistry:
+    def test_register_decorator_and_lookup(self):
+        reg = Registry("widget")
+
+        @reg.register("alpha")
+        def alpha():
+            return "a"
+
+        assert reg.resolve("alpha") is alpha
+        assert reg["alpha"] is alpha
+        assert "alpha" in reg
+        assert reg.names() == ("alpha",)
+
+    def test_register_direct_form(self):
+        reg = Registry("widget")
+        fn = lambda: None  # noqa: E731
+        assert reg.register("x", fn) is fn
+        assert reg["x"] is fn
+
+    def test_duplicate_name_rejected(self):
+        reg = Registry("widget")
+        reg.register("x", object())
+        with pytest.raises(ValueError, match="already registered"):
+            reg.register("x", object())
+
+    def test_unregister_roundtrip(self):
+        reg = Registry("widget")
+        fn = object()
+        reg.register("x", fn)
+        assert reg.unregister("x") is fn
+        assert "x" not in reg
+        with pytest.raises(RegistryError):
+            reg.unregister("x")
+
+    def test_unknown_name_lists_alternatives(self):
+        reg = Registry("widget")
+        reg.register("alpha", object())
+        reg.register("beta", object())
+        with pytest.raises(RegistryError, match=r"unknown widget 'x'.*alpha.*beta"):
+            reg.resolve("x")
+
+    def test_error_satisfies_both_legacy_types(self):
+        """Pre-registry callers caught ValueError; mapping users expect KeyError."""
+        reg = Registry("widget")
+        with pytest.raises(ValueError):
+            reg["missing"]
+        with pytest.raises(KeyError):
+            reg["missing"]
+
+    def test_mapping_get_keeps_stdlib_contract(self):
+        reg = Registry("widget")
+        fn = object()
+        reg.register("x", fn)
+        assert reg.get("x") is fn
+        assert reg.get("missing") is None
+        assert reg.get("missing", "fallback") == "fallback"
+
+    def test_invalid_names_rejected(self):
+        reg = Registry("widget")
+        with pytest.raises(ValueError, match="non-empty string"):
+            reg.register("", object())
+
+
+class TestBuiltinRegistries:
+    def test_methods_prepopulated(self):
+        assert set(METHODS) == {"merge", "kanon-first", "tclose-first"}
+
+    def test_partitioners_prepopulated(self):
+        assert set(PARTITIONERS) >= {"mdav", "vmdav"}
+
+    def test_emd_modes_prepopulated(self):
+        assert set(EMD_MODES) == {"distinct", "rank"}
+        assert EMD_MODES["distinct"].supports_trackers
+        assert not EMD_MODES["rank"].supports_trackers
+
+    def test_merge_accepts_partitioner_by_name(self):
+        from repro.core import microaggregation_merge
+        from repro.data import load_mcd
+        from repro.microagg import vmdav
+
+        data = load_mcd(n=80)
+        by_name = microaggregation_merge(data, 3, 0.3, partitioner="vmdav")
+        by_callable = microaggregation_merge(data, 3, 0.3, partitioner=vmdav)
+        assert by_name.partition == by_callable.partition
+
+    def test_merge_rejects_unknown_partitioner_name(self):
+        from repro.core import microaggregation_merge
+        from repro.data import load_mcd
+
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            microaggregation_merge(load_mcd(n=40), 2, 0.3, partitioner="kmeans")
+
+    def test_custom_method_registration_reaches_anonymize(self):
+        from repro import anonymize
+        from repro.core.tclose_first import tcloseness_first
+        from repro.data import load_mcd
+        from repro.registry import register_method
+
+        register_method("test-custom", tcloseness_first)
+        try:
+            _, result = anonymize(load_mcd(n=60), 2, 0.3, method="test-custom")
+            assert result.partition.min_size >= 2
+        finally:
+            METHODS.unregister("test-custom")
