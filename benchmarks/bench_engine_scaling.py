@@ -1,10 +1,11 @@
 """Wall-clock scaling benchmark for the clustering engine — BENCH_engine.json.
 
 Times the four partition-layer algorithms (mdav, vmdav, tclose-first,
-kanon-first) on synthetic data at n ∈ {1 000, 5 000, 20 000} and writes the
-results to ``BENCH_engine.json`` at the repository root.  That file is the
-repo's tracked performance trajectory: every PR that touches the partition
-layer reruns this script and must not regress it.  See
+kanon-first) plus the fitted-model serving path (``transform`` of a
+10k-record batch) on synthetic data at n ∈ {1 000, 5 000, 20 000} and
+writes the results to ``BENCH_engine.json`` at the repository root.  That
+file is the repo's tracked performance trajectory: every PR that touches
+the partition layer reruns this script and must not regress it.  See
 ``benchmarks/README.md`` for the JSON schema.
 
 This is a standalone script, not a pytest benchmark, so CI can run it
@@ -23,18 +24,29 @@ Parameter choices: ``k = 5`` throughout; ``t = 0.05`` for tclose-first
 kanon-first is timed at two levels — ``t = 0.4`` (loose: the measured cost
 is the clustering loop plus the always-on tracker/merge bookkeeping) and
 ``t = 0.1`` (tight: tens of thousands of accepted swaps, the regime where
-the sparse swap engine and the lazy pool carry the load).
+the sparse swap engine, the lazy pool and the adaptive scoring blocks
+carry the load).
+
+Compute backends: by default the sweep runs on the ``serial`` backend at
+every size, plus a ``threaded`` pass at the largest size when the sweep
+reaches n >= 20 000 (``--threaded-at`` to change the floor, ``--threads``
+to size the pool, ``--backend`` to pin a single backend for the whole
+sweep).  Every entry records its backend, the worker count and the
+machine's CPU count — thread counts without the CPU count are not
+interpretable, and a single-core container will (correctly) show the
+threaded backend's dispatch overhead instead of a speedup.
 
 ``--ceilings FILE`` additionally asserts the recorded times against the
 checked-in per-entry budgets (``benchmarks/ceilings.json``) and exits
 non-zero on a breach — the CI regression tripwire for the swap/merge
-phases.
+phases and the serving path.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import subprocess
 import sys
 import time
@@ -45,6 +57,8 @@ import numpy as np
 REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
+from repro import Anonymizer, KAnonymity, TCloseness  # noqa: E402
+from repro.backend import ThreadedBackend, resolve_backend  # noqa: E402
 from repro.core.kanon_first import kanonymity_first  # noqa: E402
 from repro.core.tclose_first import tcloseness_first  # noqa: E402
 from repro.data import AttributeRole, Microdata, numeric  # noqa: E402
@@ -58,6 +72,9 @@ T_KANON = 0.4
 T_KANON_TIGHT = 0.1
 GAMMA = 0.2
 SEED = 20160516  # the paper's conference date, for want of a better nothing
+TRANSFORM_BATCH = 10_000
+#: Default smallest sweep size at which an extra threaded pass is recorded.
+THREADED_AT = 20_000
 
 
 def synthetic_dataset(n: int, d: int = 4, seed: int = SEED) -> Microdata:
@@ -95,11 +112,33 @@ def timed(fn) -> float:
     return time.perf_counter() - start
 
 
-def run_benchmarks(sizes: tuple[int, ...]) -> list[dict]:
-    commit = current_commit()
-    entries: list[dict] = []
+def make_backend(name: str, threads: int | None):
+    if name == "threaded":
+        return ThreadedBackend(threads)
+    return resolve_backend(name)
 
-    def record(algorithm: str, n: int, t: float | None, seconds: float) -> None:
+
+def run_benchmarks(
+    sizes: tuple[int, ...],
+    backends: tuple[str, ...],
+    threads: int | None,
+    threaded_at: int,
+) -> list[dict]:
+    commit = current_commit()
+    cpus = os.cpu_count() or 1
+    entries: list[dict] = []
+    # One backend instance (and worker pool) per name for the whole sweep.
+    instances = {name: make_backend(name, threads) for name in backends}
+    batch = synthetic_dataset(TRANSFORM_BATCH, seed=SEED + 77)
+
+    def record(
+        algorithm: str, n: int, t: float | None, backend_name: str, seconds: float
+    ) -> None:
+        backend_threads = (
+            instances[backend_name].num_workers
+            if backend_name == "threaded"
+            else None
+        )
         entries.append(
             {
                 "algorithm": algorithm,
@@ -107,42 +146,66 @@ def run_benchmarks(sizes: tuple[int, ...]) -> list[dict]:
                 "k": K,
                 "t": t,
                 "seconds": round(seconds, 4),
+                "backend": backend_name,
+                "threads": backend_threads,
+                "cpus": cpus,
                 "commit": commit,
             }
         )
         t_str = "-" if t is None else f"{t:g}"
-        print(f"{algorithm:>13s}  n={n:<6d} k={K} t={t_str:<5s} {seconds:8.3f}s")
+        w_str = "" if backend_threads is None else f" x{backend_threads}"
+        print(
+            f"{algorithm:>13s}  n={n:<6d} k={K} t={t_str:<5s} "
+            f"[{backend_name}{w_str}] {seconds:8.3f}s"
+        )
 
     for n in sizes:
         data = synthetic_dataset(n)
         X = data.qi_matrix()
-        record("mdav", n, None, timed(lambda: mdav(X, K)))
-        record("vmdav", n, None, timed(lambda: vmdav(X, K, gamma=GAMMA)))
-        record(
-            "tclose-first",
-            n,
-            T_TCLOSE,
-            timed(lambda: tcloseness_first(data, K, T_TCLOSE)),
-        )
-        record(
-            "kanon-first",
-            n,
-            T_KANON,
-            timed(lambda: kanonymity_first(data, K, T_KANON)),
-        )
-        record(
-            "kanon-first",
-            n,
-            T_KANON_TIGHT,
-            timed(lambda: kanonymity_first(data, K, T_KANON_TIGHT)),
-        )
+        for backend_name in backends:
+            if backend_name == "threaded" and n < threaded_at:
+                continue
+            backend = instances[backend_name]
+            record(
+                "mdav", n, None, backend_name,
+                timed(lambda: mdav(X, K, backend=backend)),
+            )
+            record(
+                "vmdav", n, None, backend_name,
+                timed(lambda: vmdav(X, K, gamma=GAMMA, backend=backend)),
+            )
+            record(
+                "tclose-first", n, T_TCLOSE, backend_name,
+                timed(lambda: tcloseness_first(data, K, T_TCLOSE, backend=backend)),
+            )
+            record(
+                "kanon-first", n, T_KANON, backend_name,
+                timed(lambda: kanonymity_first(data, K, T_KANON, backend=backend)),
+            )
+            record(
+                "kanon-first", n, T_KANON_TIGHT, backend_name,
+                timed(lambda: kanonymity_first(data, K, T_KANON_TIGHT, backend=backend)),
+            )
+            # Serving throughput: one fitted model, a 10k-record batch
+            # through the backend's nearest-representative query.
+            model = Anonymizer(
+                KAnonymity(K) & TCloseness(T_TCLOSE), backend=backend
+            ).fit(data)
+            record(
+                "transform", n, T_TCLOSE, backend_name,
+                timed(lambda: model.transform(batch)),
+            )
     return entries
 
 
 def entry_key(entry: dict) -> str:
-    """Ceiling-file key for one entry, e.g. ``kanon-first@n=5000,t=0.1``."""
+    """Ceiling-file key, e.g. ``kanon-first@n=5000,t=0.1`` (serial) or
+    ``kanon-first@n=20000,t=0.1,threaded`` (non-default backends)."""
     t = "-" if entry["t"] is None else f"{entry['t']:g}"
-    return f"{entry['algorithm']}@n={entry['n']},t={t}"
+    key = f"{entry['algorithm']}@n={entry['n']},t={t}"
+    if entry.get("backend", "serial") != "serial":
+        key += f",{entry['backend']}"
+    return key
 
 
 def check_ceilings(entries: list[dict], ceilings_path: Path) -> int:
@@ -175,6 +238,29 @@ def main() -> int:
         help="comma-separated dataset sizes overriding the default sweep",
     )
     parser.add_argument(
+        "--backend",
+        choices=("serial", "threaded"),
+        default=None,
+        help=(
+            "pin one backend for the whole sweep (default: serial at every "
+            "size plus a threaded pass at sizes >= --threaded-at)"
+        ),
+    )
+    parser.add_argument(
+        "--threads",
+        type=int,
+        default=None,
+        help="threaded-backend worker count (default: $REPRO_NUM_THREADS, "
+        "else the CPU count)",
+    )
+    parser.add_argument(
+        "--threaded-at",
+        type=int,
+        default=THREADED_AT,
+        help="smallest sweep size that also gets a threaded pass "
+        f"(default {THREADED_AT}; only in the default two-backend mode)",
+    )
+    parser.add_argument(
         "--ceilings",
         type=Path,
         default=None,
@@ -194,10 +280,17 @@ def main() -> int:
         sizes = SMOKE_SIZES
     else:
         sizes = SIZES
-    entries = run_benchmarks(sizes)
+    if args.backend is not None:
+        backends = (args.backend,)
+        threaded_at = 0  # pinned backend runs at every size
+    else:
+        backends = ("serial", "threaded")
+        threaded_at = args.threaded_at
+    entries = run_benchmarks(sizes, backends, args.threads, threaded_at)
     payload = {
         "benchmark": "engine_scaling",
         "schema": "benchmarks/README.md#bench_enginejson",
+        "schema_version": 2,
         "entries": entries,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

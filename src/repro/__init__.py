@@ -27,11 +27,18 @@ Quickstart — composable policies and the fit/transform lifecycle::
     >>> model.audit().satisfied             # independent policy audit
     True
 
-Algorithms, partitioners and EMD modes are discovered through the named
-registries in :mod:`repro.registry`; extensions register their own with
-``@register_method`` / ``@register_partitioner`` / ``register_emd_mode``.
+Algorithms, partitioners, EMD modes and compute backends are discovered
+through the named registries in :mod:`repro.registry`; extensions register
+their own with ``@register_method`` / ``@register_partitioner`` /
+``register_emd_mode`` / ``@register_backend``.  Every hot path (clustering,
+swap scoring, batch serving) runs on a pluggable compute backend
+(:mod:`repro.backend`): pass ``backend="threaded"`` to ``anonymize`` /
+``Anonymizer`` — or set ``REPRO_BACKEND=threaded`` — to shard the distance
+and scoring kernels across a worker pool; outputs are bit-for-bit
+identical under every backend.
 """
 
+from .backend import ComputeBackend, SerialBackend, ThreadedBackend
 from .core import (
     METHODS,
     Anonymizer,
@@ -54,7 +61,7 @@ from .core import (
     tcloseness_first,
 )
 from .data import Microdata
-from .registry import EMD_MODES, PARTITIONERS, Registry
+from .registry import BACKENDS, EMD_MODES, PARTITIONERS, Registry
 
 __version__ = "1.1.0"
 

@@ -1,0 +1,34 @@
+"""Pluggable compute backends for the library's hot primitives.
+
+See :mod:`repro.backend.base` for the protocol and the selection rules,
+:mod:`repro.backend.kernels` for the canonical distance arithmetic every
+backend executes, and :data:`repro.registry.BACKENDS` for discovery by
+name (``"serial"`` and ``"threaded"`` ship registered).
+"""
+
+from .base import (
+    BACKEND_ENV,
+    NUM_THREADS_ENV,
+    BackendConfigError,
+    ComputeBackend,
+    accepts_backend,
+    num_threads_default,
+    resolve_backend,
+)
+from .kernels import iter_blocks, sq_distances_block
+from .serial import SerialBackend
+from .threaded import ThreadedBackend
+
+__all__ = [
+    "BACKEND_ENV",
+    "NUM_THREADS_ENV",
+    "BackendConfigError",
+    "ComputeBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "accepts_backend",
+    "iter_blocks",
+    "num_threads_default",
+    "resolve_backend",
+    "sq_distances_block",
+]

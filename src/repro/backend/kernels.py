@@ -1,0 +1,113 @@
+"""The canonical distance arithmetic, factored to one place.
+
+Every squared-Euclidean distance this library computes on record matrices
+— :func:`repro.distance.records.sq_distances_to`, the clustering engine's
+masked buffer evaluations, and the serving path's nearest-representative
+scans — runs the *same* column-sequential accumulation defined here:
+plain elementwise ufuncs, columns left to right.  Unlike a BLAS product
+or an ``einsum`` reduction (whose internal summation order depends on the
+numpy build, SIMD width and block layout), this order is fully determined
+by this module, so
+
+* every caller computes bitwise-identical distances for the same row, and
+  exact ties between records (ubiquitous for integer-valued or
+  category-encoded data) are preserved everywhere;
+* the arithmetic of one output row never depends on which other rows are
+  evaluated alongside it — any row-blocking (cache chunking, or the
+  threaded backend's worker shards) produces bit-for-bit the same buffer.
+
+Historical note ("one last-ulp rounding"): the seed implementations
+summed squares via ``einsum``; canonicalizing to this kernel changed
+distance rounding in the last ulp, which on near-tie continuous data can
+place a record differently than a pre-canonicalization run on some
+particular numpy build would have.  The golden fixtures were generated on
+this kernel (see ``scripts/generate_engine_golden.py``), so everything
+downstream is pinned to it.
+
+This module deliberately imports nothing from the rest of the library:
+the distance layer and the compute backends both sit on top of it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+
+def iter_blocks(n: int, block_size: int | None) -> Iterator[tuple[int, int]]:
+    """Yield ``(start, stop)`` row ranges covering ``0..n`` in blocks.
+
+    ``block_size=None`` yields the single block ``(0, n)``.  Shared by the
+    chunk-aware distance evaluations, the clustering engine and the
+    compute backends, so "how large is a block" is decided in exactly one
+    place.
+    """
+    if block_size is None:
+        if n:
+            yield 0, n
+        return
+    if block_size <= 0:
+        raise ValueError(f"block_size must be positive, got {block_size}")
+    for start in range(0, n, block_size):
+        yield start, min(start + block_size, n)
+
+
+def sq_distances_block(
+    cols: np.ndarray,
+    point: np.ndarray,
+    out: np.ndarray,
+    tmp: np.ndarray,
+    start: int,
+    stop: int,
+) -> None:
+    """Fill ``out[start:stop]`` with squared distances from ``point``.
+
+    ``cols`` is the record matrix *transposed* (``cols[j]`` is column j —
+    a plain view ``X.T`` works; the engine passes its column-major working
+    copy), ``tmp`` a per-column difference scratch at least ``stop`` long.
+    Requires at least one column; callers handle the d == 0 degenerate
+    case (all distances zero) themselves.
+
+    The accumulation is column-sequential, left to right, elementwise
+    ufuncs only — the single definition of this library's distance
+    arithmetic (see the module docstring).  Each output row depends only
+    on its own inputs, so any ``(start, stop)`` blocking of a larger
+    range produces bitwise-identical results.
+    """
+    seg = slice(start, stop)
+    np.subtract(cols[0, seg], point[0], out=tmp[seg])
+    np.multiply(tmp[seg], tmp[seg], out=out[seg])
+    for j in range(1, len(point)):
+        np.subtract(cols[j, seg], point[j], out=tmp[seg])
+        tmp[seg] *= tmp[seg]
+        out[seg] += tmp[seg]
+
+
+def nearest_block(
+    cols: np.ndarray,
+    reps: np.ndarray,
+    assignment: np.ndarray,
+    best_d2: np.ndarray,
+    d2: np.ndarray,
+    tmp: np.ndarray,
+    start: int,
+    stop: int,
+) -> None:
+    """Nearest-representative scan for the record rows ``start:stop``.
+
+    For each representative (in ascending id order) the canonical kernel
+    evaluates its distances to the block rows, and a strictly-smaller
+    update keeps the running best — so exact distance ties resolve to the
+    *lowest* representative id, exactly like the per-representative loop
+    this replaced (``d2 < best_d2`` per row, representative by
+    representative).  ``assignment``/``best_d2`` are the full-length
+    output arrays; only their ``start:stop`` rows are touched, so row
+    blocks can be evaluated in any order or in parallel.
+    """
+    seg = slice(start, stop)
+    for g in range(reps.shape[0]):
+        sq_distances_block(cols, reps[g], d2, tmp, start, stop)
+        better = d2[seg] < best_d2[seg]
+        assignment[seg][better] = g
+        best_d2[seg][better] = d2[seg][better]

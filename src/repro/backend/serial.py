@@ -1,0 +1,19 @@
+"""The default single-threaded numpy backend."""
+
+from __future__ import annotations
+
+from ..registry import register_backend
+from .base import ComputeBackend
+
+
+@register_backend("serial")
+class SerialBackend(ComputeBackend):
+    """Single-threaded numpy execution of the compute primitives.
+
+    This is :class:`~repro.backend.base.ComputeBackend` itself — the
+    protocol's reference bodies *are* the serial path (behaviour-identical
+    to the pre-backend engine internals they were extracted from); the
+    subclass exists to give the default a registry entry of its own.
+    """
+
+    name = "serial"

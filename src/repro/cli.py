@@ -24,6 +24,12 @@ Audit an existing release (exit code 1 when a declared requirement fails)::
     repro-anonymize audit release.csv --qi age,zip --confidential charge \\
         --require k=5,t=0.15
 
+``anonymize``, ``fit`` and ``apply`` accept ``--backend {serial,threaded}``
+(default: the ``REPRO_BACKEND`` environment variable, else ``serial``;
+the threaded backend sizes its worker pool from ``REPRO_NUM_THREADS``).
+The backend is a pure execution choice — outputs are bit-for-bit
+identical either way.
+
 ``python -m repro ...`` is equivalent.
 """
 
@@ -38,7 +44,9 @@ from .core.model import Anonymizer
 from .core.policy import KAnonymity, PolicyError, PrivacyPolicy, TCloseness
 from .core.repair import PolicyInfeasibleError
 from .data.io import read_csv, write_csv
+from .backend import BackendConfigError
 from .privacy.audit import audit, audit_policy
+from .registry import BACKENDS, RegistryError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -95,6 +103,19 @@ def build_parser() -> argparse.ArgumentParser:
             default="tclose-first",
             help="algorithm (default: tclose-first, the paper's best)",
         )
+        add_backend(p)
+
+    def add_backend(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--backend",
+            choices=sorted(BACKENDS),
+            default=None,
+            help=(
+                "compute backend (default: $REPRO_BACKEND, else serial; "
+                "'threaded' sizes its pool from $REPRO_NUM_THREADS, else "
+                "the CPU count).  Output is identical under every backend."
+            ),
+        )
 
     anon = sub.add_parser("anonymize", help="anonymize a CSV file")
     anon.add_argument("input", help="input CSV (header row required)")
@@ -141,6 +162,7 @@ def build_parser() -> argparse.ArgumentParser:
     apply_.add_argument("model", help="model path written by `fit`")
     apply_.add_argument("input", help="batch CSV to anonymize")
     apply_.add_argument("output", help="output CSV for the batch release")
+    add_backend(apply_)
 
     return parser
 
@@ -177,7 +199,7 @@ def _read_roles(args: argparse.Namespace, path: str):
 def _cmd_anonymize(args: argparse.Namespace) -> int:
     data = _read_roles(args, args.input)
     policy = _build_policy(args)
-    model = Anonymizer(policy, method=args.method).fit(data)
+    model = Anonymizer(policy, method=args.method, backend=args.backend).fit(data)
     release, result = model.release_, model.result_
     write_csv(release, args.output)
     print(f"wrote {release.n_records} records to {args.output}")
@@ -207,7 +229,7 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 def _cmd_fit(args: argparse.Namespace) -> int:
     data = _read_roles(args, args.input)
     policy = _build_policy(args)
-    model = Anonymizer(policy, method=args.method).fit(data)
+    model = Anonymizer(policy, method=args.method, backend=args.backend).fit(data)
     # Write every output before printing, so an interrupted pipe cannot
     # leave a model without its companion release.
     npz_path, sidecar = model.save(args.model)
@@ -226,7 +248,7 @@ def _cmd_fit(args: argparse.Namespace) -> int:
 def _cmd_apply(args: argparse.Namespace) -> int:
     import csv
 
-    model = Anonymizer.load(args.model)
+    model = Anonymizer.load(args.model, backend=args.backend)
     with open(args.input, newline="") as handle:
         header = next(csv.reader(handle), [])
     batch = read_csv(args.input, schema=model.batch_schema(tuple(header)))
@@ -256,7 +278,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         raise AssertionError(f"unhandled command {args.command!r}") from None
     try:
         return handler(args)
-    except (PolicyError, PolicyInfeasibleError) as exc:
+    except (
+        PolicyError,
+        PolicyInfeasibleError,
+        RegistryError,
+        BackendConfigError,
+    ) as exc:
+        # RegistryError/BackendConfigError reach here only through the
+        # REPRO_BACKEND / REPRO_NUM_THREADS environment defaults — bad
+        # flag values die in argparse choices.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -209,6 +209,29 @@ class ClusterTrackerSet:
         assert out is not None
         return out
 
+    def swap_emds_batch(
+        self, member_records: np.ndarray, new_records: np.ndarray
+    ) -> np.ndarray:
+        """:meth:`swap_emds` for a block of incoming candidates at once.
+
+        Returns a ``(len(new_records), len(member_records))`` matrix whose
+        row ``b`` is bitwise the vector ``swap_emds(member_records,
+        new_records[b])`` would produce (each per-attribute batch scorer
+        guarantees row-for-row identity, and the max-over-attributes here
+        is elementwise).  The pass is read-only on every tracker, so
+        compute backends may evaluate candidate shards concurrently; this
+        is the primitive behind
+        :meth:`repro.backend.ComputeBackend.score_swaps`.
+        """
+        member_records = np.asarray(member_records)
+        new_records = np.asarray(new_records)
+        out: np.ndarray | None = None
+        for tracker, bins in self._trackers:
+            scores = tracker.swap_emds_batch(bins[member_records], bins[new_records])
+            out = scores if out is None else np.maximum(out, scores, out=out)
+        assert out is not None
+        return out
+
     def apply_swap(self, removed_record: int, added_record: int) -> None:
         """Commit the replacement of one member record by another."""
         for tracker, bins in self._trackers:

@@ -21,8 +21,11 @@ Figure 5 shows exactly this gap, and the benchmark harness reproduces it.
 
 from __future__ import annotations
 
+from itertools import islice
+
 import numpy as np
 
+from ..backend import ComputeBackend, resolve_backend
 from ..data.dataset import Microdata
 from ..distance.records import encode_mixed
 from ..microagg.engine import ClusteringEngine
@@ -44,6 +47,24 @@ _MIN_IMPROVEMENT = 1e-12
 #: — and therefore every partition — matches the dense predecessor
 #: bit-for-bit while the off-band bulk of the work stays O(c log m).
 _TIE_BAND = 1e-12
+
+#: Consecutive rejections before the refinement loop switches from
+#: per-candidate scoring to speculative batch scoring.  Accepted swaps
+#: mutate the tracker, so a speculative block is only profitable when the
+#: upcoming candidates are likely rejections; a rejection run is the
+#: cheapest available predictor.  Below the threshold the loop stays on
+#: the one-candidate path (whose scoring-pass cache also makes the
+#: accepted swap's commit free), so accept-heavy refinement — the tight-t
+#: common case, where >80% of candidates are accepted — pays no
+#: speculation waste at all.
+_BATCH_AFTER = 8
+
+#: Speculative block sizes: start small (a mispredicted acceptance throws
+#: the block's unconsumed scores away), double while the rejections keep
+#: coming (one batched tracker pass costs little more than two
+#: per-candidate dispatches), reset on every acceptance.
+_SCORE_BLOCK_MIN = 16
+_SCORE_BLOCK_MAX = 256
 
 
 def _swap_pool(engine: ClusteringEngine, k: int):
@@ -86,6 +107,7 @@ def _generate_cluster(
     model: ConfidentialModel,
     k: int,
     t: float,
+    backend: ComputeBackend | str | None = None,
 ) -> tuple[np.ndarray, int]:
     """The paper's GenerateCluster: seed k-NN cluster, refine by swaps.
 
@@ -100,6 +122,8 @@ def _generate_cluster(
         Confidential-attribute EMD model (must support trackers).
     k, t:
         Minimum cluster size and target closeness.
+    backend:
+        Compute backend scoring the speculative candidate blocks.
 
     Returns
     -------
@@ -107,49 +131,116 @@ def _generate_cluster(
         Final cluster (record ids) and the number of accepted swaps.
         Swapped-out records are *not* in ``members`` and therefore remain
         unclustered for later clusters, mirroring the paper's pseudocode.
+
+    Notes
+    -----
+    Candidates are consumed in exactly the sequential order of the paper's
+    pseudocode (the stable (distance-to-seed, id) pool).  Scoring is
+    *adaptive*: the loop starts on the per-candidate path (one
+    ``swap_emds`` dispatch per pool record, whose scoring-pass cache makes
+    an accepted swap's commit free) and, once ``_BATCH_AFTER`` consecutive
+    candidates have been rejected — the signal that the refinement has
+    entered a scan-dominated stretch — switches to *speculative blocks*:
+    one batched tracker pass (:meth:`~repro.core.confidential
+    .ClusterTrackerSet.swap_emds_batch`, bitwise row-identical to
+    per-candidate scoring, shardable by the backend) covers a whole block
+    under the assumption that no swap in it is accepted.  An acceptance
+    inside a block invalidates the unconsumed speculative rows — they are
+    pushed back (in order) onto a pending queue and scored again, against
+    the new member multiset, by whichever mode consumes them.  Every
+    decision therefore sees exactly the scores the one-candidate-at-a-time
+    loop computed, and the produced clusters are identical bit-for-bit
+    (pinned by ``tests/microagg/test_kanon_first_golden.py``).  Fetching a
+    few pool records beyond the stopping point is unobservable: the pool
+    is a read-only view of the engine's live set.
     """
+    backend = resolve_backend(backend)
     if engine.n_alive < 2 * k:
         return engine.alive_ids(), 0
 
     members = engine.k_nearest_sorted(k, point=engine.row(seed_record))
     tracker = model.make_tracker(members)
     n_swaps = 0
-    if _cluster_overshoots(tracker, t):
-        # The swap pool — every other unclustered record, ascending by
-        # (distance to the seed, id) — is materialized only now that the
-        # seed cluster overshoots t, and lazily even then: at loose t this
-        # branch almost never runs, and at tight t the loop usually stops
-        # after a few pool records, so no full sort happens either way.
-        for y in _swap_pool(engine, k):
-            if not _cluster_overshoots(tracker, t):
+    if not _cluster_overshoots(tracker, t):
+        return members, n_swaps
+
+    def decide(y: int, scores: np.ndarray) -> bool:
+        """The paper's swap decision for one candidate (scores given)."""
+        nonlocal n_swaps
+        j = int(np.argmin(scores))
+        banded = np.flatnonzero(scores <= scores[j] + _TIE_BAND)
+        threshold = tracker.emd - _MIN_IMPROVEMENT
+        if banded.size > 1 or abs(scores[j] - threshold) <= _TIE_BAND:
+            # A candidate tie or a threshold graze at float resolution:
+            # re-judge exactly those candidates with the dense
+            # arithmetic (first index wins, as the dense argmin did).
+            # Records with identical bins across every confidential
+            # attribute score identically, so each distinct bin profile
+            # is evaluated once.
+            exact: dict[tuple[int, ...], float] = {}
+            j, best = -1, np.inf
+            for idx in banded:
+                key = tracker.bins_key(int(members[idx]))
+                if key not in exact:
+                    exact[key] = tracker.exact_swap_emd(int(members[idx]), int(y))
+                if exact[key] < best:
+                    j, best = int(idx), exact[key]
+            accept = best < tracker.exact_emd - _MIN_IMPROVEMENT
+        else:
+            accept = scores[j] < threshold
+        if accept:
+            tracker.apply_swap(int(members[j]), int(y))
+            members[j] = y
+            n_swaps += 1
+        # y is consumed either way (the paper's X' = X' \ {y}).
+        return accept
+
+    # The swap pool — every other unclustered record, ascending by
+    # (distance to the seed, id) — is materialized only now that the
+    # seed cluster overshoots t, and lazily even then: at loose t this
+    # branch almost never runs, and at tight t the loop usually stops
+    # after a few pool records, so no full sort happens either way.
+    pool = _swap_pool(engine, k)
+    pending: list[int] = []  # speculative leftovers, next in pool order
+
+    def take(count: int) -> list[int]:
+        taken = pending[:count]
+        del pending[: len(taken)]
+        if len(taken) < count:
+            taken.extend(islice(pool, count - len(taken)))
+        return taken
+
+    rejections = 0
+    block_size = _SCORE_BLOCK_MIN
+    while _cluster_overshoots(tracker, t):
+        if rejections < _BATCH_AFTER:
+            candidates = take(1)
+            if not candidates:
                 break
-            scores = tracker.swap_emds(members, int(y))
-            j = int(np.argmin(scores))
-            banded = np.flatnonzero(scores <= scores[j] + _TIE_BAND)
-            threshold = tracker.emd - _MIN_IMPROVEMENT
-            if banded.size > 1 or abs(scores[j] - threshold) <= _TIE_BAND:
-                # A candidate tie or a threshold graze at float resolution:
-                # re-judge exactly those candidates with the dense
-                # arithmetic (first index wins, as the dense argmin did).
-                # Records with identical bins across every confidential
-                # attribute score identically, so each distinct bin profile
-                # is evaluated once.
-                exact: dict[tuple[int, ...], float] = {}
-                j, best = -1, np.inf
-                for i in banded:
-                    key = tracker.bins_key(int(members[i]))
-                    if key not in exact:
-                        exact[key] = tracker.exact_swap_emd(int(members[i]), int(y))
-                    if exact[key] < best:
-                        j, best = int(i), exact[key]
-                accept = best < tracker.exact_emd - _MIN_IMPROVEMENT
+            y = candidates[0]
+            if decide(y, tracker.swap_emds(members, int(y))):
+                rejections = 0
+                block_size = _SCORE_BLOCK_MIN
             else:
-                accept = scores[j] < threshold
-            if accept:
-                tracker.apply_swap(int(members[j]), int(y))
-                members[j] = y
-                n_swaps += 1
-            # y is consumed either way (the paper's X' = X' \ {y}).
+                rejections += 1
+            continue
+        block = take(block_size)
+        if not block:
+            break
+        block_scores = backend.score_swaps(
+            tracker, members, np.asarray(block, dtype=np.int64)
+        )
+        for i, y in enumerate(block):
+            if decide(y, block_scores[i]):
+                # The rest of the block was scored against the old member
+                # multiset; hand it back unconsumed and leave batch mode.
+                pending[:0] = block[i + 1 :]
+                rejections = 0
+                block_size = _SCORE_BLOCK_MIN
+                break
+        else:
+            rejections += len(block)
+            block_size = min(2 * block_size, _SCORE_BLOCK_MAX)
     return members, n_swaps
 
 
@@ -161,6 +252,7 @@ def kanonymity_first(
     *,
     merge_fallback: bool = True,
     emd_mode: str = "distinct",
+    backend: ComputeBackend | str | None = None,
 ) -> TClosenessResult:
     """Algorithm 2: t-closeness-aware MDAV with swap-based refinement.
 
@@ -180,6 +272,10 @@ def kanonymity_first(
     emd_mode:
         Only ``"distinct"`` supports the incremental swap evaluation this
         algorithm is built on.
+    backend:
+        Compute backend for the distance primitives and the batched swap
+        scoring (name, instance or ``None`` for the ``REPRO_BACKEND``
+        default).  Partitions are backend-independent bit-for-bit.
 
     Returns
     -------
@@ -203,13 +299,14 @@ def kanonymity_first(
             "swap evaluation"
         )
 
-    engine = ClusteringEngine(X)
+    backend = resolve_backend(backend)
+    engine = ClusteringEngine(X, backend=backend)
     clusters: list[np.ndarray] = []
     total_swaps = 0
 
     while engine.n_alive:
         x0 = engine.farthest_from_centroid()
-        members, swaps = _generate_cluster(engine, x0, model, k, t)
+        members, swaps = _generate_cluster(engine, x0, model, k, t, backend)
         total_swaps += swaps
         clusters.append(members)
         engine.kill(members)
@@ -218,7 +315,7 @@ def kanonymity_first(
             # The buffer still holds the distances to x0 evaluated while
             # generating its cluster; reuse them for the next seed.
             x1 = engine.farthest()
-            members, swaps = _generate_cluster(engine, x1, model, k, t)
+            members, swaps = _generate_cluster(engine, x1, model, k, t, backend)
             total_swaps += swaps
             clusters.append(members)
             engine.kill(members)
@@ -229,7 +326,7 @@ def kanonymity_first(
     n_merges = 0
     if merge_fallback:
         partition, emds, n_merges = merge_to_t_closeness(
-            data, partition, t, model=model, qi_matrix=X
+            data, partition, t, model=model, qi_matrix=X, backend=backend
         )
     else:
         emds = model.partition_emds(list(partition.clusters()))

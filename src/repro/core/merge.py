@@ -41,6 +41,7 @@ from typing import Callable
 
 import numpy as np
 
+from ..backend import ComputeBackend, accepts_backend as _accepts_backend, resolve_backend
 from ..data.dataset import Microdata
 from ..distance.records import encode_mixed
 from ..microagg.engine import ClusteringEngine
@@ -107,6 +108,7 @@ def merge_to_t_closeness(
     emd_mode: str = "distinct",
     partner_policy: str = "nearest-qi",
     seed: int = 0,
+    backend: ComputeBackend | str | None = None,
 ) -> tuple[Partition, np.ndarray, int]:
     """Greedy merging phase: merge clusters until all are t-close.
 
@@ -138,6 +140,9 @@ def merge_to_t_closeness(
         Merge-partner selection rule (see above).
     seed:
         RNG seed for the ``"random"`` policy.
+    backend:
+        Compute backend for the centroid engine's partner scans (name,
+        instance or ``None`` for the ``REPRO_BACKEND`` default).
 
     Returns
     -------
@@ -229,7 +234,8 @@ def merge_to_t_closeness(
                 # intact; the reference gather-and-mean keeps centroid
                 # floats identical to the pre-engine implementation's.
                 cengine = ClusteringEngine(
-                    np.stack([qi_matrix[m].mean(axis=0) for m in members])
+                    np.stack([qi_matrix[m].mean(axis=0) for m in members]),
+                    backend=backend,
                 )
             best_g = _nearest_partner(cengine, worst)
         elif partner_policy == "lowest-emd":
@@ -294,6 +300,7 @@ def microaggregation_merge(
     *,
     partitioner: Partitioner | str = mdav,
     emd_mode: str = "distinct",
+    backend: ComputeBackend | str | None = None,
 ) -> TClosenessResult:
     """Algorithm 1: microaggregate the quasi-identifiers, then merge.
 
@@ -311,6 +318,12 @@ def microaggregation_merge(
         (see :data:`repro.registry.PARTITIONERS`).
     emd_mode:
         ``"distinct"`` (default) or ``"rank"`` ordered-EMD flavour.
+    backend:
+        Compute backend for the partition and merge phases (name, instance
+        or ``None`` for the ``REPRO_BACKEND`` default).  Forwarded to the
+        partitioner when its signature accepts a ``backend`` keyword (the
+        built-in ``mdav``/``vmdav`` do; third-party ``(X, k)`` callables
+        without one are simply called as before).
 
     Returns
     -------
@@ -323,12 +336,16 @@ def microaggregation_merge(
         raise ValueError(f"k must be in [1, {data.n_records}], got {k}")
     if isinstance(partitioner, str):
         partitioner = PARTITIONERS.resolve(partitioner)
+    backend = resolve_backend(backend)
     qi_matrix = encode_mixed(data, data.quasi_identifiers)
     model = ConfidentialModel(data, emd_mode=emd_mode)
-    initial = partitioner(qi_matrix, k)
+    if _accepts_backend(partitioner):
+        initial = partitioner(qi_matrix, k, backend=backend)
+    else:
+        initial = partitioner(qi_matrix, k)
     initial.validate_min_size(k)
     final, emds, n_merges = merge_to_t_closeness(
-        data, initial, t, model=model, qi_matrix=qi_matrix
+        data, initial, t, model=model, qi_matrix=qi_matrix, backend=backend
     )
     return TClosenessResult(
         algorithm="merge",

@@ -29,9 +29,10 @@ from typing import Mapping
 
 import numpy as np
 
+from ..backend import ComputeBackend, accepts_backend, resolve_backend
 from ..data.attributes import AttributeKind, AttributeRole, AttributeSpec
 from ..data.dataset import Microdata
-from ..distance.records import QIEncoder, sq_distances_to
+from ..distance.records import QIEncoder
 from ..microagg.aggregate import aggregate_partition, cluster_centroids
 from ..microagg.partition import Partition
 from ..registry import METHODS
@@ -146,6 +147,15 @@ class Anonymizer:
         Run the post-clustering policy repair (:func:`~repro.core.repair.enforce_policy`).
         Disable only to study an algorithm's raw output — the released
         table may then violate the declared policy.
+    backend:
+        Compute backend executing the hot primitives of every phase —
+        clustering, repair and batch ``transform``/``assign`` serving: a
+        registered name (``"serial"``, ``"threaded"``), a
+        :class:`~repro.backend.ComputeBackend` instance, or ``None`` for
+        the ``REPRO_BACKEND`` environment default.  A pure execution
+        choice: fitted results, releases and transforms are bit-for-bit
+        identical under every registered backend, and the choice is *not*
+        serialized — :meth:`load` takes its own ``backend`` argument.
     method_kwargs:
         Forwarded to the algorithm (e.g. ``partitioner=`` for ``"merge"``).
     """
@@ -156,12 +166,14 @@ class Anonymizer:
         *,
         method: str = "tclose-first",
         repair: bool = True,
+        backend: ComputeBackend | str | None = None,
         **method_kwargs: object,
     ) -> None:
         self.policy = as_policy(policy)
         self._method_fn = METHODS.resolve(method)  # eager: unknown names fail here
         self.method = method
         self.repair = repair
+        self.backend = resolve_backend(backend)  # eager: unknown names fail here
         self.method_kwargs = method_kwargs
         self._fitted = False
         self.result_: TClosenessResult | None = None
@@ -189,14 +201,15 @@ class Anonymizer:
         t_level = self.policy.t if self.policy.t is not None else math.inf
 
         start = time.perf_counter()
-        result = self._method_fn(
-            data, self.policy.k, t_level, **self.method_kwargs
-        )
+        method_kwargs = dict(self.method_kwargs)
+        if accepts_backend(self._method_fn):
+            method_kwargs.setdefault("backend", self.backend)
+        result = self._method_fn(data, self.policy.k, t_level, **method_kwargs)
         timings["cluster"] = time.perf_counter() - start
 
         start = time.perf_counter()
         if self.repair:
-            result = enforce_policy(data, result, self.policy)
+            result = enforce_policy(data, result, self.policy, backend=self.backend)
         timings["repair"] = time.perf_counter() - start
 
         start = time.perf_counter()
@@ -299,19 +312,20 @@ class Anonymizer:
         return batch.with_columns(replacements).drop_identifiers()
 
     def assign(self, batch: Microdata) -> np.ndarray:
-        """Nearest fitted cluster id for each batch record."""
+        """Nearest fitted cluster id for each batch record.
+
+        One backend-executed nearest-representative query
+        (:meth:`~repro.backend.ComputeBackend.assign_nearest`) over the
+        whole batch — the canonical distance kernel per record against
+        every fitted representative, exact ties to the lowest cluster id,
+        bit-for-bit the per-cluster loop this replaced (pinned by
+        ``tests/core/test_transform_vectorized.py``).  The threaded
+        backend shards the batch rows across its worker pool.
+        """
         self._require_fitted()
         self._check_batch_schema(batch)
         encoded = self._encoder.encode(batch.matrix(self._qi_names))
-        n = encoded.shape[0]
-        best_d2 = np.full(n, np.inf)
-        assignment = np.zeros(n, dtype=np.int64)
-        for g, rep in enumerate(self._encoded_representatives):
-            d2 = sq_distances_to(encoded, rep)
-            better = d2 < best_d2
-            assignment[better] = g
-            best_d2[better] = d2[better]
-        return assignment
+        return self.backend.assign_nearest(encoded, self._encoded_representatives)
 
     def _check_batch_schema(self, batch: Microdata) -> None:
         by_name = {s.name: s for s in self._schema}
@@ -416,13 +430,21 @@ class Anonymizer:
         return path, sidecar
 
     @classmethod
-    def load(cls, path: str | Path) -> "Anonymizer":
+    def load(
+        cls,
+        path: str | Path,
+        *,
+        backend: ComputeBackend | str | None = None,
+    ) -> "Anonymizer":
         """Rebuild a fitted model from :meth:`save` output.
 
         The loaded model serves ``transform``/``assign``/``save`` and keeps
         ``result_`` and ``report_``; the fitted table itself is not stored,
         so ``release_`` is None and ``fit`` must be called with data to
-        refit.
+        refit.  ``backend`` selects the compute backend for serving (the
+        fitted state is backend-free, so a model saved under one backend
+        loads and transforms identically under any other — pinned by the
+        lifecycle property tests).
         """
         path = Path(path)
         if path.suffix != ".npz":
@@ -438,7 +460,9 @@ class Anonymizer:
         arrays = np.load(path)
 
         model = cls(
-            PrivacyPolicy.from_dict(payload["policy"]), method=payload["method"]
+            PrivacyPolicy.from_dict(payload["policy"]),
+            method=payload["method"],
+            backend=backend,
         )
         model.result_ = TClosenessResult(
             algorithm=payload["algorithm"],

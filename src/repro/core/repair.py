@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ComputeBackend
 from ..constants import T_TOLERANCE
 from ..data.dataset import Microdata
 from ..distance.records import encode_mixed
@@ -107,6 +108,7 @@ def enforce_policy(
     *,
     model: ConfidentialModel | None = None,
     qi_matrix: np.ndarray | None = None,
+    backend: ComputeBackend | str | None = None,
 ) -> TClosenessResult:
     """Repair ``result`` until its partition satisfies ``policy``.
 
@@ -149,7 +151,7 @@ def enforce_policy(
         # Re-enforce t-closeness last: it merges only, so the diversity
         # repairs above (distinct counts grow under union) are preserved.
         partition, emds, repair_merges = merge_to_t_closeness(
-            data, partition, t, model=model, qi_matrix=qi_matrix
+            data, partition, t, model=model, qi_matrix=qi_matrix, backend=backend
         )
     else:
         emds = model.partition_emds(list(partition.clusters()))

@@ -33,6 +33,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ComputeBackend
 from ..data.attributes import AttributeKind
 from ..data.dataset import Microdata
 from ..distance.records import encode_mixed
@@ -70,6 +71,7 @@ def tcloseness_first(
     t: float,
     *,
     emd_mode: str = "distinct",
+    backend: ComputeBackend | str | None = None,
 ) -> TClosenessResult:
     """Algorithm 3: build every cluster t-close by construction.
 
@@ -87,6 +89,10 @@ def tcloseness_first(
     emd_mode:
         Flavour used for the *reported* per-cluster EMDs (the construction
         itself never computes EMD).
+    backend:
+        Compute backend for the distance primitives (name, instance or
+        ``None`` for the ``REPRO_BACKEND`` default); partitions are
+        backend-independent bit-for-bit.
 
     Returns
     -------
@@ -128,7 +134,7 @@ def tcloseness_first(
     extras_left = sizes - base
     bucket_alive = sizes.copy()  # live records per bucket
 
-    engine = ClusteringEngine(X)
+    engine = ClusteringEngine(X, backend=backend)
     clusters: list[np.ndarray] = []
 
     # Pool layout: pool[:pool_len] holds the record ids of every bucket,

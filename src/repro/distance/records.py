@@ -16,44 +16,44 @@ applies:
 
 from __future__ import annotations
 
-from typing import Iterator
-
 import numpy as np
 
+# Re-exported for callers that block their own evaluations: the canonical
+# kernel and the block iterator live in repro.backend.kernels (shared with
+# the clustering engine and every compute backend).
+from ..backend.kernels import iter_blocks, sq_distances_block
 from ..data.attributes import AttributeKind
 from ..data.dataset import Microdata
 
-
-def iter_blocks(n: int, block_size: int | None) -> Iterator[tuple[int, int]]:
-    """Yield ``(start, stop)`` row ranges covering ``0..n`` in blocks.
-
-    ``block_size=None`` yields the single block ``(0, n)``.  Shared by the
-    chunk-aware distance evaluations here and by the clustering engine
-    (:mod:`repro.microagg.engine`), so "how large is a block" is decided in
-    exactly one place.
-    """
-    if block_size is None:
-        if n:
-            yield 0, n
-        return
-    if block_size <= 0:
-        raise ValueError(f"block_size must be positive, got {block_size}")
-    for start in range(0, n, block_size):
-        yield start, min(start + block_size, n)
+__all__ = [
+    "QIEncoder",
+    "centroid",
+    "encode_mixed",
+    "farthest_index",
+    "iter_blocks",
+    "k_nearest_indices",
+    "k_smallest_indices",
+    "nearest_index",
+    "pairwise_sq_distances",
+    "sq_distances_block",
+    "sq_distances_to",
+]
 
 
 def sq_distances_to(X: np.ndarray, x: np.ndarray) -> np.ndarray:
     """Squared Euclidean distance from one point ``x`` to every row of ``X``.
 
-    This is the library's *canonical* distance arithmetic: the squares are
-    accumulated column by column, left to right, with plain elementwise
-    ufuncs.  Unlike a BLAS product or an ``einsum`` reduction (whose
-    internal summation order depends on the numpy build, SIMD width and
-    block layout), this order is fully determined by this function — so the
-    clustering engine (:mod:`repro.microagg.engine`), which evaluates the
-    same accumulation over its own buffers, produces bitwise-identical
-    distances, and exact ties between records (ubiquitous for
-    integer-valued or category-encoded data) are preserved everywhere.
+    This is the library's *canonical* distance arithmetic — one call of
+    :func:`repro.backend.kernels.sq_distances_block` over the whole
+    matrix.  The squares are accumulated column by column, left to right,
+    with plain elementwise ufuncs; unlike a BLAS product or an ``einsum``
+    reduction (whose internal summation order depends on the numpy build,
+    SIMD width and block layout), that order is fully determined by the
+    shared kernel — so the clustering engine and every compute backend,
+    which evaluate the same kernel over their own buffers and blockings,
+    produce bitwise-identical distances, and exact ties between records
+    (ubiquitous for integer-valued or category-encoded data) are preserved
+    everywhere.
     """
     X = np.asarray(X, dtype=np.float64)
     x = np.asarray(x, dtype=np.float64)
@@ -62,13 +62,11 @@ def sq_distances_to(X: np.ndarray, x: np.ndarray) -> np.ndarray:
     if x.shape != (X.shape[1],):
         raise ValueError(f"x must have shape ({X.shape[1]},), got {x.shape}")
     n, d = X.shape
-    if d == 0:
+    if d == 0 or n == 0:
         return np.zeros(n)
-    diff = X[:, 0] - x[0]
-    out = diff * diff
-    for j in range(1, d):
-        diff = X[:, j] - x[j]
-        out += diff * diff
+    out = np.empty(n)
+    tmp = np.empty(n)
+    sq_distances_block(X.T, x, out, tmp, 0, n)
     return out
 
 

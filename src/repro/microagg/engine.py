@@ -62,13 +62,27 @@ than a pre-canonicalization run on some particular numpy build would
 have.  Exact ties and tie-breaking rules — the reproducible part — are
 identical, and on integer-valued data (where every kernel is exact) so
 are whole partitions.
+
+Execution is delegated to a pluggable compute backend
+(:mod:`repro.backend`): distance evaluations, masked argmin/argmax and
+the k-nearest bound go through :class:`~repro.backend.ComputeBackend`,
+whose registered implementations (serial numpy, threaded row-block
+shards) are bit-for-bit interchangeable — the equivalence contract above
+therefore holds under every backend, which the golden suites assert by
+running under each.  The one selection that deliberately stays on the
+shared serial primitive is ``k_smallest_indices`` (:meth:`k_nearest`):
+its boundary-tie behaviour is whatever ``argpartition`` does on the
+exact compacted array, a property of that call, not of a total order —
+so it must be *the same call* under every backend (it is O(window) and
+never the hot part).
 """
 
 from __future__ import annotations
 
 import numpy as np
 
-from ..distance.records import iter_blocks, k_smallest_indices, sq_distances_to
+from ..backend import ComputeBackend, resolve_backend
+from ..distance.records import k_smallest_indices, sq_distances_to
 
 #: Below this many dead rows, compaction is skipped (not worth the copy).
 _MIN_COMPACT_GAP = 32
@@ -94,6 +108,15 @@ class ClusteringEngine:
         very large windows.  ``None`` (default) sweeps each column over the
         whole window.  The kernel is elementwise, so results are bitwise
         identical for every block size.
+    backend:
+        Compute backend executing the hot primitives (distance buffer
+        fills, masked argmin/argmax, the k-nearest bound): a
+        :class:`~repro.backend.ComputeBackend` instance, a registered name
+        (``"serial"``, ``"threaded"``), or ``None`` for the
+        ``REPRO_BACKEND`` environment default.  Every registered backend
+        honours the bit-for-bit contracts of
+        :mod:`repro.backend.base`, so the produced partitions — including
+        tie-breaking — are independent of the choice.
     """
 
     def __init__(
@@ -102,6 +125,7 @@ class ClusteringEngine:
         *,
         compact_ratio: float | None = 0.7,
         chunk_size: int | None = None,
+        backend: ComputeBackend | str | None = None,
     ) -> None:
         X = np.ascontiguousarray(X, dtype=np.float64)
         if X.ndim != 2:
@@ -131,6 +155,7 @@ class ClusteringEngine:
         self._tmp = np.empty(n)  # per-column difference scratch
         self._ratio = compact_ratio
         self._chunk = chunk_size
+        self._backend = resolve_backend(backend)
         self._dead_pos = np.empty(n, dtype=np.int64)  # kills since compaction
         self._n_dead = 0
         self._X_owned = False  # _X may alias caller data until replace_row
@@ -153,6 +178,11 @@ class ClusteringEngine:
     def window(self) -> int:
         """Current active-window length (``n_alive <= window <= n_records``)."""
         return self._m
+
+    @property
+    def backend(self) -> ComputeBackend:
+        """The compute backend executing this engine's primitives."""
+        return self._backend
 
     @property
     def n_compactions(self) -> int:
@@ -227,30 +257,27 @@ class ClusteringEngine:
 
         Evaluates ``sum((row - point)^2)`` for every window row (live and
         dead) into the preallocated buffer and returns it (a view —
-        invalidated by the next evaluation or compaction).  The arithmetic
-        is the canonical column-sequential accumulation of
-        :func:`~repro.distance.records.sq_distances_to` — elementwise
+        invalidated by the next evaluation or compaction).  The evaluation
+        is delegated to the engine's compute backend, whose contract is
+        the canonical column-sequential kernel of
+        :mod:`repro.backend.kernels` — the same arithmetic as
+        :func:`~repro.distance.records.sq_distances_to`, elementwise
         ufuncs only, so the result is bitwise identical to that function
-        (and independent of the block layout), and exact distance ties are
-        preserved everywhere the reference implementations had them.
+        (independent of the block layout *and* of backend sharding), and
+        exact distance ties are preserved everywhere the reference
+        implementations had them.
         """
         m = self._m
         p = np.ascontiguousarray(point, dtype=np.float64)
-        d2, tmp, cols = self._d2, self._tmp, self._XwT
         if len(p) == 0:
-            d2[:m] = 0.0
+            self._d2[:m] = 0.0
             self._n_evals += 1
-            return d2[:m]
-        for start, stop in iter_blocks(m, self._chunk):
-            seg = slice(start, stop)
-            np.subtract(cols[0, seg], p[0], out=tmp[seg])
-            np.multiply(tmp[seg], tmp[seg], out=d2[seg])
-            for j in range(1, len(p)):
-                np.subtract(cols[j, seg], p[j], out=tmp[seg])
-                tmp[seg] *= tmp[seg]
-                d2[seg] += tmp[seg]
+            return self._d2[:m]
+        self._backend.eval_sq_distances(
+            self._XwT, p, self._d2, self._tmp, m, self._chunk
+        )
         self._n_evals += 1
-        return d2[:m]
+        return self._d2[:m]
 
     def _masked(self, fill: float) -> np.ndarray:
         """The distance buffer with dead window rows set to ``fill``.
@@ -286,7 +313,7 @@ class ClusteringEngine:
         if point is not None:
             self.eval_distances(point)
         d2 = self._masked(-np.inf)
-        return int(self._ids[int(np.argmax(d2))])
+        return int(self._ids[self._backend.argmax(d2)])
 
     #: Relative margin below the maximum distance within which the fast
     #: centroid's ulp drift could conceivably reorder records.  The actual
@@ -310,7 +337,7 @@ class ClusteringEngine:
         """
         self.eval_distances(self.centroid_fast())
         d2 = self._masked(-np.inf)
-        top = int(np.argmax(d2))
+        top = self._backend.argmax(d2)
         band = self._FARTHEST_MARGIN * (1.0 + abs(d2[top]))
         candidates = np.flatnonzero(d2 >= d2[top] - band)
         if candidates.size == 1:
@@ -330,7 +357,7 @@ class ClusteringEngine:
         if point is not None:
             self.eval_distances(point)
         d2 = self._masked(np.inf)
-        pos = int(np.argmin(d2))
+        pos = self._backend.argmin(d2)
         return int(self._ids[pos]), float(d2[pos])
 
     def k_nearest(self, k: int, point: np.ndarray | None = None) -> np.ndarray:
@@ -377,7 +404,7 @@ class ClusteringEngine:
         if k >= self._n_alive:
             return self.sorted_alive()
         d2 = self._masked(np.inf)
-        bound = d2[np.argpartition(d2, k - 1)[:k]].max()
+        bound = self._backend.kth_smallest_value(d2, k)
         cand = np.flatnonzero(d2 <= bound)
         order = np.argsort(d2[cand], kind="stable")[:k]
         return self._ids[cand[order]]

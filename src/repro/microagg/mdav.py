@@ -27,13 +27,19 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ComputeBackend
 from ..registry import register_partitioner
 from .engine import ClusteringEngine
 from .partition import Partition
 
 
 @register_partitioner("mdav")
-def mdav(X: np.ndarray, k: int) -> Partition:
+def mdav(
+    X: np.ndarray,
+    k: int,
+    *,
+    backend: ComputeBackend | str | None = None,
+) -> Partition:
     """Partition the rows of ``X`` into clusters of size >= k with MDAV.
 
     Parameters
@@ -43,6 +49,10 @@ def mdav(X: np.ndarray, k: int) -> Partition:
         quasi-identifier matrix (see :meth:`Microdata.qi_matrix`).
     k:
         Minimum (and target) cluster size, ``1 <= k <= n``.
+    backend:
+        Compute backend for the distance primitives (name, instance or
+        ``None`` for the ``REPRO_BACKEND`` default); partitions are
+        backend-independent bit-for-bit.
 
     Returns
     -------
@@ -56,7 +66,7 @@ def mdav(X: np.ndarray, k: int) -> Partition:
     if not 1 <= k <= n:
         raise ValueError(f"k must be in [1, {n}], got {k}")
 
-    engine = ClusteringEngine(X)
+    engine = ClusteringEngine(X, backend=backend)
     labels = np.full(n, -1, dtype=np.int64)
     next_label = 0
 

@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from ..backend import ComputeBackend
 from ..distance.records import sq_distances_to
 from ..registry import register_partitioner
 from .engine import ClusteringEngine
@@ -32,7 +33,13 @@ from .partition import Partition
 
 
 @register_partitioner("vmdav")
-def vmdav(X: np.ndarray, k: int, *, gamma: float = 0.2) -> Partition:
+def vmdav(
+    X: np.ndarray,
+    k: int,
+    *,
+    gamma: float = 0.2,
+    backend: ComputeBackend | str | None = None,
+) -> Partition:
     """Partition rows of ``X`` into variable-size clusters (k .. 2k-1).
 
     Parameters
@@ -45,6 +52,10 @@ def vmdav(X: np.ndarray, k: int, *, gamma: float = 0.2) -> Partition:
         Extension aggressiveness (>= 0).  A candidate record joins the
         current cluster if its squared distance to the cluster centroid is
         below ``gamma`` times the mean intra-cluster squared distance.
+    backend:
+        Compute backend for the distance primitives (name, instance or
+        ``None`` for the ``REPRO_BACKEND`` default); partitions are
+        backend-independent bit-for-bit.
     """
     X = np.asarray(X, dtype=np.float64)
     if X.ndim != 2:
@@ -55,7 +66,7 @@ def vmdav(X: np.ndarray, k: int, *, gamma: float = 0.2) -> Partition:
     if gamma < 0:
         raise ValueError(f"gamma must be >= 0, got {gamma}")
 
-    engine = ClusteringEngine(X)
+    engine = ClusteringEngine(X, backend=backend)
     labels = np.full(n, -1, dtype=np.int64)
     next_label = 0
 

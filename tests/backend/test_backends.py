@@ -1,0 +1,300 @@
+"""Unit contracts of the compute-backend layer.
+
+Three kinds of guarantees are pinned here:
+
+* **registry & resolution** — ``BACKENDS`` discovery, the ``REPRO_BACKEND``
+  environment default, instance pass-through, and the shared default
+  instances;
+* **bit-for-bit primitive equivalence** — every threaded primitive
+  (sharded kernel evaluation, per-shard argmin/argmax merging, the
+  k-th-smallest bound, candidate-axis scoring shards, row-sharded
+  nearest-representative assignment) must reproduce the serial bodies
+  exactly, including on adversarial all-ties inputs where a wrong merge
+  rule would pick a different index;
+* **batched swap scoring** — ``swap_emds_batch`` rows equal the
+  one-candidate ``swap_emds`` vectors bitwise for ordered and nominal
+  trackers, and a committed swap lands on the same float either way.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import (
+    BACKEND_ENV,
+    NUM_THREADS_ENV,
+    ComputeBackend,
+    SerialBackend,
+    ThreadedBackend,
+    accepts_backend,
+    num_threads_default,
+    resolve_backend,
+)
+from repro.backend import base as backend_base
+from repro.distance.emd import (
+    ClusterEMDTracker,
+    NominalClusterTracker,
+    NominalEMDReference,
+    OrderedEMDReference,
+)
+from repro.registry import BACKENDS, RegistryError
+
+from ..backends import threaded_for_tests
+
+
+@pytest.fixture
+def fresh_default_instances(monkeypatch):
+    """Isolate the process-wide default-instance cache per test."""
+    monkeypatch.setattr(backend_base, "_DEFAULT_INSTANCES", {})
+
+
+class TestRegistryAndResolution:
+    def test_builtins_registered(self):
+        assert {"serial", "threaded"} <= set(BACKENDS)
+
+    def test_resolve_by_name_returns_shared_instance(self, fresh_default_instances):
+        first = resolve_backend("serial")
+        assert isinstance(first, SerialBackend)
+        assert resolve_backend("serial") is first
+
+    def test_resolve_none_reads_env(self, fresh_default_instances, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "threaded")
+        assert isinstance(resolve_backend(None), ThreadedBackend)
+        monkeypatch.delenv(BACKEND_ENV)
+        assert isinstance(resolve_backend(None), SerialBackend)
+
+    def test_resolve_instance_passthrough(self):
+        backend = ThreadedBackend(num_threads=2)
+        assert resolve_backend(backend) is backend
+
+    def test_unknown_name_raises_listing_alternatives(self):
+        with pytest.raises(RegistryError, match="serial"):
+            resolve_backend("gpu")
+
+    def test_bad_type_raises(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+    def test_num_threads_env(self, monkeypatch):
+        monkeypatch.setenv(NUM_THREADS_ENV, "3")
+        assert num_threads_default() == 3
+        assert ThreadedBackend().num_workers == 3
+        monkeypatch.setenv(NUM_THREADS_ENV, "0")
+        with pytest.raises(ValueError):
+            num_threads_default()
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ThreadedBackend(num_threads=0)
+        with pytest.raises(ValueError):
+            ThreadedBackend(num_threads=2, min_rows=0)
+
+    def test_accepts_backend(self):
+        def with_backend(X, k, *, backend=None):
+            return None
+
+        def without(X, k):
+            return None
+
+        def with_kwargs(X, k, **kwargs):
+            return None
+
+        assert accepts_backend(with_backend)
+        assert not accepts_backend(without)
+        assert not accepts_backend(with_kwargs)
+
+
+class TestPrimitiveEquivalence:
+    """Threaded primitives == serial primitives, bitwise, ties included."""
+
+    @pytest.fixture(scope="class")
+    def backends(self):
+        return ComputeBackend(), threaded_for_tests(3)
+
+    def eval_both(self, backends, X, point, chunk_size=None):
+        serial, threaded = backends
+        n = X.shape[0]
+        outs = []
+        for backend in (serial, threaded):
+            out, tmp = np.empty(n), np.empty(n)
+            backend.eval_sq_distances(X.T.copy(), point, out, tmp, n, chunk_size)
+            outs.append(out)
+        return outs
+
+    @pytest.mark.parametrize("chunk_size", [None, 7, 64])
+    def test_eval_sq_distances_identical(self, backends, chunk_size):
+        rng = np.random.default_rng(0)
+        X = rng.standard_normal((501, 4))
+        point = rng.standard_normal(4)
+        out_s, out_t = self.eval_both(backends, X, point, chunk_size)
+        np.testing.assert_array_equal(out_s, out_t)
+
+    def test_eval_sq_distances_integer_ties(self, backends):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 3, size=(300, 2)).astype(float)
+        out_s, out_t = self.eval_both(backends, X, X[5].copy())
+        np.testing.assert_array_equal(out_s, out_t)
+
+    @pytest.mark.parametrize(
+        "values",
+        [
+            np.zeros(100),  # all ties: index 0 must win everywhere
+            np.concatenate([np.full(50, 2.0), np.full(50, 1.0), np.full(50, 2.0)]),
+            np.arange(100.0)[::-1].copy(),
+            np.array([np.inf] * 30 + [3.0] + [np.inf] * 30),
+            np.array([-np.inf] * 9 + [1.0]),
+        ],
+    )
+    def test_argmin_argmax_identical(self, backends, values):
+        serial, threaded = backends
+        assert threaded.argmin(values) == serial.argmin(values) == int(np.argmin(values))
+        assert threaded.argmax(values) == serial.argmax(values) == int(np.argmax(values))
+
+    def test_argminmax_random(self, backends):
+        serial, threaded = backends
+        rng = np.random.default_rng(2)
+        for _ in range(100):
+            values = rng.integers(0, 5, size=int(rng.integers(1, 200))).astype(float)
+            assert threaded.argmin(values) == int(np.argmin(values))
+            assert threaded.argmax(values) == int(np.argmax(values))
+
+    def test_kth_smallest_value(self, backends):
+        serial, threaded = backends
+        rng = np.random.default_rng(3)
+        for _ in range(100):
+            n = int(rng.integers(1, 300))
+            values = rng.integers(0, 8, size=n).astype(float)
+            k = int(rng.integers(1, n + 1))
+            assert threaded.kth_smallest_value(values, k) == serial.kth_smallest_value(
+                values, k
+            )
+
+    def test_assign_nearest_identical_and_tie_rule(self, backends):
+        serial, threaded = backends
+        rng = np.random.default_rng(4)
+        reps = rng.integers(0, 3, size=(23, 3)).astype(float)
+        reps[7] = reps[3]  # duplicated representative: lowest id must win
+        X = np.vstack([reps, rng.integers(0, 3, size=(400, 3)).astype(float)])
+        out_s = serial.assign_nearest(X, reps)
+        out_t = threaded.assign_nearest(X, reps)
+        np.testing.assert_array_equal(out_s, out_t)
+        assert out_s[7] == 3  # the duplicate resolves to the lower cluster id
+
+    def test_assign_nearest_validation(self, backends):
+        serial, threaded = backends
+        for backend in backends:
+            with pytest.raises(ValueError):
+                backend.assign_nearest(np.zeros((3, 2)), np.zeros((0, 2)))
+            with pytest.raises(ValueError):
+                backend.assign_nearest(np.zeros((3, 2)), np.zeros((4, 3)))
+
+    def test_threaded_close_is_idempotent_and_reusable(self):
+        backend = threaded_for_tests(2)
+        values = np.arange(100.0)
+        assert backend.argmin(values) == 0
+        backend.close()
+        backend.close()
+        assert backend.argmax(values) == 99  # pool is lazily recreated
+        backend.close()
+
+
+def _ordered_tracker(rng, n=120):
+    vals = rng.integers(0, max(2, n // 2), size=n).astype(float)
+    ref = OrderedEMDReference(vals, mode="distinct")
+    c = int(rng.integers(2, 10))
+    return ClusterEMDTracker(ref, ref.bins_of(rng.choice(vals, size=c))), ref
+
+
+class TestSwapEmdsBatch:
+    def test_ordered_rows_bitwise_equal_single(self):
+        rng = np.random.default_rng(10)
+        for _ in range(50):
+            tracker, ref = _ordered_tracker(rng)
+            removes = tracker._member_bins.copy()
+            adds = rng.integers(0, ref.m, size=int(rng.integers(1, 16)))
+            batch = tracker.swap_emds_batch(removes, adds)
+            assert batch.shape == (adds.size, removes.size)
+            for b, add in enumerate(adds):
+                np.testing.assert_array_equal(
+                    batch[b], tracker.swap_emds(removes, int(add))
+                )
+
+    def test_ordered_apply_commits_same_float_after_batch(self):
+        rng = np.random.default_rng(11)
+        for _ in range(30):
+            batch_tr, ref = _ordered_tracker(rng)
+            single_tr = ClusterEMDTracker(ref, batch_tr._member_bins.copy())
+            removes = batch_tr._member_bins.copy()
+            add = int(rng.integers(0, ref.m))
+            j = int(rng.integers(0, removes.size))
+            if removes[j] == add:
+                continue
+            batch_tr.swap_emds_batch(removes, np.array([add]))
+            single_tr.swap_emds(removes, add)  # populates the scoring cache
+            batch_tr.apply_swap(int(removes[j]), add)
+            single_tr.apply_swap(int(removes[j]), add)
+            # Committed EMD identical whether the score came from the batch
+            # pass (recomputed on commit) or the cached scoring pass.
+            assert batch_tr.emd == single_tr.emd
+            np.testing.assert_array_equal(
+                batch_tr._member_bins, single_tr._member_bins
+            )
+
+    def test_ordered_batch_is_read_only(self):
+        rng = np.random.default_rng(12)
+        tracker, ref = _ordered_tracker(rng)
+        state = (
+            tracker._member_bins.copy(),
+            tracker._uniq.copy(),
+            tracker._cum_counts.copy(),
+            tracker.emd,
+        )
+        tracker.swap_emds_batch(
+            tracker._member_bins.copy(), np.arange(min(8, ref.m))
+        )
+        np.testing.assert_array_equal(tracker._member_bins, state[0])
+        np.testing.assert_array_equal(tracker._uniq, state[1])
+        np.testing.assert_array_equal(tracker._cum_counts, state[2])
+        assert tracker.emd == state[3]
+
+    def test_ordered_batch_validation_and_noop(self):
+        rng = np.random.default_rng(13)
+        tracker, ref = _ordered_tracker(rng)
+        removes = tracker._member_bins.copy()
+        with pytest.raises(IndexError):
+            tracker.swap_emds_batch(removes, np.array([ref.m]))
+        with pytest.raises(IndexError):
+            tracker.swap_emds_batch(np.array([-1]), np.array([0]))
+        batch = tracker.swap_emds_batch(removes, removes[:1])
+        assert batch[0, 0] == tracker.emd  # remove == add is a no-op score
+        empty = tracker.swap_emds_batch(removes, np.array([], dtype=np.int64))
+        assert empty.shape == (0, removes.size)
+
+    def test_nominal_rows_bitwise_equal_single(self):
+        rng = np.random.default_rng(14)
+        for _ in range(50):
+            ncat = int(rng.integers(2, 9))
+            codes = rng.integers(0, ncat, size=int(rng.integers(10, 80)))
+            ref = NominalEMDReference(codes, ncat)
+            members = rng.choice(codes, size=int(rng.integers(2, 8)))
+            tracker = NominalClusterTracker(ref, members)
+            adds = rng.integers(0, ncat, size=int(rng.integers(1, 12)))
+            batch = tracker.swap_emds_batch(members, adds)
+            for b, add in enumerate(adds):
+                np.testing.assert_array_equal(
+                    batch[b], tracker.swap_emds(members, int(add))
+                )
+
+    def test_score_swaps_sharding_matches_one_call(self):
+        """The threaded backend's candidate shards concatenate bitwise."""
+        rng = np.random.default_rng(15)
+        tracker, ref = _ordered_tracker(rng, n=200)
+
+        class TrackerSetLike:
+            def swap_emds_batch(self, members, cands):
+                return tracker.swap_emds_batch(members, cands)
+
+        removes = tracker._member_bins.copy()
+        adds = rng.integers(0, ref.m, size=40)
+        serial = ComputeBackend().score_swaps(TrackerSetLike(), removes, adds)
+        threaded = threaded_for_tests(3).score_swaps(TrackerSetLike(), removes, adds)
+        np.testing.assert_array_equal(serial, threaded)

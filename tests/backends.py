@@ -1,0 +1,31 @@
+"""Backend parametrization shared across the equivalence/golden/property suites.
+
+``BACKENDS_UNDER_TEST`` pins the bit-for-bit backend-independence contract:
+every suite that parametrizes over it runs once on the default serial
+backend and once on a threaded backend with two workers whose shard floors
+are lowered to a few elements — so the parallel code paths (sharded kernel
+evaluation, per-shard argmin/argmax merging, the sharded k-th-smallest
+bound, candidate-axis scoring shards, row-sharded nearest-representative
+assignment) genuinely execute even on the small fixture datasets, rather
+than falling through to the serial bodies.
+"""
+
+import pytest
+
+from repro.backend import ThreadedBackend
+
+
+def threaded_for_tests(num_threads: int = 2) -> ThreadedBackend:
+    """A threaded backend whose parallel paths engage on tiny inputs."""
+    return ThreadedBackend(
+        num_threads,
+        min_rows=8,
+        min_assign_rows=8,
+        min_candidates=2,
+    )
+
+
+BACKENDS_UNDER_TEST = [
+    pytest.param("serial", id="serial"),
+    pytest.param(threaded_for_tests(), id="threaded-2"),
+]

@@ -15,6 +15,12 @@ incremental EMD engine must reproduce every decision:
   the sparse segment path, which sums the same terms in a different order
   than the dense cumulative evaluation and may therefore differ in the
   last ulp.
+
+Every case runs under both registered compute backends
+(``tests.backends.BACKENDS_UNDER_TEST``), with the threaded backend's
+shard floors lowered so its parallel paths — including candidate-axis
+sharding of the speculative swap-scoring blocks — really execute on the
+fixture datasets.
 """
 
 from pathlib import Path
@@ -25,6 +31,7 @@ import pytest
 from repro.core.kanon_first import kanonymity_first
 from repro.core.merge import microaggregation_merge
 
+from ..backends import BACKENDS_UNDER_TEST
 from .golden_datasets import E2E_CASES, e2e_case
 
 FIXTURE_PATH = Path(__file__).parent / "fixtures" / "kanon_first_golden.npz"
@@ -59,10 +66,11 @@ def test_fixture_is_complete(golden):
     assert set(golden) == expected
 
 
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
 @pytest.mark.parametrize("case", [c[0] for c in E2E_CASES])
-def test_kanon_first_end_to_end(golden, case):
+def test_kanon_first_end_to_end(golden, case, backend):
     data, k, t = case_params(case)
-    result = kanonymity_first(data, k, t)
+    result = kanonymity_first(data, k, t, backend=backend)
     np.testing.assert_array_equal(result.partition.labels, golden[f"{case}/labels"])
     np.testing.assert_allclose(
         result.cluster_emds, golden[f"{case}/emds"], atol=EMD_ATOL, rtol=0.0
@@ -73,11 +81,12 @@ def test_kanon_first_end_to_end(golden, case):
     assert result.info["clusters_before_merge"] == pre_merge
 
 
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
 @pytest.mark.parametrize("case", [c[0] for c in E2E_CASES])
-def test_kanon_first_raw_swap_phase(golden, case):
+def test_kanon_first_raw_swap_phase(golden, case, backend):
     """The swap phase alone (no merge fallback) is pinned separately."""
     data, k, t = case_params(case)
-    result = kanonymity_first(data, k, t, merge_fallback=False)
+    result = kanonymity_first(data, k, t, merge_fallback=False, backend=backend)
     np.testing.assert_array_equal(
         result.partition.labels, golden[f"{case}/raw/labels"]
     )
@@ -86,11 +95,12 @@ def test_kanon_first_raw_swap_phase(golden, case):
     )
 
 
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
 @pytest.mark.parametrize("case", [c[0] for c in E2E_CASES])
-def test_algorithm1_merge_phase(golden, case):
+def test_algorithm1_merge_phase(golden, case, backend):
     """Algorithm 1 exercises the rewritten merge loop from a MDAV start."""
     data, k, t = case_params(case)
-    result = microaggregation_merge(data, k, t)
+    result = microaggregation_merge(data, k, t, backend=backend)
     np.testing.assert_array_equal(
         result.partition.labels, golden[f"{case}/alg1/labels"]
     )
