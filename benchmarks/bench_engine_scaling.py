@@ -49,6 +49,7 @@ import json
 import os
 import subprocess
 import sys
+import tempfile
 import time
 from pathlib import Path
 
@@ -194,6 +195,35 @@ def run_benchmarks(
             record(
                 "transform", n, T_TCLOSE, backend_name,
                 timed(lambda: model.transform(batch)),
+            )
+            # Checkpoint overhead: the same tight kanon-first fit through
+            # the full lifecycle, plain vs checkpointed at the default
+            # cadence.  Tracked as a pair so the crash-safety layer's cost
+            # stays visible in the trajectory (it must remain marginal —
+            # < 5% at n=20k).  Best-of-two per leg: the entries feed a
+            # ratio of ~seconds-scale runs, where one bad scheduling
+            # moment would otherwise dominate the comparison.
+            ckpt_policy = KAnonymity(K) & TCloseness(T_KANON_TIGHT)
+
+            def fit_kanon(checkpoint=None):
+                Anonymizer(
+                    ckpt_policy, method="kanon-first", backend=backend
+                ).fit(data, checkpoint=checkpoint)
+
+            record(
+                "fit-kanon", n, T_KANON_TIGHT, backend_name,
+                min(timed(fit_kanon) for _ in range(2)),
+            )
+
+            def fit_checkpointed() -> float:
+                with tempfile.TemporaryDirectory() as scratch:
+                    return timed(
+                        lambda: fit_kanon(checkpoint=Path(scratch) / "ck")
+                    )
+
+            record(
+                "fit-kanon-ckpt", n, T_KANON_TIGHT, backend_name,
+                min(fit_checkpointed() for _ in range(2)),
             )
     return entries
 

@@ -1,0 +1,121 @@
+"""Artifact-corruption CLI smoke: damaged models must fail clean and typed.
+
+The crash-safety contract's reader half, checked end-to-end through the
+console entry point: a truncated model ``.npz``, a bit-flipped archive, a
+mangled JSON sidecar and a version-skewed sidecar must each make
+``repro-anonymize apply`` exit with code 2 and an ``error:`` diagnostic
+naming the damage on stderr — never a traceback, and never a release CSV
+written from a corrupt model.  CI runs this after the fault-injection
+suite as the packaging-level tripwire.
+
+    PYTHONPATH=src python scripts/check_artifact_corruption.py
+"""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.data import load_mcd  # noqa: E402
+from repro.data.io import write_csv  # noqa: E402
+
+CLI_ARGS = ["--qi", "TAXINC,POTHVAL", "--confidential", "FEDTAX"]
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    env_path = str(REPO_ROOT / "src")
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": env_path, "PATH": "/usr/bin:/bin"},
+    )
+
+
+def expect_typed_failure(tag: str, proc: subprocess.CompletedProcess, needle: str) -> int:
+    """Exit-2 + typed diagnostic + no traceback, or report the deviation."""
+    problems = []
+    if proc.returncode != 2:
+        problems.append(f"exit code {proc.returncode}, wanted 2")
+    if needle not in proc.stderr:
+        problems.append(f"stderr lacks {needle!r}")
+    if "Traceback" in proc.stderr:
+        problems.append("stderr shows a traceback")
+    if problems:
+        print(f"FAIL [{tag}]: {'; '.join(problems)}")
+        print(proc.stderr[-2000:])
+        return 1
+    print(f"ok   [{tag}]: exit 2, typed diagnostic")
+    return 0
+
+
+def main() -> int:
+    status = 0
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        csv = root / "census.csv"
+        write_csv(load_mcd(n=120), csv)
+        model = root / "model.npz"
+        sidecar = root / "model.json"
+        out = root / "release.csv"
+
+        fit = run_cli(
+            "fit", str(csv), str(model), *CLI_ARGS, "--require", "k=3,t=0.3"
+        )
+        if fit.returncode != 0:
+            print(f"FAIL [fit]: exit {fit.returncode}\n{fit.stderr[-2000:]}")
+            return 1
+        pristine_npz = model.read_bytes()
+        pristine_sidecar = sidecar.read_text()
+
+        # 1. Truncated npz (torn copy / partial download).
+        model.write_bytes(pristine_npz[: len(pristine_npz) // 2])
+        status |= expect_typed_failure(
+            "truncated npz",
+            run_cli("apply", str(model), str(csv), str(out)),
+            "truncated or corrupted",
+        )
+
+        # 2. Bit flip inside the archive (disk corruption).
+        flipped = bytearray(pristine_npz)
+        flipped[300] ^= 0x01
+        model.write_bytes(bytes(flipped))
+        status |= expect_typed_failure(
+            "bit-flipped npz",
+            run_cli("apply", str(model), str(csv), str(out)),
+            "error:",
+        )
+        model.write_bytes(pristine_npz)
+
+        # 3. Mangled sidecar (hand edit gone wrong).
+        sidecar.write_text(pristine_sidecar[: len(pristine_sidecar) // 2])
+        status |= expect_typed_failure(
+            "mangled sidecar",
+            run_cli("apply", str(model), str(csv), str(out)),
+            "not valid JSON",
+        )
+
+        # 4. Version skew (artifact from an incompatible build).
+        sidecar.write_text(
+            pristine_sidecar.replace('"format_version": 2', '"format_version": 99')
+        )
+        status |= expect_typed_failure(
+            "version skew",
+            run_cli("apply", str(model), str(csv), str(out)),
+            "format version",
+        )
+
+        if out.exists():
+            print("FAIL: a release CSV was written from a corrupt model")
+            status = 1
+    print("artifact-corruption smoke:", "FAILED" if status else "PASSED")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

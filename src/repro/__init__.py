@@ -60,8 +60,16 @@ from .core import (
     tclose_first_cluster_size,
     tcloseness_first,
 )
+from .core.validation import BatchSchemaError, DataValidationError, ValidationError
 from .data import Microdata
 from .registry import BACKENDS, EMD_MODES, PARTITIONERS, Registry
+from .runtime import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactMissingError,
+    ArtifactVersionError,
+    CheckpointStore,
+)
 
 __version__ = "1.1.0"
 
@@ -89,5 +97,13 @@ __all__ = [
     "emd_upper_bound",
     "required_cluster_size",
     "tclose_first_cluster_size",
+    "ValidationError",
+    "DataValidationError",
+    "BatchSchemaError",
+    "ArtifactError",
+    "ArtifactMissingError",
+    "ArtifactCorruptError",
+    "ArtifactVersionError",
+    "CheckpointStore",
     "__version__",
 ]

@@ -123,9 +123,31 @@ class ThreadedBackend(ComputeBackend):
         ]
 
     def _run(self, tasks) -> list:
-        """Execute thunks on the pool, re-raising the first failure."""
-        futures = [self._executor().submit(task) for task in tasks]
-        return [future.result() for future in futures]
+        """Execute thunks on the pool, re-raising the first failure.
+
+        A worker exception is re-raised in the caller with the worker's
+        original traceback (``Future.result`` chains it); the remaining
+        futures are cancelled so a failed evaluation does not keep burning
+        pool time.  ``KeyboardInterrupt`` while waiting tears the pool
+        down promptly — queued work is dropped rather than drained — and
+        a fresh pool is created lazily on the next use.
+        """
+        executor = self._executor()
+        futures = [executor.submit(task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        except Exception:
+            for future in futures:
+                future.cancel()
+            raise
+        except BaseException:
+            # KeyboardInterrupt (or an injected kill) while waiting: the
+            # backend may never get another call, so don't leave workers
+            # grinding through the queue behind it.
+            if self._pool is not None:
+                self._pool.shutdown(wait=False, cancel_futures=True)
+                self._pool = None
+            raise
 
     # -- distance evaluation ---------------------------------------------------
 

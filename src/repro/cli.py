@@ -19,6 +19,14 @@ Fit once, serve batches later (the fit/apply lifecycle)::
         --qi age,zip --confidential charge --require k=5,t=0.15
     repro-anonymize apply model.npz new_batch.csv batch_release.csv
 
+Long fits survive crashes: checkpoint to a directory, and after a kill
+resume from it (bit-for-bit identical to an uninterrupted run)::
+
+    repro-anonymize fit patients.csv model.npz --qi age,zip \\
+        --confidential charge --require k=5,t=0.15 --checkpoint ckpt/
+    repro-anonymize fit patients.csv model.npz --qi age,zip \\
+        --confidential charge --require k=5,t=0.15 --resume ckpt/
+
 Audit an existing release (exit code 1 when a declared requirement fails)::
 
     repro-anonymize audit release.csv --qi age,zip --confidential charge \\
@@ -43,10 +51,12 @@ from .core.anonymizer import METHODS, anonymize
 from .core.model import Anonymizer
 from .core.policy import KAnonymity, PolicyError, PrivacyPolicy, TCloseness
 from .core.repair import PolicyInfeasibleError
+from .core.validation import ValidationError
 from .data.io import read_csv, write_csv
 from .backend import BackendConfigError
 from .privacy.audit import audit, audit_policy
 from .registry import BACKENDS, RegistryError
+from .runtime.atomic import ArtifactError
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -155,6 +165,27 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="optionally also write the fitted table's release CSV here",
     )
+    run = fit.add_mutually_exclusive_group()
+    run.add_argument(
+        "--checkpoint",
+        default=None,
+        metavar="DIR",
+        help=(
+            "snapshot fit progress to DIR so a killed run can continue; "
+            "re-running the identical command — or `fit --resume DIR` — "
+            "resumes with bit-for-bit identical output"
+        ),
+    )
+    run.add_argument(
+        "--resume",
+        default=None,
+        metavar="DIR",
+        help=(
+            "continue a killed checkpointed fit from DIR (the checkpoint "
+            "embeds the data and policy, so the input/policy flags of the "
+            "original command are ignored)"
+        ),
+    )
 
     apply_ = sub.add_parser(
         "apply", help="anonymize a batch CSV with a fitted model"
@@ -227,9 +258,15 @@ def _cmd_audit(args: argparse.Namespace) -> int:
 
 
 def _cmd_fit(args: argparse.Namespace) -> int:
-    data = _read_roles(args, args.input)
-    policy = _build_policy(args)
-    model = Anonymizer(policy, method=args.method, backend=args.backend).fit(data)
+    if args.resume:
+        model = Anonymizer.resume(args.resume, backend=args.backend)
+        policy = model.policy
+    else:
+        data = _read_roles(args, args.input)
+        policy = _build_policy(args)
+        model = Anonymizer(policy, method=args.method, backend=args.backend).fit(
+            data, checkpoint=args.checkpoint
+        )
     # Write every output before printing, so an interrupted pipe cannot
     # leave a model without its companion release.
     npz_path, sidecar = model.save(args.model)
@@ -283,10 +320,15 @@ def main(argv: Sequence[str] | None = None) -> int:
         PolicyInfeasibleError,
         RegistryError,
         BackendConfigError,
+        ValidationError,
+        ArtifactError,
     ) as exc:
         # RegistryError/BackendConfigError reach here only through the
         # REPRO_BACKEND / REPRO_NUM_THREADS environment defaults — bad
-        # flag values die in argparse choices.
+        # flag values die in argparse choices.  ValidationError covers
+        # unusable fit inputs (NaN/inf quasi-identifiers, empty or
+        # too-small tables, batch/schema mismatches); ArtifactError covers
+        # missing/corrupt/version-skewed model and checkpoint files.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

@@ -236,3 +236,28 @@ class ClusterTrackerSet:
         """Commit the replacement of one member record by another."""
         for tracker, bins in self._trackers:
             tracker.apply_swap(int(bins[removed_record]), int(bins[added_record]))
+
+    def snapshot(self) -> dict:
+        """Per-attribute tracker snapshots for an exact-resume checkpoint."""
+        return {
+            f"t{i}": tracker.snapshot()
+            for i, (tracker, _) in enumerate(self._trackers)
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, model: ConfidentialModel, state: dict
+    ) -> "ClusterTrackerSet":
+        """Rebuild a tracker set against the (deterministically rebuilt)
+        confidential model, continuing bit-for-bit."""
+        trackers = cls.__new__(cls)
+        trackers._model = model
+        trackers._trackers = []
+        for i, (ref, bins) in enumerate(zip(model._refs, model._bins)):
+            sub = state[f"t{i}"]
+            if isinstance(ref, NominalEMDReference):
+                tracker = NominalClusterTracker.from_snapshot(ref, sub)
+            else:
+                tracker = ClusterEMDTracker.from_snapshot(ref, sub)
+            trackers._trackers.append((tracker, bins))
+        return trackers

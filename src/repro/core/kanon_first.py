@@ -31,8 +31,9 @@ from ..distance.records import encode_mixed
 from ..microagg.engine import ClusteringEngine
 from ..microagg.partition import Partition
 from ..registry import register_method
+from ..runtime.faults import fault_point
 from .base import TClosenessResult
-from .confidential import ConfidentialModel
+from .confidential import ClusterTrackerSet, ConfidentialModel
 from .merge import merge_to_t_closeness
 
 #: Swaps must improve the EMD by more than this to be applied; guards
@@ -108,6 +109,10 @@ def _generate_cluster(
     k: int,
     t: float,
     backend: ComputeBackend | str | None = None,
+    progress=None,
+    outer_state=None,
+    base_units: int = 0,
+    resume: dict | None = None,
 ) -> tuple[np.ndarray, int]:
     """The paper's GenerateCluster: seed k-NN cluster, refine by swaps.
 
@@ -124,6 +129,22 @@ def _generate_cluster(
         Minimum cluster size and target closeness.
     backend:
         Compute backend scoring the speculative candidate blocks.
+    progress, outer_state:
+        Checkpoint wiring for crash-safe fits: ``progress`` is a
+        :class:`~repro.runtime.FitProgress` (or None) ticked at the top
+        of the refinement loop — a point where the cluster's complete
+        state is the member array, the tracker, the pending queue and
+        the pool-consumption count, all of which round-trip exactly —
+        and ``outer_state`` is a callable merging the caller's
+        between-cluster state (engine, finished clusters) into the
+        snapshot.  The engine itself is not mutated during refinement
+        (only seeding evaluates distances), so a mid-cluster snapshot
+        restores it to the exact post-seeding buffers, and the
+        regenerated swap pool yields the same records in the same order.
+    resume:
+        A mid-cluster snapshot to continue from (skips seeding; the
+        member multiset, tracker and candidate position are restored
+        bitwise), or None for a fresh cluster.
 
     Returns
     -------
@@ -155,14 +176,19 @@ def _generate_cluster(
     is a read-only view of the engine's live set.
     """
     backend = resolve_backend(backend)
-    if engine.n_alive < 2 * k:
-        return engine.alive_ids(), 0
+    if resume is None:
+        if engine.n_alive < 2 * k:
+            return engine.alive_ids(), 0
 
-    members = engine.k_nearest_sorted(k, point=engine.row(seed_record))
-    tracker = model.make_tracker(members)
-    n_swaps = 0
-    if not _cluster_overshoots(tracker, t):
-        return members, n_swaps
+        members = engine.k_nearest_sorted(k, point=engine.row(seed_record))
+        tracker = model.make_tracker(members)
+        n_swaps = 0
+        if not _cluster_overshoots(tracker, t):
+            return members, n_swaps
+    else:
+        members = np.asarray(resume["members"], dtype=np.int64)
+        tracker = ClusterTrackerSet.from_snapshot(model, resume["tracker"])
+        n_swaps = int(resume["meta"]["n_swaps"])
 
     def decide(y: int, scores: np.ndarray) -> bool:
         """The paper's swap decision for one candidate (scores given)."""
@@ -192,6 +218,7 @@ def _generate_cluster(
             tracker.apply_swap(int(members[j]), int(y))
             members[j] = y
             n_swaps += 1
+            fault_point("alg2.swap")
         # y is consumed either way (the paper's X' = X' \ {y}).
         return accept
 
@@ -201,18 +228,51 @@ def _generate_cluster(
     # branch almost never runs, and at tight t the loop usually stops
     # after a few pool records, so no full sort happens either way.
     pool = _swap_pool(engine, k)
+    pool_consumed = 0
     pending: list[int] = []  # speculative leftovers, next in pool order
+    rejections = 0
+    block_size = _SCORE_BLOCK_MIN
+    if resume is not None:
+        # The pool is a pure function of the (restored) engine buffers and
+        # k; fast-forwarding it past the already-consumed prefix re-yields
+        # exactly the records the killed run would have seen next.
+        meta = resume["meta"]
+        pool_consumed = int(meta["pool_consumed"])
+        for _ in islice(pool, pool_consumed):
+            pass
+        pending = [int(y) for y in np.asarray(resume["pending"], dtype=np.int64)]
+        rejections = int(meta["rejections"])
+        block_size = int(meta["block_size"])
 
     def take(count: int) -> list[int]:
+        nonlocal pool_consumed
         taken = pending[:count]
         del pending[: len(taken)]
         if len(taken) < count:
-            taken.extend(islice(pool, count - len(taken)))
+            fresh = list(islice(pool, count - len(taken)))
+            pool_consumed += len(fresh)
+            taken.extend(fresh)
         return taken
 
-    rejections = 0
-    block_size = _SCORE_BLOCK_MIN
+    def cluster_state() -> dict:
+        state = outer_state()
+        state["cluster"] = {
+            "members": np.asarray(members, dtype=np.int64),
+            "tracker": tracker.snapshot(),
+            "pending": np.asarray(pending, dtype=np.int64),
+            "meta": {
+                "n_swaps": n_swaps,
+                "pool_consumed": pool_consumed,
+                "rejections": rejections,
+                "block_size": block_size,
+                "seed_record": int(seed_record),
+            },
+        }
+        return state
+
     while _cluster_overshoots(tracker, t):
+        if progress is not None:
+            progress.tick("alg2", base_units + n_swaps, cluster_state)
         if rejections < _BATCH_AFTER:
             candidates = take(1)
             if not candidates:
@@ -253,6 +313,7 @@ def kanonymity_first(
     merge_fallback: bool = True,
     emd_mode: str = "distinct",
     backend: ComputeBackend | str | None = None,
+    progress=None,
 ) -> TClosenessResult:
     """Algorithm 2: t-closeness-aware MDAV with swap-based refinement.
 
@@ -276,6 +337,14 @@ def kanonymity_first(
         Compute backend for the distance primitives and the batched swap
         scoring (name, instance or ``None`` for the ``REPRO_BACKEND``
         default).  Partitions are backend-independent bit-for-bit.
+    progress:
+        Optional :class:`~repro.runtime.FitProgress` for checkpointed
+        fits.  The clustering loop snapshots under the ``"alg2"`` stage
+        — between clusters and inside each cluster's swap refinement,
+        every ``every_swaps`` accepted swaps — and the closing merge
+        phase under ``"alg2:merge"``; a later call resuming from the
+        same store continues **bit-for-bit** (pinned by the crash/resume
+        matrix in ``tests/runtime/``).
 
     Returns
     -------
@@ -303,22 +372,79 @@ def kanonymity_first(
     engine = ClusteringEngine(X, backend=backend)
     clusters: list[np.ndarray] = []
     total_swaps = 0
+    # Seed-selection parity: even clusters seed on the record farthest
+    # from the live centroid, odd clusters reuse the distance buffer the
+    # previous seeding filled (``engine.farthest()``) — the same x0/x1
+    # alternation as the paper's loop, restructured one-cluster-per-
+    # iteration so a checkpoint can land between any two clusters.
+    parity = 0
+    resume_cluster: dict | None = None
+
+    def outer_state() -> dict:
+        return {
+            "engine": engine.snapshot(),
+            "flat": (
+                np.concatenate(clusters)
+                if clusters
+                else np.empty(0, dtype=np.int64)
+            ),
+            "lengths": np.array([len(c) for c in clusters], dtype=np.int64),
+            "meta": {"total_swaps": total_swaps, "parity": parity},
+        }
+
+    saved = progress.load("alg2") if progress is not None else None
+    if saved is not None:
+        engine.restore(saved["engine"])
+        flat = np.asarray(saved["flat"], dtype=np.int64)
+        clusters = []
+        offset = 0
+        for length in np.asarray(saved["lengths"], dtype=np.int64):
+            clusters.append(flat[offset : offset + int(length)].copy())
+            offset += int(length)
+        total_swaps = int(saved["meta"]["total_swaps"])
+        parity = int(saved["meta"]["parity"])
+        resume_cluster = saved.get("cluster")
 
     while engine.n_alive:
-        x0 = engine.farthest_from_centroid()
-        members, swaps = _generate_cluster(engine, x0, model, k, t, backend)
+        if progress is not None and resume_cluster is None:
+            progress.tick("alg2", total_swaps, outer_state)
+        if resume_cluster is not None:
+            # Mid-refinement snapshot: the seed's distances are already in
+            # the restored engine buffers; re-enter the refinement loop
+            # directly instead of re-seeding.
+            seed = int(resume_cluster["meta"]["seed_record"])
+        elif parity == 0:
+            seed = engine.farthest_from_centroid()
+        else:
+            # The buffer still holds the distances evaluated while seeding
+            # the previous cluster; reuse them for the next seed.
+            seed = engine.farthest()
+        members, swaps = _generate_cluster(
+            engine,
+            seed,
+            model,
+            k,
+            t,
+            backend,
+            progress=progress,
+            outer_state=outer_state,
+            base_units=total_swaps,
+            resume=resume_cluster,
+        )
+        resume_cluster = None
         total_swaps += swaps
         clusters.append(members)
         engine.kill(members)
+        parity ^= 1
+        fault_point("alg2.cluster")
 
-        if engine.n_alive:
-            # The buffer still holds the distances to x0 evaluated while
-            # generating its cluster; reuse them for the next seed.
-            x1 = engine.farthest()
-            members, swaps = _generate_cluster(engine, x1, model, k, t, backend)
-            total_swaps += swaps
-            clusters.append(members)
-            engine.kill(members)
+    if progress is not None:
+        # Forced completion snapshot: with the clustering loop finished
+        # (n_alive == 0 round-trips through the engine snapshot), a kill
+        # during the merge phase below resumes straight into it — this
+        # file coexists with the ``alg2:merge`` progress entries until
+        # the whole phase commits.
+        progress.tick("alg2", total_swaps, outer_state, force=True)
 
     partition = Partition.from_clusters(clusters, n)
     partition.validate_min_size(k)
@@ -326,7 +452,14 @@ def kanonymity_first(
     n_merges = 0
     if merge_fallback:
         partition, emds, n_merges = merge_to_t_closeness(
-            data, partition, t, model=model, qi_matrix=X, backend=backend
+            data,
+            partition,
+            t,
+            model=model,
+            qi_matrix=X,
+            backend=backend,
+            progress=progress,
+            stage="alg2:merge",
         )
     else:
         emds = model.partition_emds(list(partition.clusters()))

@@ -48,6 +48,7 @@ from ..microagg.engine import ClusteringEngine
 from ..microagg.mdav import mdav
 from ..microagg.partition import Partition
 from ..registry import PARTITIONERS, register_method
+from ..runtime.faults import fault_point
 from .base import TClosenessResult
 from .confidential import ConfidentialModel
 
@@ -109,6 +110,8 @@ def merge_to_t_closeness(
     partner_policy: str = "nearest-qi",
     seed: int = 0,
     backend: ComputeBackend | str | None = None,
+    progress=None,
+    stage: str = "merge",
 ) -> tuple[Partition, np.ndarray, int]:
     """Greedy merging phase: merge clusters until all are t-close.
 
@@ -143,6 +146,19 @@ def merge_to_t_closeness(
     backend:
         Compute backend for the centroid engine's partner scans (name,
         instance or ``None`` for the ``REPRO_BACKEND`` default).
+    progress:
+        Optional :class:`~repro.runtime.FitProgress`.  The loop then
+        snapshots its complete state (member lists, EMDs, heap, centroid
+        engine, RNG) every ``every_merges`` merges under ``stage``, and a
+        later call with the same progress store resumes from the last
+        snapshot, replaying the remaining merges **bit-for-bit** — every
+        snapshotted quantity round-trips exactly, so resumed decisions
+        are the decisions the uninterrupted loop would have made.  The
+        ``merge.step`` fault point fires after each committed merge.
+    stage:
+        Progress namespace; callers use ``"alg1:merge"``,
+        ``"alg2:merge"`` or ``"repair:merge"`` so each pipeline position
+        checkpoints independently.
 
     Returns
     -------
@@ -161,22 +177,66 @@ def merge_to_t_closeness(
         qi_matrix = encode_mixed(data, data.quasi_identifiers)
     rng = np.random.default_rng(seed)
 
-    members: list[np.ndarray | None] = [m for m in partition.clusters()]
-    n_groups = len(members)
-    emds = [float(e) for e in model.partition_emds(members, sparse=True)]
-    sizes = [len(m) for m in members]
-    alive = [True] * n_groups
-    n_alive = n_groups
-    n_merges = 0
+    # Partner search: a ClusteringEngine over the cluster-centroid matrix,
+    # built lazily on the first merge (the loose-t common case never pays
+    # for it).  Merges update it in place: the survivor's centroid row is
+    # replaced (O(d)), the absorbed cluster is killed and masked out.
+    cengine: ClusteringEngine | None = None
 
-    # Worst-cluster selection: lazy-deletion max-heap on (EMD, cluster id).
-    # Only the surviving cluster's EMD changes per merge, so a version
-    # counter per cluster invalidates its stale entries on the fly; exact
-    # EMD ties pop the lowest cluster id first — the same cluster the
-    # reference linear scan's ``max`` selected.
-    versions = [0] * n_groups
-    heap = [(-e, g, 0) for g, e in enumerate(emds)]
-    heapq.heapify(heap)
+    saved = progress.load(stage) if progress is not None else None
+    if saved is not None:
+        # Resume mid-loop: every decision input round-trips exactly (the
+        # heap keeps its list order — same array, still a valid heap; g
+        # and v are < 2^53, exact in float64; the RNG continues from its
+        # serialized bit-generator state), so the merges that follow are
+        # the ones the uninterrupted run would have made.
+        meta = saved["meta"]
+        lengths = saved["lengths"]
+        flat = np.asarray(saved["flat"], dtype=np.int64)
+        members = []
+        offset = 0
+        for length in lengths:
+            if length < 0:
+                members.append(None)
+            else:
+                members.append(flat[offset : offset + int(length)].copy())
+                offset += int(length)
+        n_groups = len(members)
+        emds = [float(e) for e in saved["emds"]]
+        sizes = [int(s) for s in saved["sizes"]]
+        alive = [bool(a) for a in saved["alive"]]
+        versions = [int(v) for v in saved["versions"]]
+        heap = [
+            (float(row[0]), int(row[1]), int(row[2]))
+            for row in np.asarray(saved["heap"]).reshape(-1, 3)
+        ]
+        n_alive = int(meta["n_alive"])
+        n_merges = int(meta["n_merges"])
+        rng.bit_generator.state = meta["rng"]
+        if meta["has_cengine"]:
+            snap = saved["cengine"]
+            cengine = ClusteringEngine(
+                np.ascontiguousarray(np.asarray(snap["X"], dtype=np.float64)),
+                backend=backend,
+            )
+            cengine.restore(snap)
+    else:
+        members = [m for m in partition.clusters()]
+        n_groups = len(members)
+        emds = [float(e) for e in model.partition_emds(members, sparse=True)]
+        sizes = [len(m) for m in members]
+        alive = [True] * n_groups
+        n_alive = n_groups
+        n_merges = 0
+
+        # Worst-cluster selection: lazy-deletion max-heap on (EMD, cluster
+        # id).  Only the surviving cluster's EMD changes per merge, so a
+        # version counter per cluster invalidates its stale entries on the
+        # fly; exact EMD ties pop the lowest cluster id first — the same
+        # cluster the reference linear scan's ``max`` selected.
+        versions = [0] * n_groups
+        heap = [(-e, g, 0) for g, e in enumerate(emds)]
+        heapq.heapify(heap)
 
     def worst_alive() -> int:
         while True:
@@ -185,13 +245,30 @@ def merge_to_t_closeness(
                 return g
             heapq.heappop(heap)
 
-    # Partner search: a ClusteringEngine over the cluster-centroid matrix,
-    # built lazily on the first merge (the loose-t common case never pays
-    # for it).  Merges update it in place: the survivor's centroid row is
-    # replaced (O(d)), the absorbed cluster is killed and masked out.
-    cengine: ClusteringEngine | None = None
+    def snapshot_state() -> dict:
+        live = [m for m in members if m is not None]
+        return {
+            "flat": np.concatenate(live) if live else np.empty(0, dtype=np.int64),
+            "lengths": np.array(
+                [-1 if m is None else len(m) for m in members], dtype=np.int64
+            ),
+            "emds": np.array(emds, dtype=np.float64),
+            "sizes": np.array(sizes, dtype=np.int64),
+            "alive": np.array(alive, dtype=bool),
+            "versions": np.array(versions, dtype=np.int64),
+            "heap": np.array(heap, dtype=np.float64).reshape(-1, 3),
+            "meta": {
+                "n_alive": n_alive,
+                "n_merges": n_merges,
+                "rng": rng.bit_generator.state,
+                "has_cengine": cengine is not None,
+            },
+            **({"cengine": cengine.snapshot()} if cengine is not None else {}),
+        }
 
     while n_alive > 1:
+        if progress is not None:
+            progress.tick(stage, n_merges, snapshot_state)
         worst = worst_alive()
         top = emds[worst]
         # Runner-up peek: pop the worst entry, clean stale entries off the
@@ -281,6 +358,7 @@ def merge_to_t_closeness(
         alive[best_g] = False
         n_alive -= 1
         n_merges += 1
+        fault_point("merge.step")
 
     survivors = [(m, e) for m, e, a in zip(members, emds, alive) if a]
     # Partition relabels clusters by first appearance in record order, so
@@ -301,6 +379,7 @@ def microaggregation_merge(
     partitioner: Partitioner | str = mdav,
     emd_mode: str = "distinct",
     backend: ComputeBackend | str | None = None,
+    progress=None,
 ) -> TClosenessResult:
     """Algorithm 1: microaggregate the quasi-identifiers, then merge.
 
@@ -324,6 +403,11 @@ def microaggregation_merge(
         partitioner when its signature accepts a ``backend`` keyword (the
         built-in ``mdav``/``vmdav`` do; third-party ``(X, k)`` callables
         without one are simply called as before).
+    progress:
+        Optional :class:`~repro.runtime.FitProgress` for checkpointed
+        fits.  The base microaggregation replays deterministically on
+        resume (it is fast relative to merging), so only the merge loop
+        snapshots, under the ``"alg1:merge"`` stage.
 
     Returns
     -------
@@ -345,7 +429,14 @@ def microaggregation_merge(
         initial = partitioner(qi_matrix, k)
     initial.validate_min_size(k)
     final, emds, n_merges = merge_to_t_closeness(
-        data, initial, t, model=model, qi_matrix=qi_matrix, backend=backend
+        data,
+        initial,
+        t,
+        model=model,
+        qi_matrix=qi_matrix,
+        backend=backend,
+        progress=progress,
+        stage="alg1:merge",
     )
     return TClosenessResult(
         algorithm="merge",

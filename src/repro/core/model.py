@@ -16,6 +16,14 @@ server workers.
     >>> release = model.release_                 # the fitted table's release
     >>> served = model.transform(batch)          # new records, same geometry
     >>> model.save("model.npz")                  # + model.json sidecar
+
+Long fits are crash-safe: ``fit(data, checkpoint=dir)`` snapshots every
+phase boundary (and progress inside the long clustering loops) to a
+:class:`~repro.runtime.CheckpointStore`, and ``Anonymizer.resume(dir)``
+continues a killed run with output **bit-for-bit identical** to an
+uninterrupted one.  All artifact writes are atomic and checksummed
+(:mod:`repro.runtime.atomic`); damaged or version-skewed files surface as
+typed :class:`~repro.runtime.ArtifactError`\\ s.
 """
 
 from __future__ import annotations
@@ -30,18 +38,40 @@ from typing import Mapping
 import numpy as np
 
 from ..backend import ComputeBackend, accepts_backend, resolve_backend
-from ..data.attributes import AttributeKind, AttributeRole, AttributeSpec
+from ..data.attributes import AttributeRole, AttributeSpec
 from ..data.dataset import Microdata
 from ..distance.records import QIEncoder
 from ..microagg.aggregate import aggregate_partition, cluster_centroids
 from ..microagg.partition import Partition
 from ..registry import METHODS
+from ..runtime.atomic import (
+    ArtifactVersionError,
+    array_checksums,
+    atomic_write_json,
+    atomic_write_npz,
+    read_json,
+    read_npz,
+    verify_array_checksums,
+)
+from ..runtime.checkpoint import CheckpointStore, FitProgress, accepts_progress
+from ..runtime.faults import fault_point
+from ..runtime.serialize import (
+    microdata_from_state,
+    microdata_to_state,
+    spec_from_dict,
+    spec_to_dict,
+)
 from .base import TClosenessResult
 from .policy import PrivacyPolicy, as_policy
 from .repair import enforce_policy
+from .validation import BatchSchemaError, validate_fit_data
 
 #: On-disk model format version (bump on incompatible layout changes).
-MODEL_FORMAT_VERSION = 1
+#: Version 2 added content checksums to the sidecar (atomic save/load).
+MODEL_FORMAT_VERSION = 2
+
+#: Pipeline phases of one fit, in execution order.
+FIT_PHASES = ("cluster", "repair", "aggregate", "verify")
 
 
 @dataclass(frozen=True)
@@ -67,7 +97,8 @@ class RunReport:
         Measured level per requirement key (``{"k": 5, "t": 0.12, ...}``).
     timings:
         Wall-clock seconds per phase: ``cluster``, ``repair``,
-        ``aggregate``, ``verify``.
+        ``aggregate``, ``verify``.  For a resumed fit, phases completed
+        before the crash report the time recorded at their checkpoint.
     details:
         Algorithm-specific counters (the former ``info`` dict, plus the
         repair counters when the repair phase engaged).
@@ -100,7 +131,7 @@ class RunReport:
         ]
         for key in sorted(self.achieved):
             lines.append(f"achieved {key:<8}: {self.achieved[key]:g}")
-        for phase in ("cluster", "repair", "aggregate", "verify"):
+        for phase in FIT_PHASES:
             if phase in self.timings:
                 lines.append(f"{phase + ' time':<17}: {self.timings[phase]:.3f}s")
         return "\n".join(lines)
@@ -187,7 +218,15 @@ class Anonymizer:
 
     # -- lifecycle ---------------------------------------------------------------
 
-    def fit(self, data: Microdata) -> "Anonymizer":
+    def fit(
+        self,
+        data: Microdata,
+        *,
+        checkpoint: str | Path | None = None,
+        checkpoint_every_swaps: int = 2048,
+        checkpoint_every_merges: int = 64,
+        checkpoint_min_interval_s: float = 0.0,
+    ) -> "Anonymizer":
         """Cluster ``data`` under the policy and keep the fitted state.
 
         Phases (timed individually in ``report_.timings``): **cluster**
@@ -196,53 +235,209 @@ class Anonymizer:
         output already complies), **aggregate** (per-cluster
         representatives and the fitted table's release) and **verify**
         (measuring every declared requirement on the fitted partition).
+
+        With ``checkpoint=dir``, every phase boundary — and progress
+        inside the long swap/merge loops, every ``checkpoint_every_swaps``
+        accepted swaps / ``checkpoint_every_merges`` merges, at most one
+        snapshot per ``checkpoint_min_interval_s`` seconds — is durably
+        snapshotted to ``dir``, and :meth:`resume` continues a killed run
+        bit-for-bit.  Checkpoint cadence never changes the fitted output,
+        only how often it is persisted.  Re-running the identical
+        checkpointed fit after a crash also simply continues.
+        """
+        validate_fit_data(data, k=self.policy.k)
+        store: CheckpointStore | None = None
+        progress: FitProgress | None = None
+        if checkpoint is not None:
+            store = CheckpointStore.open(
+                checkpoint, config=self._fit_config(), data=data
+            )
+            progress = FitProgress(
+                store,
+                every_swaps=checkpoint_every_swaps,
+                every_merges=checkpoint_every_merges,
+                min_interval_s=checkpoint_min_interval_s,
+            )
+        return self._run_fit(data, store, progress)
+
+    @classmethod
+    def resume(
+        cls,
+        checkpoint: str | Path,
+        *,
+        backend: ComputeBackend | str | None = None,
+        checkpoint_every_swaps: int = 2048,
+        checkpoint_every_merges: int = 64,
+        checkpoint_min_interval_s: float = 0.0,
+    ) -> "Anonymizer":
+        """Continue a killed checkpointed fit from its directory alone.
+
+        The checkpoint embeds the input data and the full fit
+        configuration, so only the directory is needed; completed phases
+        are loaded, the interrupted phase restarts from its last progress
+        snapshot, and the finished model is **bit-for-bit identical** to
+        what the uninterrupted run would have produced (labels, EMDs,
+        counters — pinned by the crash/resume test matrix).  ``backend``
+        is a pure execution choice, as in :meth:`load`.
+        """
+        store = CheckpointStore.load(checkpoint)
+        config = store.config
+        model = cls(
+            PrivacyPolicy.from_dict(config["policy"]),
+            method=config["method"],
+            repair=config["repair"],
+            backend=backend,
+            **config["method_kwargs"],
+        )
+        data = store.load_data()
+        progress = FitProgress(
+            store,
+            every_swaps=checkpoint_every_swaps,
+            every_merges=checkpoint_every_merges,
+            min_interval_s=checkpoint_min_interval_s,
+        )
+        return model._run_fit(data, store, progress)
+
+    def _fit_config(self) -> dict:
+        """JSON-able fit configuration (checkpoint identity, minus cadence)."""
+        config = {
+            "policy": self.policy.to_dict(),
+            "method": self.method,
+            "repair": bool(self.repair),
+            "method_kwargs": dict(self.method_kwargs),
+        }
+        try:
+            json.dumps(config, sort_keys=True)
+        except TypeError:
+            raise ValueError(
+                "checkpointed fits require JSON-serializable method kwargs; "
+                f"got {self.method_kwargs!r} — pass registered names instead "
+                "of callables, or fit without checkpoint="
+            ) from None
+        return config
+
+    def _run_fit(
+        self,
+        data: Microdata,
+        store: CheckpointStore | None,
+        progress: FitProgress | None,
+    ) -> "Anonymizer":
+        """The phase pipeline: cluster → repair → aggregate → verify.
+
+        Each phase either replays from its checkpoint (already done) or
+        computes and — when checkpointing — durably commits its output
+        before the next phase starts.  The ``fit.phase:<name>`` fault
+        points fire right after each commit, the exact boundary the
+        crash/resume matrix kills at.
         """
         timings: dict[str, float] = {}
         t_level = self.policy.t if self.policy.t is not None else math.inf
 
-        start = time.perf_counter()
-        method_kwargs = dict(self.method_kwargs)
-        if accepts_backend(self._method_fn):
-            method_kwargs.setdefault("backend", self.backend)
-        result = self._method_fn(data, self.policy.k, t_level, **method_kwargs)
-        timings["cluster"] = time.perf_counter() - start
+        def run_phase(name: str, compute, to_state, from_state):
+            if store is not None and store.phase_done(name):
+                state = store.load_phase(name)
+                timings[name] = float(state.get("seconds", 0.0))
+                return from_state(state)
+            start = time.perf_counter()
+            value = compute()
+            timings[name] = time.perf_counter() - start
+            if store is not None:
+                state = to_state(value)
+                state["seconds"] = timings[name]
+                store.complete_phase(name, state)
+                fault_point(f"fit.phase:{name}")
+            return value
 
-        start = time.perf_counter()
-        if self.repair:
-            result = enforce_policy(data, result, self.policy, backend=self.backend)
-        timings["repair"] = time.perf_counter() - start
+        def compute_cluster():
+            method_kwargs = dict(self.method_kwargs)
+            if accepts_backend(self._method_fn):
+                method_kwargs.setdefault("backend", self.backend)
+            if progress is not None and accepts_progress(self._method_fn):
+                method_kwargs.setdefault("progress", progress)
+            return self._method_fn(data, self.policy.k, t_level, **method_kwargs)
 
-        start = time.perf_counter()
-        release = aggregate_partition(data, result.partition).drop_identifiers()
-        qi_names = data.quasi_identifiers
-        representatives = cluster_centroids(data, result.partition, qi_names)
-        encoder = QIEncoder.fit(data, qi_names)
-        encoded_representatives = encoder.encode(representatives)
-        timings["aggregate"] = time.perf_counter() - start
+        result = run_phase(
+            "cluster", compute_cluster, _result_to_state, _result_from_state
+        )
 
-        start = time.perf_counter()
-        achieved, satisfied = self._measure(data, result)
-        timings["verify"] = time.perf_counter() - start
+        def compute_repair():
+            if not self.repair:
+                return result
+            kwargs = {}
+            if progress is not None:
+                kwargs["progress"] = progress
+            return enforce_policy(
+                data, result, self.policy, backend=self.backend, **kwargs
+            )
 
-        self.result_ = result
+        result = run_phase(
+            "repair", compute_repair, _result_to_state, _result_from_state
+        )
+
+        def compute_aggregate():
+            release = aggregate_partition(data, result.partition).drop_identifiers()
+            qi_names = data.quasi_identifiers
+            representatives = cluster_centroids(data, result.partition, qi_names)
+            encoder = QIEncoder.fit(data, qi_names)
+            encoded = encoder.encode(representatives)
+            return release, qi_names, representatives, encoder, encoded
+
+        def aggregate_to_state(value):
+            release, qi_names, representatives, encoder, encoded = value
+            return {
+                "release": microdata_to_state(release),
+                "qi_names": list(qi_names),
+                "representatives": representatives,
+                "encoded_representatives": encoded,
+                "encoder": encoder.to_dict(),
+            }
+
+        def aggregate_from_state(state):
+            return (
+                microdata_from_state(state["release"]),
+                tuple(state["qi_names"]),
+                state["representatives"],
+                QIEncoder.from_dict(state["encoder"]),
+                state["encoded_representatives"],
+            )
+
+        release, qi_names, representatives, encoder, encoded = run_phase(
+            "aggregate", compute_aggregate, aggregate_to_state, aggregate_from_state
+        )
+
+        def compute_verify():
+            return self._measure(data, result)
+
+        result_final = result
+        achieved, satisfied = run_phase(
+            "verify",
+            compute_verify,
+            lambda value: {
+                "achieved": {k: float(v) for k, v in value[0].items()},
+                "satisfied": bool(value[1]),
+            },
+            lambda state: (dict(state["achieved"]), bool(state["satisfied"])),
+        )
+
+        self.result_ = result_final
         self.release_ = release
         self._schema = data.schema
         self._qi_names = qi_names
         self._representatives = representatives
-        self._encoded_representatives = encoded_representatives
+        self._encoded_representatives = encoded
         self._encoder = encoder
         self.report_ = RunReport(
-            algorithm=result.algorithm,
+            algorithm=result_final.algorithm,
             policy=self.policy.spec(),
             n_records=data.n_records,
-            n_clusters=result.partition.n_clusters,
-            min_cluster_size=result.min_cluster_size,
-            mean_cluster_size=result.mean_cluster_size,
-            max_emd=result.max_emd,
+            n_clusters=result_final.partition.n_clusters,
+            min_cluster_size=result_final.min_cluster_size,
+            mean_cluster_size=result_final.mean_cluster_size,
+            max_emd=result_final.max_emd,
             satisfied=satisfied,
             achieved=achieved,
             timings=timings,
-            details=dict(result.info),
+            details=dict(result_final.info),
         )
         self._fitted = True
         return self
@@ -331,12 +526,12 @@ class Anonymizer:
         by_name = {s.name: s for s in self._schema}
         for name in self._qi_names:
             if name not in batch:
-                raise ValueError(
+                raise BatchSchemaError(
                     f"batch is missing quasi-identifier column {name!r}"
                 )
             fitted, incoming = by_name[name], batch.spec(name)
             if fitted.kind is not incoming.kind or fitted.categories != incoming.categories:
-                raise ValueError(
+                raise BatchSchemaError(
                     f"batch column {name!r} does not match the fitted schema "
                     f"(fitted {fitted.kind}/{len(fitted.categories)} categories, "
                     f"batch {incoming.kind}/{len(incoming.categories)})"
@@ -361,7 +556,7 @@ class Anonymizer:
             present = set(available)
             missing = [n for n in self._qi_names if n not in present]
             if missing:
-                raise ValueError(
+                raise BatchSchemaError(
                     f"batch is missing quasi-identifier column(s) {missing}"
                 )
             specs = tuple(s for s in specs if s.name in present)
@@ -399,20 +594,24 @@ class Anonymizer:
 
         The npz holds the arrays (partition labels, per-cluster EMDs, raw
         quasi-identifier representatives); the sidecar holds everything
-        human-auditable: policy, schema, encoder parameters and the run
-        report.  Returns the two paths written.
+        human-auditable — policy, schema, encoder parameters, the run
+        report — plus a SHA-256 checksum of every array, which
+        :meth:`load` verifies.  Both files are written atomically
+        (temp + fsync + rename), npz first: a crash mid-save leaves
+        either the old pair intact or a pair whose mismatch :meth:`load`
+        detects with a typed error — never a silently inconsistent model.
+        Returns the two paths written.
         """
         self._require_fitted()
         path = Path(path)
         if path.suffix != ".npz":
             path = path.with_suffix(path.suffix + ".npz")
         sidecar = path.with_suffix(".json")
-        np.savez(
-            path,
-            labels=self.result_.partition.labels,
-            cluster_emds=self.result_.cluster_emds,
-            representatives=self._representatives,
-        )
+        arrays = {
+            "labels": np.asarray(self.result_.partition.labels),
+            "cluster_emds": np.asarray(self.result_.cluster_emds),
+            "representatives": np.asarray(self._representatives),
+        }
         payload = {
             "format_version": MODEL_FORMAT_VERSION,
             "policy": self.policy.to_dict(),
@@ -422,11 +621,13 @@ class Anonymizer:
             "result_t": _json_float(self.result_.t),
             "info": _json_safe(dict(self.result_.info)),
             "qi_names": list(self._qi_names),
-            "schema": [_spec_to_dict(s) for s in self._schema],
+            "schema": [spec_to_dict(s) for s in self._schema],
             "encoder": self._encoder.to_dict(),
             "report": self.report_.to_dict(),
+            "checksums": array_checksums(arrays),
         }
-        sidecar.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        atomic_write_npz(path, arrays)
+        atomic_write_json(sidecar, payload)
         return path, sidecar
 
     @classmethod
@@ -445,19 +646,31 @@ class Anonymizer:
         fitted state is backend-free, so a model saved under one backend
         loads and transforms identically under any other — pinned by the
         lifecycle property tests).
+
+        Artifact damage surfaces as typed errors instead of numpy
+        tracebacks: a missing file raises
+        :class:`~repro.runtime.ArtifactMissingError`, truncation /
+        bit flips / an npz–sidecar mismatch raise
+        :class:`~repro.runtime.ArtifactCorruptError`, and a format the
+        build cannot read raises
+        :class:`~repro.runtime.ArtifactVersionError`.
         """
         path = Path(path)
         if path.suffix != ".npz":
             path = path.with_suffix(path.suffix + ".npz")
         sidecar = path.with_suffix(".json")
-        payload = json.loads(sidecar.read_text())
+        payload = read_json(sidecar, kind="model")
         version = payload.get("format_version")
         if version != MODEL_FORMAT_VERSION:
-            raise ValueError(
-                f"unsupported model format version {version!r} "
-                f"(this build reads version {MODEL_FORMAT_VERSION})"
+            raise ArtifactVersionError(
+                f"model {sidecar} has format version {version!r}, this build "
+                f"reads version {MODEL_FORMAT_VERSION}; re-save the model "
+                "with a matching library version"
             )
-        arrays = np.load(path)
+        arrays = read_npz(path, kind="model")
+        verify_array_checksums(
+            arrays, payload.get("checksums", {}), source=path, kind="model"
+        )
 
         model = cls(
             PrivacyPolicy.from_dict(payload["policy"]),
@@ -472,7 +685,7 @@ class Anonymizer:
             cluster_emds=arrays["cluster_emds"],
             info=dict(payload["info"]),
         )
-        model._schema = tuple(_spec_from_dict(d) for d in payload["schema"])
+        model._schema = tuple(spec_from_dict(d) for d in payload["schema"])
         model._qi_names = tuple(payload["qi_names"])
         model._representatives = arrays["representatives"]
         model._encoder = QIEncoder.from_dict(payload["encoder"])
@@ -493,22 +706,36 @@ class Anonymizer:
 
 # -- (de)serialization helpers ----------------------------------------------------
 
+#: Backwards-compatible aliases (the canonical versions moved to
+#: :mod:`repro.runtime.serialize`, shared with the checkpoint store).
+_spec_to_dict = spec_to_dict
+_spec_from_dict = spec_from_dict
 
-def _spec_to_dict(spec: AttributeSpec) -> dict:
+
+def _result_to_state(result: TClosenessResult) -> dict:
+    """Checkpoint state tree of one algorithm result (bitwise arrays)."""
     return {
-        "name": spec.name,
-        "kind": spec.kind.value,
-        "role": spec.role.value,
-        "categories": list(spec.categories),
+        "labels": np.asarray(result.partition.labels),
+        "cluster_emds": np.asarray(result.cluster_emds),
+        "meta": {
+            "algorithm": result.algorithm,
+            "k": int(result.k),
+            "t": _json_float(result.t),
+            "info": _json_safe(dict(result.info)),
+        },
     }
 
 
-def _spec_from_dict(payload: dict) -> AttributeSpec:
-    return AttributeSpec(
-        name=payload["name"],
-        kind=AttributeKind(payload["kind"]),
-        role=AttributeRole(payload["role"]),
-        categories=tuple(payload["categories"]),
+def _result_from_state(state: dict) -> TClosenessResult:
+    """Inverse of :func:`_result_to_state`."""
+    meta = state["meta"]
+    return TClosenessResult(
+        algorithm=meta["algorithm"],
+        k=int(meta["k"]),
+        t=_from_json_float(meta["t"]),
+        partition=Partition(state["labels"]),
+        cluster_emds=state["cluster_emds"],
+        info=dict(meta["info"]),
     )
 
 

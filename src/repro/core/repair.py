@@ -109,6 +109,7 @@ def enforce_policy(
     model: ConfidentialModel | None = None,
     qi_matrix: np.ndarray | None = None,
     backend: ComputeBackend | str | None = None,
+    progress=None,
 ) -> TClosenessResult:
     """Repair ``result`` until its partition satisfies ``policy``.
 
@@ -117,6 +118,11 @@ def enforce_policy(
     on the paths the algorithms already guarantee.  Otherwise returns a new
     :class:`TClosenessResult` whose ``info`` additionally records
     ``diversity_merges`` and ``repair_merges``.
+
+    ``progress`` (a :class:`~repro.runtime.FitProgress`, or None) threads
+    checkpoint ticks into the t-closeness merge loop under the
+    ``"repair:merge"`` stage; the diversity pre-pass is cheap and replays
+    deterministically on resume, so it is not checkpointed.
 
     Raises
     ------
@@ -151,7 +157,14 @@ def enforce_policy(
         # Re-enforce t-closeness last: it merges only, so the diversity
         # repairs above (distinct counts grow under union) are preserved.
         partition, emds, repair_merges = merge_to_t_closeness(
-            data, partition, t, model=model, qi_matrix=qi_matrix, backend=backend
+            data,
+            partition,
+            t,
+            model=model,
+            qi_matrix=qi_matrix,
+            backend=backend,
+            progress=progress,
+            stage="repair:merge",
         )
     else:
         emds = model.partition_emds(list(partition.clusters()))

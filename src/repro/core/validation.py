@@ -1,0 +1,65 @@
+"""Input validation at the fit/anonymize and serving boundaries.
+
+The algorithms assume finite quasi-identifier geometry and at least k
+records; violated assumptions used to surface as numpy warnings or
+nonsense partitions deep inside the clustering engine.  This module
+front-loads those checks into typed errors that name the offending
+column and row, raised before any expensive work starts.
+
+All errors subclass :class:`ValidationError`, itself a ``ValueError`` —
+existing callers catching ``ValueError`` keep working.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..data.dataset import Microdata
+
+
+class ValidationError(ValueError):
+    """Base of all input-validation failures (a ``ValueError``)."""
+
+
+class DataValidationError(ValidationError):
+    """Fit/anonymize input data is unusable (empty, too small, non-finite)."""
+
+
+class BatchSchemaError(ValidationError):
+    """A serving batch does not match the fitted schema."""
+
+
+def validate_fit_data(data: Microdata, *, k: int | None = None) -> None:
+    """Validate a table at the fit/anonymize boundary.
+
+    Checks, in order: the table is non-empty; it has at least ``k``
+    records (when a k-anonymity level is declared, clusters of size k
+    cannot be formed otherwise); and every numeric quasi-identifier and
+    confidential column is finite — NaN or infinity would silently poison
+    every distance and EMD the algorithms compute.  Errors name the
+    offending column and the first offending row.
+    """
+    n = data.n_records
+    if n == 0:
+        raise DataValidationError(
+            "cannot fit on an empty table (0 records); check the input path "
+            "and any filtering applied before fit"
+        )
+    if k is not None and n < k:
+        raise DataValidationError(
+            f"cannot form clusters of k={k} records from a table with only "
+            f"{n} record{'s' if n != 1 else ''}; lower k or supply more data"
+        )
+    for name in (*data.quasi_identifiers, *data.confidential):
+        spec = data.spec(name)
+        if not spec.is_numeric:
+            continue  # categorical codes are integers by construction
+        column = data.values(name)
+        finite = np.isfinite(column)
+        if not finite.all():
+            row = int(np.argmin(finite))
+            value = column[row]
+            raise DataValidationError(
+                f"column {name!r} contains a non-finite value ({value!r} at "
+                f"row {row}); impute or drop non-finite entries before fit"
+            )

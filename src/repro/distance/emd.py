@@ -639,6 +639,67 @@ class ClusterEMDTracker:
         out[add_bins[:, None] == remove_bins[None, :]] = self._emd
         return out
 
+    def snapshot(self) -> dict:
+        """Capture tracker state for an exact-resume checkpoint.
+
+        Everything float-path-dependent is saved verbatim: the cached EMD
+        (committed scoring-pass values), the dense adjudication state if it
+        was ever materialized, and the swap history that allows a restored
+        tracker to materialize it later with the identical replay.  The
+        scoring-pass memo (``_last_scores``) is deliberately dropped — a
+        post-restore ``apply_swap`` re-scores its one pair on the same
+        segment grid and lands on the identical float — and checkpoint
+        ticks fire only at committed-swap boundaries, where the memo is
+        already invalidated.
+        """
+        state = {
+            "member_bins": self._member_bins.copy(),
+            "emd": float(self._emd),
+            "uniq": self._uniq.copy(),
+            "cum_counts": self._cum_counts.copy(),
+            "initial_bins": self._initial_bins.copy(),
+            "history": np.asarray(self._history, dtype=np.int64).reshape(-1, 2),
+            "dense_emd": float(self._dense_emd),
+            "has_dense": bool(self._dense_cum is not None),
+        }
+        if self._dense_cum is not None:
+            state["dense_cum"] = self._dense_cum.copy()
+        return state
+
+    @classmethod
+    def from_snapshot(
+        cls, ref: OrderedEMDReference, state: dict
+    ) -> "ClusterEMDTracker":
+        """Rebuild a tracker from :meth:`snapshot`, continuing bit-for-bit."""
+        tracker = cls.__new__(cls)
+        tracker.ref = ref
+        member_bins = np.asarray(state["member_bins"], dtype=np.int64)
+        tracker.size = int(member_bins.size)
+        tracker._member_bins = member_bins.copy()
+        tracker._emd = float(state["emd"])
+        tracker._uniq = np.asarray(state["uniq"], dtype=np.int64).copy()
+        tracker._cum_counts = np.asarray(
+            state["cum_counts"], dtype=np.int64
+        ).copy()
+        tracker._last_scores = None
+        tracker._initial_bins = np.asarray(
+            state["initial_bins"], dtype=np.int64
+        ).copy()
+        tracker._history = [
+            (int(r), int(a))
+            for r, a in np.asarray(state["history"], dtype=np.int64).reshape(
+                -1, 2
+            )
+        ]
+        if bool(state["has_dense"]):
+            tracker._dense_cum = np.asarray(
+                state["dense_cum"], dtype=np.float64
+            ).copy()
+        else:
+            tracker._dense_cum = None
+        tracker._dense_emd = float(state["dense_emd"])
+        return tracker
+
     def apply_swap(self, remove_bin: int, add_bin: int) -> None:
         """Commit a swap previously scored by :meth:`swap_emds`.
 
@@ -890,6 +951,31 @@ class NominalClusterTracker:
         out = base + 0.5 * (gain_add[:, None] + gain_remove[None, :])
         out[add_bins[:, None] == remove_bins[None, :]] = base
         return out
+
+    def snapshot(self) -> dict:
+        """Capture tracker state for an exact-resume checkpoint.
+
+        ``_diff`` accumulates float steps in swap order, so it is saved
+        verbatim rather than rebuilt from the counts.
+        """
+        return {
+            "counts": self._counts.copy(),
+            "diff": self._diff.copy(),
+            "size": int(self.size),
+        }
+
+    @classmethod
+    def from_snapshot(
+        cls, ref: NominalEMDReference, state: dict
+    ) -> "NominalClusterTracker":
+        """Rebuild a tracker from :meth:`snapshot`, continuing bit-for-bit."""
+        tracker = cls.__new__(cls)
+        tracker.ref = ref
+        tracker.size = int(state["size"])
+        tracker._counts = np.asarray(state["counts"], dtype=np.int64).copy()
+        tracker._diff = np.asarray(state["diff"], dtype=np.float64).copy()
+        tracker._step = 1.0 / tracker.size
+        return tracker
 
     def apply_swap(self, remove_bin: int, add_bin: int) -> None:
         """Commit a swap previously scored by :meth:`swap_emds`.

@@ -1,0 +1,64 @@
+"""Crash-safe runtime: atomic artifacts, checkpoints, fault injection.
+
+Three layers, bottom up:
+
+* :mod:`repro.runtime.atomic` — every persisted file goes through
+  temp-write + fsync + rename, with SHA-256 checksums and the typed
+  :class:`ArtifactError` hierarchy on the read side;
+* :mod:`repro.runtime.checkpoint` — the :class:`CheckpointStore`
+  (phase + intra-phase snapshots behind a commit-last manifest) and
+  :class:`FitProgress` cadence gate that make
+  ``Anonymizer.fit(..., checkpoint=dir)`` / ``Anonymizer.resume(dir)``
+  continue a killed run bit-for-bit;
+* :mod:`repro.runtime.faults` — named fault points
+  (``REPRO_FAULTS="atomic.replace=raise"``) so crash recovery is tested
+  by actually crashing.
+"""
+
+from .atomic import (
+    ArtifactCorruptError,
+    ArtifactError,
+    ArtifactMissingError,
+    ArtifactVersionError,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    atomic_write_text,
+    read_json,
+    read_npz,
+    sha256_bytes,
+    sha256_file,
+    sweep_tmp_files,
+    verify_checksum,
+)
+from .checkpoint import (
+    CHECKPOINT_FORMAT_VERSION,
+    CheckpointStore,
+    FitProgress,
+    accepts_progress,
+)
+from .faults import EXIT_CODE, InjectedFault, fault_point
+
+__all__ = [
+    "ArtifactCorruptError",
+    "ArtifactError",
+    "ArtifactMissingError",
+    "ArtifactVersionError",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_npz",
+    "atomic_write_text",
+    "read_json",
+    "read_npz",
+    "sha256_bytes",
+    "sha256_file",
+    "sweep_tmp_files",
+    "verify_checksum",
+    "CHECKPOINT_FORMAT_VERSION",
+    "CheckpointStore",
+    "FitProgress",
+    "accepts_progress",
+    "EXIT_CODE",
+    "InjectedFault",
+    "fault_point",
+]

@@ -1,0 +1,243 @@
+"""Atomic, checksummed artifact writes — the crash-safety substrate.
+
+Every artifact this library persists (fitted models, fit checkpoints,
+their JSON sidecars) goes through this module, which upholds one
+contract: **a reader never observes a half-written file**.  Writes land
+in a temporary file in the destination directory, are flushed and
+fsync'd, and only then renamed over the destination with ``os.replace``
+— the one filesystem operation POSIX guarantees atomic.  The directory
+entry itself is fsync'd afterwards so the rename survives a power cut.
+
+A crash therefore leaves either the old artifact (intact) or the new one
+(complete); the only residue is a ``*.tmp-*`` file that the next writer
+sweeps.  Detection of damage that happens *outside* this layer — a
+truncated copy, a bit flip on disk, a hand-edited sidecar — is the
+reader's half of the contract: every artifact records SHA-256 content
+checksums, and :func:`verify_checksum` / the typed :class:`ArtifactError`
+hierarchy turn mismatches into actionable errors instead of numpy
+tracebacks deep inside ``np.load``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+import os
+import zipfile
+from pathlib import Path
+from typing import Mapping
+
+import numpy as np
+
+from .faults import fault_point
+
+#: Suffix marker for in-flight temporary files (swept by later writers).
+_TMP_MARKER = ".tmp-"
+
+
+class ArtifactError(RuntimeError):
+    """Base of every persisted-artifact failure this library raises.
+
+    Subclasses carry an actionable message naming the file and the fix;
+    callers (CLI, serving loaders) can catch this one type to turn any
+    artifact problem into a clean exit instead of a traceback.
+    """
+
+
+class ArtifactMissingError(ArtifactError, FileNotFoundError):
+    """An expected artifact file does not exist."""
+
+
+class ArtifactCorruptError(ArtifactError):
+    """An artifact exists but its bytes fail validation (truncation,
+    bit flips, checksum mismatch, unparseable JSON/npz)."""
+
+
+class ArtifactVersionError(ArtifactError):
+    """An artifact's format version is not readable by this build."""
+
+
+def sha256_bytes(data: bytes) -> str:
+    """Hex SHA-256 of a byte string."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def sha256_file(path: Path) -> str:
+    """Hex SHA-256 of a file's contents (streamed)."""
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for block in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(block)
+    return digest.hexdigest()
+
+
+def array_checksums(arrays: Mapping[str, np.ndarray]) -> dict[str, str]:
+    """Per-array content checksum over dtype, shape and raw bytes."""
+    out: dict[str, str] = {}
+    for name, arr in arrays.items():
+        arr = np.ascontiguousarray(arr)
+        digest = hashlib.sha256()
+        digest.update(str(arr.dtype).encode())
+        digest.update(str(arr.shape).encode())
+        digest.update(arr.tobytes())
+        out[name] = digest.hexdigest()
+    return out
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush the directory entry so a completed rename survives a crash."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:  # pragma: no cover - e.g. exotic filesystems
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fsync on dirs unsupported
+        pass
+    finally:
+        os.close(fd)
+
+
+def sweep_tmp_files(directory: Path) -> None:
+    """Remove leftover ``*.tmp-*`` files from interrupted writes."""
+    for stale in directory.glob(f"*{_TMP_MARKER}*"):
+        try:
+            stale.unlink()
+        except OSError:  # pragma: no cover - racing sweepers
+            pass
+
+
+def atomic_write_bytes(path: str | Path, data: bytes) -> Path:
+    """Write ``data`` to ``path`` atomically (temp + fsync + replace).
+
+    The fault point ``atomic.replace`` fires between the durable temp
+    write and the rename — the window in which a crash must leave the old
+    destination untouched (exercised by the fault-injection suite).
+    """
+    path = Path(path)
+    tmp = path.with_name(f"{path.name}{_TMP_MARKER}{os.getpid()}")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
+        fault_point("atomic.replace", path=path, tmp=tmp)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    _fsync_dir(path.parent)
+    return path
+
+
+def atomic_write_text(path: str | Path, text: str) -> Path:
+    """Atomic UTF-8 text write (see :func:`atomic_write_bytes`)."""
+    return atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_json(path: str | Path, payload: object) -> Path:
+    """Atomic, deterministic (sorted keys) JSON write."""
+    return atomic_write_text(
+        path, json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    )
+
+
+def atomic_write_npz(path: str | Path, arrays: Mapping[str, np.ndarray]) -> Path:
+    """Write an ``.npz`` archive atomically and return its path.
+
+    The archive is serialized in memory first (these artifacts are small
+    relative to the datasets they describe), so the on-disk write is a
+    single durable byte write followed by one rename.
+    """
+    buffer = io.BytesIO()
+    np.savez(buffer, **dict(arrays))
+    return atomic_write_bytes(path, buffer.getvalue())
+
+
+def read_json(path: str | Path, *, kind: str = "artifact") -> dict:
+    """Read a JSON artifact with typed errors for missing/corrupt files."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except FileNotFoundError:
+        raise ArtifactMissingError(
+            f"{kind} sidecar {path} does not exist; it is written alongside "
+            "the .npz and both files must be kept together"
+        ) from None
+    try:
+        payload = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise ArtifactCorruptError(
+            f"{kind} sidecar {path} is not valid JSON ({exc}); the file is "
+            "truncated or was edited — restore it from a backup or recreate "
+            "the artifact"
+        ) from None
+    if not isinstance(payload, dict):
+        raise ArtifactCorruptError(
+            f"{kind} sidecar {path} does not contain a JSON object"
+        )
+    return payload
+
+
+def read_npz(path: str | Path, *, kind: str = "artifact") -> dict[str, np.ndarray]:
+    """Read an ``.npz`` artifact into a dict with typed errors.
+
+    Truncated or bit-flipped archives surface as
+    :class:`ArtifactCorruptError` naming the file, instead of the
+    ``zipfile``/``ValueError`` internals ``np.load`` raises.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise ArtifactMissingError(f"{kind} file {path} does not exist")
+    try:
+        with np.load(path, allow_pickle=False) as archive:
+            return {name: archive[name] for name in archive.files}
+    except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError) as exc:
+        raise ArtifactCorruptError(
+            f"{kind} file {path} is unreadable ({exc.__class__.__name__}: "
+            f"{exc}); the file is truncated or corrupted — restore it from a "
+            "backup or recreate the artifact"
+        ) from None
+
+
+def verify_checksum(
+    path: Path, expected: str, *, kind: str = "artifact"
+) -> None:
+    """Raise :class:`ArtifactCorruptError` unless ``path`` hashes to
+    ``expected``."""
+    actual = sha256_file(path)
+    if actual != expected:
+        raise ArtifactCorruptError(
+            f"{kind} file {path} fails its checksum (recorded "
+            f"{expected[:12]}…, found {actual[:12]}…); the file was modified "
+            "or corrupted after it was written — restore the matching pair "
+            "or recreate the artifact"
+        )
+
+
+def verify_array_checksums(
+    arrays: Mapping[str, np.ndarray],
+    expected: Mapping[str, str],
+    *,
+    source: Path,
+    kind: str = "artifact",
+) -> None:
+    """Verify per-array checksums recorded in a sidecar/manifest."""
+    missing = sorted(set(expected) - set(arrays))
+    if missing:
+        raise ArtifactCorruptError(
+            f"{kind} file {source} is missing recorded array(s) {missing}; "
+            "the .npz does not match its sidecar — restore the matching pair"
+        )
+    actual = array_checksums({name: arrays[name] for name in expected})
+    for name, digest in expected.items():
+        if actual[name] != digest:
+            raise ArtifactCorruptError(
+                f"{kind} array {name!r} in {source} fails its checksum; the "
+                "file was modified or corrupted after it was written — "
+                "restore the matching pair or recreate the artifact"
+            )

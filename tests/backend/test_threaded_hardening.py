@@ -1,0 +1,78 @@
+"""Failure-path tests for the threaded backend's worker pool."""
+
+import traceback
+
+import numpy as np
+import pytest
+
+from repro.backend.threaded import ThreadedBackend
+
+
+class BoomError(RuntimeError):
+    pass
+
+
+def _boom():
+    raise BoomError("worker exploded")
+
+
+class TestWorkerFailures:
+    def test_worker_exception_propagates_with_original_traceback(self):
+        backend = ThreadedBackend(num_threads=2)
+        try:
+            with pytest.raises(BoomError, match="worker exploded") as excinfo:
+                backend._run([_boom])
+            # The re-raised exception carries the worker's frames, so the
+            # failing task function is visible in the traceback.
+            frames = traceback.extract_tb(excinfo.value.__traceback__)
+            assert any(frame.name == "_boom" for frame in frames)
+        finally:
+            backend.close()
+
+    def test_pool_survives_ordinary_exceptions(self):
+        backend = ThreadedBackend(num_threads=2)
+        try:
+            with pytest.raises(BoomError):
+                backend._run([_boom])
+            # The pool was not torn down: the next call computes normally.
+            assert backend._pool is not None
+            assert backend._run([lambda: 7, lambda: 8]) == [7, 8]
+        finally:
+            backend.close()
+
+    def test_failure_cancels_pending_tasks(self):
+        backend = ThreadedBackend(num_threads=1)
+        ran = []
+        tasks = [_boom] + [lambda i=i: ran.append(i) for i in range(64)]
+        try:
+            with pytest.raises(BoomError):
+                backend._run(tasks)
+            # Single worker: the failing task ran first, the queued tail was
+            # cancelled rather than drained.
+            assert len(ran) < 64
+        finally:
+            backend.close()
+
+    def test_keyboard_interrupt_tears_pool_down(self):
+        backend = ThreadedBackend(num_threads=2)
+
+        def interrupted():
+            raise KeyboardInterrupt
+
+        with pytest.raises(KeyboardInterrupt):
+            backend._run([interrupted])
+        # Prompt shutdown: no live pool left grinding through queued work.
+        assert backend._pool is None
+        # A later use lazily recreates a fresh pool.
+        try:
+            assert backend._run([lambda: 1]) == [1]
+        finally:
+            backend.close()
+
+    def test_close_is_idempotent(self):
+        backend = ThreadedBackend(num_threads=2)
+        assert backend.argmin(np.arange(10.0)) == 0
+        backend.close()
+        backend.close()
+        assert backend.argmin(np.arange(10.0)) == 0
+        backend.close()

@@ -205,12 +205,15 @@ class TestSaveLoad:
             np.testing.assert_array_equal(a.values(name), b.values(name))
 
     def test_version_guard(self, fitted, tmp_path):
+        from repro.core.model import MODEL_FORMAT_VERSION
+        from repro.runtime import ArtifactVersionError
+
         npz_path, sidecar = fitted.save(tmp_path / "model.npz")
         payload = sidecar.read_text().replace(
-            '"format_version": 1', '"format_version": 99'
+            f'"format_version": {MODEL_FORMAT_VERSION}', '"format_version": 99'
         )
         sidecar.write_text(payload)
-        with pytest.raises(ValueError, match="format version"):
+        with pytest.raises(ArtifactVersionError, match="format version"):
             Anonymizer.load(npz_path)
 
 

@@ -1,0 +1,24 @@
+"""Shared fixtures for the crash-safety suite.
+
+Every test in this package runs with a clean fault registry: an autouse
+fixture disarms all fault points before and after each test, so an armed
+fault can never leak into a neighbouring test (or worse, into another
+suite's ``save()`` call).
+"""
+
+import pytest
+
+from repro.data import load_mcd
+from repro.runtime import faults
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.clear()
+    yield
+    faults.clear()
+
+
+@pytest.fixture(scope="module")
+def mcd_small():
+    return load_mcd(n=200)

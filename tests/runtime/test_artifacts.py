@@ -1,0 +1,133 @@
+"""Model artifact robustness: atomic save, corruption detection, versioning.
+
+The save contract under crashes: a fit's ``save(path)`` either leaves
+the previous artifact pair fully intact, or — if the crash lands between
+the two file replacements — a mismatched pair that ``load`` *refuses*
+with a typed error.  Never a silently wrong model.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Anonymizer, KAnonymity, TCloseness
+from repro.core.model import MODEL_FORMAT_VERSION
+from repro.runtime import faults
+from repro.runtime.atomic import (
+    ArtifactCorruptError,
+    ArtifactMissingError,
+    ArtifactVersionError,
+)
+from repro.runtime.faults import InjectedFault
+
+
+@pytest.fixture(scope="module")
+def fitted(mcd_small):
+    return Anonymizer(KAnonymity(4) & TCloseness(0.2)).fit(mcd_small)
+
+
+def _assert_loads_like(path, reference):
+    loaded = Anonymizer.load(path)
+    np.testing.assert_array_equal(
+        loaded.result_.partition.labels, reference.result_.partition.labels
+    )
+
+
+class TestAtomicSave:
+    def test_save_load_round_trip(self, fitted, tmp_path):
+        npz, sidecar = fitted.save(tmp_path / "model.npz")
+        assert npz.exists() and sidecar.exists()
+        _assert_loads_like(npz, fitted)
+
+    def test_crash_during_npz_write_keeps_old_model(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        fitted.save(path)
+        before = path.read_bytes()
+        faults.arm("atomic.replace", "raise", at=1)  # first replace: the npz
+        with pytest.raises(InjectedFault):
+            fitted.save(path)
+        assert path.read_bytes() == before
+        _assert_loads_like(path, fitted)  # old pair still consistent
+
+    def test_crash_between_npz_and_sidecar_is_detected(self, fitted, tmp_path):
+        """The one non-atomic window: new npz, old sidecar.  The recorded
+        array checksums catch the mismatch — load refuses, typed."""
+        path = tmp_path / "model.npz"
+        fitted.save(path)
+        faults.arm("atomic.replace", "raise", at=2)  # second replace: sidecar
+        with pytest.raises(InjectedFault):
+            fitted.save(path)
+        # Same model re-saved: arrays identical, so this pair still loads.
+        _assert_loads_like(path, fitted)
+
+    def test_crash_on_first_ever_save_leaves_no_artifact(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        faults.arm("atomic.replace", "raise", at=1)
+        with pytest.raises(InjectedFault):
+            fitted.save(path)
+        assert not path.exists()
+        assert not path.with_suffix(".json").exists()
+        assert list(tmp_path.iterdir()) == []  # no tmp residue either
+
+    def test_crash_before_sidecar_on_first_save(self, fitted, tmp_path):
+        path = tmp_path / "model.npz"
+        faults.arm("atomic.replace", "raise", at=2)
+        with pytest.raises(InjectedFault):
+            fitted.save(path)
+        assert path.exists()  # npz landed...
+        with pytest.raises(ArtifactMissingError, match="sidecar"):
+            Anonymizer.load(path)  # ...but the half-pair is refused, typed
+
+
+class TestCorruptionDetection:
+    def test_truncated_npz(self, fitted, tmp_path):
+        npz, _ = fitted.save(tmp_path / "model.npz")
+        npz.write_bytes(npz.read_bytes()[: npz.stat().st_size // 3])
+        with pytest.raises(ArtifactCorruptError, match="truncated or corrupted"):
+            Anonymizer.load(npz)
+
+    def test_bit_flip_in_npz_fails_checksum(self, fitted, tmp_path):
+        npz, _ = fitted.save(tmp_path / "model.npz")
+        blob = bytearray(npz.read_bytes())
+        # Offset 300 sits inside the first array's data payload (past the
+        # zip local header and the .npy preamble), not in inert metadata.
+        blob[300] ^= 0x01
+        npz.write_bytes(bytes(blob))
+        with pytest.raises(ArtifactCorruptError):
+            Anonymizer.load(npz)
+
+    def test_flipped_sidecar_bytes(self, fitted, tmp_path):
+        npz, sidecar = fitted.save(tmp_path / "model.npz")
+        text = sidecar.read_text()
+        sidecar.write_text(text[: len(text) // 2])  # torn JSON
+        with pytest.raises(ArtifactCorruptError, match="not valid JSON"):
+            Anonymizer.load(npz)
+
+    def test_swapped_pair_detected(self, fitted, mcd_small, tmp_path):
+        """An npz from one save with the sidecar of another is refused."""
+        a_npz, a_sidecar = fitted.save(tmp_path / "a.npz")
+        other = Anonymizer(KAnonymity(6) & TCloseness(0.3)).fit(mcd_small)
+        b_npz, b_sidecar = other.save(tmp_path / "b.npz")
+        a_npz.write_bytes(b_npz.read_bytes())  # mismatched pair
+        with pytest.raises(ArtifactCorruptError, match="checksum"):
+            Anonymizer.load(a_npz)
+
+    def test_missing_npz(self, fitted, tmp_path):
+        npz, _ = fitted.save(tmp_path / "model.npz")
+        npz.unlink()
+        with pytest.raises(ArtifactMissingError):
+            Anonymizer.load(npz)
+
+
+class TestVersioning:
+    def test_current_version_is_2(self):
+        assert MODEL_FORMAT_VERSION == 2
+
+    def test_version_mismatch_typed_error(self, fitted, tmp_path):
+        npz, sidecar = fitted.save(tmp_path / "model.npz")
+        sidecar.write_text(
+            sidecar.read_text().replace(
+                f'"format_version": {MODEL_FORMAT_VERSION}', '"format_version": 99'
+            )
+        )
+        with pytest.raises(ArtifactVersionError, match="format version"):
+            Anonymizer.load(npz)

@@ -1,0 +1,143 @@
+"""Tests for the atomic-write layer: durability, typed errors, checksums."""
+
+import numpy as np
+import pytest
+
+from repro.runtime import faults
+from repro.runtime.atomic import (
+    ArtifactCorruptError,
+    ArtifactMissingError,
+    array_checksums,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_npz,
+    read_json,
+    read_npz,
+    sha256_file,
+    sweep_tmp_files,
+    verify_array_checksums,
+    verify_checksum,
+)
+from repro.runtime.faults import InjectedFault
+
+
+class TestAtomicWrites:
+    def test_json_round_trip(self, tmp_path):
+        path = tmp_path / "payload.json"
+        atomic_write_json(path, {"b": 1, "a": [1, 2]})
+        assert read_json(path) == {"a": [1, 2], "b": 1}
+
+    def test_json_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        atomic_write_json(a, {"x": 1, "y": 2})
+        atomic_write_json(b, {"y": 2, "x": 1})
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_npz_round_trip_bitwise(self, tmp_path):
+        arrays = {
+            "f": np.array([0.1, -0.0, np.pi], dtype=np.float64),
+            "i": np.arange(7, dtype=np.int64),
+        }
+        path = tmp_path / "arrays.npz"
+        atomic_write_npz(path, arrays)
+        loaded = read_npz(path)
+        for name, arr in arrays.items():
+            assert loaded[name].dtype == arr.dtype
+            assert loaded[name].tobytes() == arr.tobytes()
+
+    def test_crash_before_replace_keeps_old_file(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(path, b"old contents")
+        faults.arm("atomic.replace", "raise")
+        with pytest.raises(InjectedFault):
+            atomic_write_bytes(path, b"new contents")
+        assert path.read_bytes() == b"old contents"
+        # The in-flight temp file was cleaned up on the way out.
+        assert list(tmp_path.glob("*.tmp-*")) == []
+
+    def test_crash_on_fresh_write_leaves_nothing(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        faults.arm("atomic.replace", "raise")
+        with pytest.raises(InjectedFault):
+            atomic_write_bytes(path, b"data")
+        assert not path.exists()
+        assert list(tmp_path.glob("*.tmp-*")) == []
+
+    def test_torn_write_is_detected_by_reader(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        faults.arm("atomic.replace", "torn")
+        atomic_write_npz(path, {"x": np.arange(1000)})
+        # The torn temp file was renamed into place: half an npz.
+        with pytest.raises(ArtifactCorruptError, match="truncated or corrupted"):
+            read_npz(path)
+
+    def test_sweep_tmp_files(self, tmp_path):
+        (tmp_path / "model.npz.tmp-123").write_bytes(b"junk")
+        (tmp_path / "keep.npz").write_bytes(b"real")
+        sweep_tmp_files(tmp_path)
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["keep.npz"]
+
+
+class TestTypedReadErrors:
+    def test_read_json_missing(self, tmp_path):
+        with pytest.raises(ArtifactMissingError, match="does not exist"):
+            read_json(tmp_path / "nope.json", kind="model")
+
+    def test_read_json_corrupt(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"truncated": ')
+        with pytest.raises(ArtifactCorruptError, match="not valid JSON"):
+            read_json(path)
+
+    def test_read_json_non_object(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2]")
+        with pytest.raises(ArtifactCorruptError, match="JSON object"):
+            read_json(path)
+
+    def test_read_npz_missing(self, tmp_path):
+        with pytest.raises(ArtifactMissingError):
+            read_npz(tmp_path / "nope.npz")
+
+    def test_read_npz_truncated(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        atomic_write_npz(path, {"x": np.arange(100)})
+        path.write_bytes(path.read_bytes()[: path.stat().st_size // 2])
+        with pytest.raises(ArtifactCorruptError, match=str(path)):
+            read_npz(path)
+
+    def test_read_npz_garbage(self, tmp_path):
+        path = tmp_path / "arrays.npz"
+        path.write_bytes(b"not a zip archive at all")
+        with pytest.raises(ArtifactCorruptError):
+            read_npz(path)
+
+
+class TestChecksums:
+    def test_verify_checksum_passes_and_fails(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"payload")
+        verify_checksum(path, sha256_file(path))
+        with pytest.raises(ArtifactCorruptError, match="fails its checksum"):
+            verify_checksum(path, "0" * 64, kind="model")
+
+    def test_array_checksums_sensitive_to_dtype_and_bytes(self):
+        base = {"x": np.arange(4, dtype=np.int64)}
+        assert array_checksums(base) == array_checksums(
+            {"x": np.arange(4, dtype=np.int64)}
+        )
+        as_float = {"x": np.arange(4, dtype=np.float64)}
+        assert array_checksums(base)["x"] != array_checksums(as_float)["x"]
+
+    def test_verify_array_checksums(self, tmp_path):
+        arrays = {"labels": np.arange(5)}
+        expected = array_checksums(arrays)
+        verify_array_checksums(arrays, expected, source=tmp_path / "m.npz")
+        arrays["labels"] = arrays["labels"] + 1
+        with pytest.raises(ArtifactCorruptError, match="labels"):
+            verify_array_checksums(arrays, expected, source=tmp_path / "m.npz")
+
+    def test_verify_array_checksums_missing_array(self, tmp_path):
+        expected = array_checksums({"gone": np.arange(3)})
+        with pytest.raises(ArtifactCorruptError, match="missing recorded array"):
+            verify_array_checksums({}, expected, source=tmp_path / "m.npz")

@@ -1,0 +1,336 @@
+"""Crash/resume determinism matrix.
+
+The central robustness guarantee: a fit killed at *any* checkpoint
+boundary — between phases, mid-swap-refinement, mid-merge, even between
+a checkpoint's temp write and its rename — and then resumed produces
+labels, EMDs and counters **bit-for-bit identical** to an uninterrupted
+run.  The matrix kills fits at every planted fault point across the
+algorithm paths (Algorithm 2 / kanon-first, Algorithm 3 / tclose-first,
+Algorithm 1 / merge, and the policy-repair merge loop) and both
+backends, plus honest ``os._exit`` process kills through the CLI.
+"""
+
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro import Anonymizer, DistinctLDiversity, KAnonymity, TCloseness
+from repro.core.confidential import ConfidentialModel
+from repro.core.repair import enforce_policy
+from repro.data import load_mcd, write_csv
+from repro.runtime import (
+    ArtifactMissingError,
+    CheckpointStore,
+    FitProgress,
+    faults,
+)
+from repro.runtime.faults import EXIT_CODE, InjectedFault
+
+#: Tight cadences so even a 200-record fit crosses many checkpoints.
+CADENCE = dict(checkpoint_every_swaps=40, checkpoint_every_merges=2)
+
+
+@pytest.fixture(scope="module")
+def goldens(mcd_small):
+    """Uninterrupted reference fits, one per (method, policy) under test."""
+    configs = {
+        "kanon-first": KAnonymity(4) & TCloseness(0.08),
+        "tclose-first": KAnonymity(4) & TCloseness(0.15),
+        "merge": KAnonymity(4) & TCloseness(0.1),
+    }
+    return {
+        method: Anonymizer(policy, method=method).fit(mcd_small)
+        for method, policy in configs.items()
+    }
+
+
+def crash_then_resume(data, golden, method, spec, directory, *, backend=None):
+    """Kill a checkpointed fit at ``spec``, resume, assert bitwise equality."""
+    ck = Path(directory) / "ck"
+    faults.arm_from_spec(spec)
+    died = False
+    try:
+        Anonymizer(golden.policy, method=method, backend=backend).fit(
+            data, checkpoint=ck, **CADENCE
+        )
+    except InjectedFault:
+        died = True
+    finally:
+        faults.clear()
+    assert died, f"fault {spec!r} never fired on {method}"
+    resumed = Anonymizer.resume(ck, backend=backend)
+    assert_bitwise_equal(resumed, golden)
+    return resumed
+
+
+def assert_bitwise_equal(resumed, golden):
+    np.testing.assert_array_equal(
+        resumed.result_.partition.labels, golden.result_.partition.labels
+    )
+    assert (
+        resumed.result_.cluster_emds.tobytes()
+        == golden.result_.cluster_emds.tobytes()
+    )
+    assert resumed.result_.info == golden.result_.info
+    assert resumed.release_.equals(golden.release_)
+
+
+class TestKanonFirstMatrix:
+    """Algorithm 2: kills inside swap refinement, the merge fallback, and
+    at every phase boundary."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "progress:alg2@1",
+            "progress:alg2@4",
+            "alg2.swap@1",
+            "alg2.swap@300",
+            "alg2.cluster@2",
+            "alg2.cluster@25",
+            "merge.step@1",
+            "merge.step@10",
+            "progress:alg2:merge@2",
+            "atomic.replace@5",
+            "fit.phase:cluster",
+            "fit.phase:repair",
+            "fit.phase:aggregate",
+            "fit.phase:verify",
+        ],
+    )
+    def test_kill_and_resume(self, mcd_small, goldens, tmp_path, spec):
+        crash_then_resume(
+            mcd_small, goldens["kanon-first"], "kanon-first", spec, tmp_path
+        )
+
+    def test_double_kill(self, mcd_small, goldens, tmp_path):
+        """Two successive kills with a resume between them still converge."""
+        ck = tmp_path / "ck"
+        golden = goldens["kanon-first"]
+        for spec in ("alg2.swap@100", "merge.step@5"):
+            faults.arm_from_spec(spec)
+            with pytest.raises(InjectedFault):
+                try:
+                    Anonymizer(golden.policy, method="kanon-first").fit(
+                        mcd_small, checkpoint=ck, **CADENCE
+                    )
+                finally:
+                    faults.clear()
+        resumed = Anonymizer.resume(ck)
+        assert_bitwise_equal(resumed, golden)
+
+    def test_rerunning_identical_command_continues(
+        self, mcd_small, goldens, tmp_path
+    ):
+        """`fit --checkpoint DIR` re-run verbatim after a crash continues
+        (same fingerprint re-opens the directory) — no --resume needed."""
+        ck = tmp_path / "ck"
+        golden = goldens["kanon-first"]
+        faults.arm_from_spec("alg2.swap@250")
+        with pytest.raises(InjectedFault):
+            try:
+                Anonymizer(golden.policy, method="kanon-first").fit(
+                    mcd_small, checkpoint=ck, **CADENCE
+                )
+            finally:
+                faults.clear()
+        again = Anonymizer(golden.policy, method="kanon-first").fit(
+            mcd_small, checkpoint=ck, **CADENCE
+        )
+        assert_bitwise_equal(again, golden)
+
+
+class TestTcloseFirstMatrix:
+    """Algorithm 3 path: phase-boundary kills (its clustering is one-shot
+    bucketed partitioning — no long refinement loop to checkpoint inside)."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["fit.phase:cluster", "fit.phase:aggregate", "fit.phase:verify"],
+    )
+    def test_kill_and_resume(self, mcd_small, goldens, tmp_path, spec):
+        crash_then_resume(
+            mcd_small, goldens["tclose-first"], "tclose-first", spec, tmp_path
+        )
+
+
+class TestMergeMatrix:
+    """Algorithm 1 path: kills inside its merge loop and at boundaries."""
+
+    @pytest.mark.parametrize(
+        "spec",
+        [
+            "merge.step@1",
+            "merge.step@25",
+            "progress:alg1:merge@3",
+            "fit.phase:cluster",
+            "fit.phase:aggregate",
+        ],
+    )
+    def test_kill_and_resume(self, mcd_small, goldens, tmp_path, spec):
+        crash_then_resume(mcd_small, goldens["merge"], "merge", spec, tmp_path)
+
+
+class TestThreadedBackendMatrix:
+    """The resume guarantee holds under the threaded backend, and a run
+    killed under one backend matches the serial golden (backend identity)."""
+
+    @pytest.mark.parametrize(
+        "spec", ["alg2.swap@200", "merge.step@5", "fit.phase:cluster"]
+    )
+    def test_kill_and_resume_threaded(self, mcd_small, goldens, tmp_path, spec):
+        crash_then_resume(
+            mcd_small,
+            goldens["kanon-first"],
+            "kanon-first",
+            spec,
+            tmp_path,
+            backend="threaded",
+        )
+
+
+class TestRepairMergeResume:
+    """The policy-repair merge loop (``repair:merge`` stage) resumes
+    bitwise — exercised directly: healthy fits rarely need repair merges,
+    so the loop is driven on a deliberately violating partition."""
+
+    def _violating_result(self, mcd_small):
+        # A k-anonymous fit under a loose t leaves plenty of clusters
+        # above a tight t — enforcing that tight t then merges for real.
+        model = Anonymizer(
+            KAnonymity(3) & TCloseness(0.9), method="tclose-first"
+        ).fit(mcd_small)
+        return model.result_
+
+    def test_crash_inside_repair_merge(self, mcd_small, tmp_path):
+        result = self._violating_result(mcd_small)
+        policy = KAnonymity(3) & TCloseness(0.1)
+        golden = enforce_policy(mcd_small, result, policy)
+        assert golden.info["repair_merges"] > 0  # the loop actually runs
+
+        store = CheckpointStore.open(
+            tmp_path / "ck", config={"unit": "repair"}, data=mcd_small
+        )
+        progress = FitProgress(store, every_merges=2)
+        faults.arm_from_spec("merge.step@3")
+        with pytest.raises(InjectedFault):
+            try:
+                enforce_policy(mcd_small, result, policy, progress=progress)
+            finally:
+                faults.clear()
+
+        fresh = FitProgress(CheckpointStore.load(tmp_path / "ck"), every_merges=2)
+        repaired = enforce_policy(mcd_small, result, policy, progress=fresh)
+        np.testing.assert_array_equal(
+            repaired.partition.labels, golden.partition.labels
+        )
+        assert repaired.cluster_emds.tobytes() == golden.cluster_emds.tobytes()
+        assert repaired.info == golden.info
+
+
+class TestResumeErrors:
+    def test_resume_missing_directory(self, tmp_path):
+        with pytest.raises(ArtifactMissingError, match="no checkpoint"):
+            Anonymizer.resume(tmp_path / "nowhere")
+
+    def test_resume_of_completed_run(self, mcd_small, goldens, tmp_path):
+        golden = goldens["kanon-first"]
+        ck = tmp_path / "ck"
+        Anonymizer(golden.policy, method="kanon-first").fit(
+            mcd_small, checkpoint=ck, **CADENCE
+        )
+        resumed = Anonymizer.resume(ck)
+        assert_bitwise_equal(resumed, golden)
+
+
+class TestProcessKillViaCLI:
+    """An honest ``os._exit`` kill (no Python unwinding at all), injected
+    into a subprocess via ``REPRO_FAULTS``, resumed through the CLI."""
+
+    ARGS = [
+        "--qi",
+        "TAXINC,POTHVAL",
+        "--confidential",
+        "FEDTAX",
+        "--require",
+        "k=4,t=0.08",
+        "--method",
+        "kanon-first",
+    ]
+
+    def _run(self, argv, *, env_faults=None):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        env.pop("REPRO_FAULTS", None)
+        if env_faults:
+            env["REPRO_FAULTS"] = env_faults
+        return subprocess.run(
+            [sys.executable, "-m", "repro", *argv],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+
+    def test_exit_kill_then_cli_resume(self, tmp_path):
+        csv = tmp_path / "census.csv"
+        write_csv(load_mcd(n=200), csv)
+        golden_model = tmp_path / "golden.npz"
+        golden_release = tmp_path / "golden-release.csv"
+        proc = self._run(
+            [
+                "fit",
+                str(csv),
+                str(golden_model),
+                *self.ARGS,
+                "--release",
+                str(golden_release),
+            ]
+        )
+        assert proc.returncode == 0, proc.stderr
+
+        ck = tmp_path / "ck"
+        model = tmp_path / "model.npz"
+        release = tmp_path / "release.csv"
+        killed = self._run(
+            ["fit", str(csv), str(model), *self.ARGS, "--checkpoint", str(ck)],
+            env_faults="alg2.swap@150=exit",
+        )
+        assert killed.returncode == EXIT_CODE
+        assert not model.exists()  # died mid-fit: no artifact at all
+
+        resumed = self._run(
+            [
+                "fit",
+                str(csv),
+                str(model),
+                *self.ARGS,
+                "--resume",
+                str(ck),
+                "--release",
+                str(release),
+            ]
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        assert release.read_bytes() == golden_release.read_bytes()
+        with np.load(model) as got, np.load(golden_model) as want:
+            assert set(got.files) == set(want.files)
+            for name in got.files:
+                assert got[name].tobytes() == want[name].tobytes()
+
+    def test_cli_resume_missing_directory_exits_2(self, tmp_path):
+        proc = self._run(
+            [
+                "fit",
+                "unused.csv",
+                str(tmp_path / "m.npz"),
+                *self.ARGS,
+                "--resume",
+                str(tmp_path / "nowhere"),
+            ]
+        )
+        assert proc.returncode == 2
+        assert "no checkpoint found" in proc.stderr

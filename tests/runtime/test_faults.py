@@ -1,0 +1,78 @@
+"""Unit tests for the fault-injection harness itself."""
+
+import pytest
+
+from repro.runtime import faults
+from repro.runtime.faults import EXIT_CODE, InjectedFault, fault_point, parse_spec
+
+
+class TestParseSpec:
+    def test_defaults(self):
+        assert parse_spec("alg2.swap") == ("alg2.swap", 1, "raise")
+
+    def test_full_form(self):
+        assert parse_spec("merge.step@7=exit") == ("merge.step", 7, "exit")
+
+    def test_action_without_count(self):
+        assert parse_spec("atomic.replace=torn") == ("atomic.replace", 1, "torn")
+
+    @pytest.mark.parametrize(
+        "bad",
+        ["=raise", "x@zero", "x@0", "x@-3", "x=explode", "@2"],
+    )
+    def test_rejects_malformed(self, bad):
+        with pytest.raises(ValueError):
+            parse_spec(bad)
+
+
+class TestArming:
+    def test_fires_on_nth_hit_then_disarms(self):
+        faults.arm("pt", "raise", at=3)
+        fault_point("pt")
+        fault_point("pt")
+        with pytest.raises(InjectedFault) as excinfo:
+            fault_point("pt")
+        assert excinfo.value.name == "pt"
+        # One-shot: the fourth hit is a no-op.
+        fault_point("pt")
+        assert "pt" not in faults.armed()
+
+    def test_unarmed_points_are_noops(self):
+        faults.arm("other", "raise")
+        fault_point("pt")  # different name: nothing happens
+        assert faults.armed() == {"other": "raise@1"}
+
+    def test_arm_from_spec_multiple(self):
+        faults.arm_from_spec("a@2=raise, b=torn,")
+        assert faults.armed() == {"a": "raise@2", "b": "torn@1"}
+
+    def test_arm_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            faults.arm("pt", "explode")
+        with pytest.raises(ValueError):
+            faults.arm("pt", "raise", at=0)
+
+    def test_load_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULTS", "env.point@5=exit")
+        faults.load_env()
+        assert faults.armed() == {"env.point": "exit@5"}
+
+    def test_exit_action_constant(self):
+        # The subprocess tests assert on this exact exit code.
+        assert EXIT_CODE == 73
+
+
+class TestInjectedFault:
+    def test_is_base_exception_not_exception(self):
+        # An injected crash must tear through `except Exception` recovery
+        # blocks the way a kill signal would.
+        assert issubclass(InjectedFault, BaseException)
+        assert not issubclass(InjectedFault, Exception)
+
+    def test_except_exception_cannot_swallow_it(self):
+        faults.arm("pt", "raise")
+        with pytest.raises(InjectedFault):
+            try:
+                fault_point("pt")
+            except Exception:  # noqa: BLE001 - the point of the test
+                pytest.fail("InjectedFault was swallowed by `except Exception`")

@@ -1,0 +1,102 @@
+"""Tests for input validation at the fit and serving boundaries."""
+
+import numpy as np
+import pytest
+
+from repro import Anonymizer, KAnonymity, TCloseness, anonymize
+from repro.core.validation import (
+    BatchSchemaError,
+    DataValidationError,
+    ValidationError,
+    validate_fit_data,
+)
+from repro.data import Microdata, load_mcd, nominal, numeric
+
+
+def _poison(data, column, row, value):
+    values = data.values(column).copy()
+    values[row] = value
+    return data.with_columns({column: values})
+
+
+class TestFitValidation:
+    def test_empty_table_rejected(self):
+        data = Microdata(
+            {"age": np.array([], dtype=np.float64)}, [numeric("age")]
+        )
+        with pytest.raises(DataValidationError, match="empty table"):
+            validate_fit_data(data)
+
+    def test_fewer_records_than_k(self, mcd_small):
+        small = mcd_small.subset(range(3))
+        with pytest.raises(DataValidationError, match="k=5"):
+            validate_fit_data(small, k=5)
+        # k = n is fine.
+        validate_fit_data(small, k=3)
+
+    def test_nan_names_column_and_row(self, mcd_small):
+        column = mcd_small.quasi_identifiers[0]
+        bad = _poison(mcd_small, column, 17, np.nan)
+        with pytest.raises(
+            DataValidationError, match=rf"{column!r}.*row 17"
+        ):
+            validate_fit_data(bad)
+
+    def test_inf_rejected_in_confidential(self, mcd_small):
+        column = mcd_small.confidential[0]
+        bad = _poison(mcd_small, column, 3, np.inf)
+        with pytest.raises(DataValidationError, match=rf"{column!r}.*row 3"):
+            validate_fit_data(bad)
+
+    def test_fit_raises_before_running(self, mcd_small):
+        column = mcd_small.quasi_identifiers[0]
+        bad = _poison(mcd_small, column, 0, np.nan)
+        model = Anonymizer(KAnonymity(4) & TCloseness(0.2))
+        with pytest.raises(DataValidationError):
+            model.fit(bad)
+        assert not model.is_fitted
+
+    def test_anonymize_path_validates_too(self, mcd_small):
+        bad = _poison(mcd_small, mcd_small.quasi_identifiers[0], 5, -np.inf)
+        with pytest.raises(DataValidationError, match="row 5"):
+            anonymize(bad, k=4, t=0.2)
+
+    def test_errors_are_value_errors(self):
+        # Compatibility contract: existing `except ValueError` keeps working.
+        assert issubclass(DataValidationError, ValidationError)
+        assert issubclass(BatchSchemaError, ValidationError)
+        assert issubclass(ValidationError, ValueError)
+
+
+class TestBatchSchema:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        data = load_mcd(n=120)
+        return Anonymizer(KAnonymity(4) & TCloseness(0.25)).fit(data), data
+
+    def test_missing_qi_column(self, fitted):
+        model, data = fitted
+        batch = data.drop([data.quasi_identifiers[0]])
+        with pytest.raises(BatchSchemaError, match="missing quasi-identifier"):
+            model.transform(batch)
+
+    def test_kind_mismatch_names_column(self, fitted):
+        model, data = fitted
+        name = data.quasi_identifiers[0]
+        codes = np.zeros(data.n_records, dtype=np.int64)
+        mismatched = Microdata(
+            {
+                **{
+                    n: (codes if n == name else data.values(n))
+                    for n in data.attribute_names
+                },
+            },
+            [
+                nominal(name, categories=("a", "b"), role=spec.role)
+                if spec.name == name
+                else spec
+                for spec in data.schema
+            ],
+        )
+        with pytest.raises(BatchSchemaError, match=repr(name)):
+            model.transform(mismatched)

@@ -326,8 +326,11 @@ class TestFitApplyCommands:
             )
             + "\n"
         )
-        with pytest.raises(ValueError, match="missing quasi-identifier"):
-            main(["apply", str(model), str(bad), str(tmp_path / "o.csv")])
+        # Schema mismatches are caught at the CLI boundary: a clean
+        # diagnostic on stderr and exit code 2, not a traceback.
+        code = main(["apply", str(model), str(bad), str(tmp_path / "o.csv")])
+        assert code == 2
+        assert "missing quasi-identifier" in capsys.readouterr().err
 
 
 class TestAuditCommand:
