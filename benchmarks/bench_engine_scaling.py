@@ -1,8 +1,10 @@
 """Wall-clock scaling benchmark for the clustering engine — BENCH_engine.json.
 
-Times the four partition-layer algorithms (mdav, vmdav, tclose-first,
-kanon-first) plus the fitted-model serving path (``transform`` of a
-10k-record batch) on synthetic data at n ∈ {1 000, 5 000, 20 000} and
+Times the partition-layer algorithms (mdav, vmdav, tclose-first,
+kanon-first at two t levels, and the standalone ``merge`` post-process on
+the tight kanon-first partition) plus the fitted-model serving path
+(``transform`` of a 10k-record batch) on synthetic data at
+n ∈ {1 000, 5 000, 20 000} and
 writes the results to ``BENCH_engine.json`` at the repository root.  That
 file is the repo's tracked performance trajectory: every PR that touches
 the partition layer reruns this script and must not regress it.  See
@@ -28,13 +30,13 @@ the sparse swap engine, the lazy pool and the adaptive scoring blocks
 carry the load).
 
 Compute backends: by default the sweep runs on the ``serial`` backend at
-every size, plus a ``threaded`` pass at the largest size when the sweep
-reaches n >= 20 000 (``--threaded-at`` to change the floor, ``--threads``
-to size the pool, ``--backend`` to pin a single backend for the whole
-sweep).  Every entry records its backend, the worker count and the
-machine's CPU count — thread counts without the CPU count are not
-interpretable, and a single-core container will (correctly) show the
-threaded backend's dispatch overhead instead of a speedup.
+every size, plus ``threaded`` and ``process`` passes at the largest size
+when the sweep reaches n >= 20 000 (``--threaded-at`` to change the
+floor, ``--threads`` to size the pools, ``--backend`` to pin a single
+backend for the whole sweep).  Every entry records its backend, the
+worker count and the machine's CPU count — worker counts without the CPU
+count are not interpretable, and a single-core container will (correctly)
+show the parallel backends' dispatch overhead instead of a speedup.
 
 ``--ceilings FILE`` additionally asserts the recorded times against the
 checked-in per-entry budgets (``benchmarks/ceilings.json``) and exits
@@ -59,8 +61,9 @@ REPO_ROOT = Path(__file__).resolve().parents[1]
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import Anonymizer, KAnonymity, TCloseness  # noqa: E402
-from repro.backend import ThreadedBackend, resolve_backend  # noqa: E402
+from repro.backend import ProcessBackend, ThreadedBackend, resolve_backend  # noqa: E402
 from repro.core.kanon_first import kanonymity_first  # noqa: E402
+from repro.core.merge import microaggregation_merge  # noqa: E402
 from repro.core.tclose_first import tcloseness_first  # noqa: E402
 from repro.data import AttributeRole, Microdata, numeric  # noqa: E402
 from repro.microagg import mdav, vmdav  # noqa: E402
@@ -74,7 +77,8 @@ T_KANON_TIGHT = 0.1
 GAMMA = 0.2
 SEED = 20160516  # the paper's conference date, for want of a better nothing
 TRANSFORM_BATCH = 10_000
-#: Default smallest sweep size at which an extra threaded pass is recorded.
+#: Default smallest sweep size at which extra threaded and process passes
+#: are recorded.
 THREADED_AT = 20_000
 
 
@@ -94,6 +98,18 @@ def synthetic_dataset(n: int, d: int = 4, seed: int = SEED) -> Microdata:
 
 
 def current_commit() -> str:
+    """Provenance stamp: the short HEAD hash, ``-dirty``-suffixed when the
+    working tree has modifications beyond the bench output file itself.
+
+    Every entry carries this stamp so the tracked trajectory is
+    verifiable — ``scripts/check_bench_provenance.py`` (run by CI) rejects
+    entries whose stamp is ``unknown``, dirty, or not a resolvable commit
+    of this repository.  The output file is exempt from the dirty check
+    because regenerating it is exactly the workflow being stamped:
+    commit the source changes, rerun the bench from that clean tree, and
+    commit the refreshed JSON (which then carries the source commit's
+    hash) as a follow-up.
+    """
     try:
         out = subprocess.run(
             ["git", "rev-parse", "--short", "HEAD"],
@@ -102,9 +118,24 @@ def current_commit() -> str:
             text=True,
             check=True,
         )
-        return out.stdout.strip()
+        head = out.stdout.strip()
     except (OSError, subprocess.CalledProcessError):  # pragma: no cover
         return "unknown"
+    try:
+        status = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=REPO_ROOT,
+            capture_output=True,
+            text=True,
+            check=True,
+        )
+        dirty = any(
+            line.strip() and "BENCH_engine.json" not in line
+            for line in status.stdout.splitlines()
+        )
+    except (OSError, subprocess.CalledProcessError):  # pragma: no cover
+        dirty = True
+    return head + "-dirty" if dirty else head
 
 
 def timed(fn) -> float:
@@ -116,6 +147,8 @@ def timed(fn) -> float:
 def make_backend(name: str, threads: int | None):
     if name == "threaded":
         return ThreadedBackend(threads)
+    if name == "process":
+        return ProcessBackend(threads)
     return resolve_backend(name)
 
 
@@ -137,7 +170,7 @@ def run_benchmarks(
     ) -> None:
         backend_threads = (
             instances[backend_name].num_workers
-            if backend_name == "threaded"
+            if backend_name != "serial"
             else None
         )
         entries.append(
@@ -164,7 +197,7 @@ def run_benchmarks(
         data = synthetic_dataset(n)
         X = data.qi_matrix()
         for backend_name in backends:
-            if backend_name == "threaded" and n < threaded_at:
+            if backend_name != "serial" and n < threaded_at:
                 continue
             backend = instances[backend_name]
             record(
@@ -186,6 +219,18 @@ def run_benchmarks(
             record(
                 "kanon-first", n, T_KANON_TIGHT, backend_name,
                 timed(lambda: kanonymity_first(data, K, T_KANON_TIGHT, backend=backend)),
+            )
+            # Algorithm 1's merge cascade, timed on its own: at tight t the
+            # merge phase is the dominant cost the partner-search work
+            # targets, and folding it into kanon-first's total would bury
+            # a regression under the swap phase's noise.
+            record(
+                "merge", n, T_KANON_TIGHT, backend_name,
+                timed(
+                    lambda: microaggregation_merge(
+                        data, K, T_KANON_TIGHT, backend=backend
+                    )
+                ),
             )
             # Serving throughput: one fitted model, a 10k-record batch
             # through the backend's nearest-representative query.
@@ -269,26 +314,26 @@ def main() -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=("serial", "threaded"),
+        choices=("serial", "threaded", "process"),
         default=None,
         help=(
             "pin one backend for the whole sweep (default: serial at every "
-            "size plus a threaded pass at sizes >= --threaded-at)"
+            "size plus threaded and process passes at sizes >= --threaded-at)"
         ),
     )
     parser.add_argument(
         "--threads",
         type=int,
         default=None,
-        help="threaded-backend worker count (default: $REPRO_NUM_THREADS, "
+        help="parallel-backend worker count (default: $REPRO_NUM_THREADS, "
         "else the CPU count)",
     )
     parser.add_argument(
         "--threaded-at",
         type=int,
         default=THREADED_AT,
-        help="smallest sweep size that also gets a threaded pass "
-        f"(default {THREADED_AT}; only in the default two-backend mode)",
+        help="smallest sweep size that also gets threaded and process passes "
+        f"(default {THREADED_AT}; only in the default multi-backend mode)",
     )
     parser.add_argument(
         "--ceilings",
@@ -314,13 +359,13 @@ def main() -> int:
         backends = (args.backend,)
         threaded_at = 0  # pinned backend runs at every size
     else:
-        backends = ("serial", "threaded")
+        backends = ("serial", "threaded", "process")
         threaded_at = args.threaded_at
     entries = run_benchmarks(sizes, backends, args.threads, threaded_at)
     payload = {
         "benchmark": "engine_scaling",
         "schema": "benchmarks/README.md#bench_enginejson",
-        "schema_version": 2,
+        "schema_version": 3,
         "entries": entries,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

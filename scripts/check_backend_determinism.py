@@ -1,17 +1,21 @@
-"""Threaded-backend determinism smoke: same input twice → identical output.
+"""Parallel-backend determinism smoke: same input twice → identical output.
 
-The threaded backend's contract is stronger than determinism — bit-for-bit
+The parallel backends' contract is stronger than determinism — bit-for-bit
 equality with the serial backend — and the golden/property suites pin that
 on fixed fixtures.  This script is the cheap CI canary for the failure
-mode those can miss on a different machine: a racy shard merge or a
-worker-order-dependent reduction would make repeated runs disagree with
-each other (or with serial) nondeterministically.  It runs the full
-kanon-first pipeline (distance kernels, selections, speculative scoring
-blocks, merge phase) twice under a 2-worker threaded backend with shard
-floors forced low, and once serially, and requires all three partitions,
-EMD vectors and serving assignments to be identical.
+mode those can miss on a different machine: a racy shard merge, a
+worker-order-dependent reduction, or (for the process backend) a stale
+shared-memory view would make repeated runs disagree with each other (or
+with serial) nondeterministically.  It runs the full kanon-first pipeline
+(distance kernels, selections, speculative scoring blocks, merge phase)
+twice under each 2-worker parallel backend with shard floors forced low,
+and once serially, and requires every partition, EMD vector and serving
+assignment to be identical.
 
-    PYTHONPATH=src python scripts/check_backend_determinism.py [n]
+    PYTHONPATH=src python scripts/check_backend_determinism.py [n] [backend]
+
+``backend`` limits the check to one parallel backend (``threaded`` or
+``process``); the default checks both.
 """
 
 from __future__ import annotations
@@ -28,10 +32,10 @@ sys.path.insert(0, str(REPO_ROOT / "benchmarks"))
 from bench_engine_scaling import synthetic_dataset  # noqa: E402
 
 from repro import Anonymizer, KAnonymity, TCloseness  # noqa: E402
-from repro.backend import ThreadedBackend  # noqa: E402
+from repro.backend import ProcessBackend, ThreadedBackend  # noqa: E402
 
 
-def run(backend):
+def run(data, backend):
     model = Anonymizer(
         KAnonymity(5) & TCloseness(0.15), method="kanon-first", backend=backend
     ).fit(data)
@@ -43,26 +47,41 @@ def run(backend):
     )
 
 
+PARALLEL_FACTORIES = {
+    "threaded": lambda: ThreadedBackend(
+        2, min_rows=64, min_assign_rows=64, min_candidates=4
+    ),
+    "process": lambda: ProcessBackend(
+        2, min_rows=64, min_assign_rows=64, min_shm_bytes=1
+    ),
+}
+
+
 if __name__ == "__main__":
     n = int(sys.argv[1]) if len(sys.argv) > 1 else 2_000
-    data = synthetic_dataset(n)
-
-    def threaded():
-        return ThreadedBackend(
-            2, min_rows=64, min_assign_rows=64, min_candidates=4
+    chosen = sys.argv[2] if len(sys.argv) > 2 else None
+    if chosen is not None and chosen not in PARALLEL_FACTORIES:
+        raise SystemExit(
+            f"unknown backend {chosen!r}; expected one of "
+            f"{sorted(PARALLEL_FACTORIES)}"
         )
-
-    first = run(threaded())
-    second = run(threaded())
-    serial = run("serial")
-    for name, a, b, c in zip(
-        ("labels", "cluster_emds", "assignment"), first, second, serial
-    ):
-        if not np.array_equal(a, b):
-            raise SystemExit(f"threaded run 1 vs run 2 disagree on {name}")
-        if not np.array_equal(a, c):
-            raise SystemExit(f"threaded vs serial disagree on {name}")
-    print(
-        f"threaded backend deterministic and serial-identical on n={n} "
-        f"(labels, EMDs, serving assignment)"
-    )
+    names = [chosen] if chosen else sorted(PARALLEL_FACTORIES)
+    data = synthetic_dataset(n)
+    serial = run(data, "serial")
+    for backend_name in names:
+        factory = PARALLEL_FACTORIES[backend_name]
+        first = run(data, factory())
+        second = run(data, factory())
+        for part, a, b, c in zip(
+            ("labels", "cluster_emds", "assignment"), first, second, serial
+        ):
+            if not np.array_equal(a, b):
+                raise SystemExit(
+                    f"{backend_name} run 1 vs run 2 disagree on {part}"
+                )
+            if not np.array_equal(a, c):
+                raise SystemExit(f"{backend_name} vs serial disagree on {part}")
+        print(
+            f"{backend_name} backend deterministic and serial-identical on "
+            f"n={n} (labels, EMDs, serving assignment)"
+        )

@@ -1,0 +1,68 @@
+"""Verify BENCH_engine.json provenance: every entry names a real commit.
+
+PR 6 shipped a tracked benchmark file whose 32 entries all claimed the
+seed commit as provenance even though the numbers had been regenerated
+several PRs later — the trajectory looked verifiable and wasn't.  This
+check makes that class of rot a CI failure: each entry's ``commit`` field
+must be a commit reachable in this repository (resolved with
+``git rev-parse``), must not be the ``unknown`` fallback, and must not
+carry the ``-dirty`` suffix the bench stamps when it ran on a modified
+tree (numbers from an uncommitted tree are irreproducible by definition).
+
+    PYTHONPATH=src python scripts/check_bench_provenance.py [path]
+
+Requires full history (CI checks out with ``fetch-depth: 0``) so hashes
+from older commits still resolve.
+"""
+
+from __future__ import annotations
+
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def resolves_to_commit(ref: str) -> bool:
+    proc = subprocess.run(
+        ["git", "rev-parse", "--verify", "--quiet", f"{ref}^{{commit}}"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+    )
+    return proc.returncode == 0
+
+
+def main() -> int:
+    path = Path(sys.argv[1]) if len(sys.argv) > 1 else REPO_ROOT / "BENCH_engine.json"
+    payload = json.loads(path.read_text())
+    entries = payload.get("entries", [])
+    if not entries:
+        print(f"{path}: no entries to check")
+        return 1
+    stamps = {}
+    for i, entry in enumerate(entries):
+        stamps.setdefault(str(entry.get("commit", "")), []).append(i)
+    status = 0
+    for stamp, rows in sorted(stamps.items()):
+        if not stamp or stamp == "unknown":
+            verdict = "REJECT (no provenance)"
+            status = 1
+        elif stamp.endswith("-dirty"):
+            verdict = "REJECT (generated from a modified tree)"
+            status = 1
+        elif not resolves_to_commit(stamp):
+            verdict = "REJECT (not a commit of this repository)"
+            status = 1
+        else:
+            verdict = "ok"
+        print(f"commit {stamp!r}: {len(rows)} entries — {verdict}")
+    if status == 0:
+        print(f"{path}: provenance ok ({len(entries)} entries)")
+    return status
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

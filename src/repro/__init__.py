@@ -32,13 +32,14 @@ through the named registries in :mod:`repro.registry`; extensions register
 their own with ``@register_method`` / ``@register_partitioner`` /
 ``register_emd_mode`` / ``@register_backend``.  Every hot path (clustering,
 swap scoring, batch serving) runs on a pluggable compute backend
-(:mod:`repro.backend`): pass ``backend="threaded"`` to ``anonymize`` /
-``Anonymizer`` — or set ``REPRO_BACKEND=threaded`` — to shard the distance
-and scoring kernels across a worker pool; outputs are bit-for-bit
+(:mod:`repro.backend`): pass ``backend="threaded"`` or
+``backend="process"`` to ``anonymize`` / ``Anonymizer`` — or set
+``REPRO_BACKEND`` — to shard the distance and scoring kernels across a
+thread pool or a shared-memory process pool; outputs are bit-for-bit
 identical under every backend.
 """
 
-from .backend import ComputeBackend, SerialBackend, ThreadedBackend
+from .backend import ComputeBackend, ProcessBackend, SerialBackend, ThreadedBackend
 from .core import (
     METHODS,
     Anonymizer,
@@ -105,5 +106,10 @@ __all__ = [
     "ArtifactCorruptError",
     "ArtifactVersionError",
     "CheckpointStore",
+    "ComputeBackend",
+    "SerialBackend",
+    "ThreadedBackend",
+    "ProcessBackend",
+    "BACKENDS",
     "__version__",
 ]

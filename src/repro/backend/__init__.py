@@ -3,7 +3,7 @@
 See :mod:`repro.backend.base` for the protocol and the selection rules,
 :mod:`repro.backend.kernels` for the canonical distance arithmetic every
 backend executes, and :data:`repro.registry.BACKENDS` for discovery by
-name (``"serial"`` and ``"threaded"`` ship registered).
+name (``"serial"``, ``"threaded"`` and ``"process"`` ship registered).
 """
 
 from .base import (
@@ -16,6 +16,7 @@ from .base import (
     resolve_backend,
 )
 from .kernels import iter_blocks, sq_distances_block
+from .process import ProcessBackend
 from .serial import SerialBackend
 from .threaded import ThreadedBackend
 
@@ -24,6 +25,7 @@ __all__ = [
     "NUM_THREADS_ENV",
     "BackendConfigError",
     "ComputeBackend",
+    "ProcessBackend",
     "SerialBackend",
     "ThreadedBackend",
     "accepts_backend",

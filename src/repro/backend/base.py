@@ -12,11 +12,13 @@ it — :class:`~repro.microagg.engine.ClusteringEngine`, the algorithms,
 execution strategy (a process pool, numba, a GPU) is one registry entry,
 not another engine rewrite.
 
-Two implementations ship: :class:`~repro.backend.serial.SerialBackend`
-(this class's own single-threaded numpy bodies, the default) and
+Three implementations ship: :class:`~repro.backend.serial.SerialBackend`
+(this class's own single-threaded numpy bodies, the default),
 :class:`~repro.backend.threaded.ThreadedBackend` (row-block shards of the
-same kernels on a worker pool).  Both produce **bit-for-bit identical
-results**, because every primitive either keeps per-row arithmetic
+same kernels on a thread pool) and
+:class:`~repro.backend.process.ProcessBackend` (the same shards on a
+process pool over shared-memory buffers).  All produce **bit-for-bit
+identical results**, because every primitive either keeps per-row arithmetic
 unchanged under arbitrary row blocking (the canonical kernel of
 :mod:`repro.backend.kernels`) or merges per-shard results under a total
 order — see each method's contract below.
@@ -76,6 +78,22 @@ class ComputeBackend:
 
     #: Worker-pool width (1 for serial backends) — introspection only.
     num_workers = 1
+
+    # -- working-buffer allocation ---------------------------------------------
+
+    def empty(self, shape) -> np.ndarray:
+        """Allocate an uninitialized float64 working buffer.
+
+        The clustering engine allocates its long-lived hot buffers (the
+        column-major working copy, the distance buffer, the difference
+        scratch) through this hook so a backend can place them in storage
+        its workers can reach — the process backend returns views into
+        ``multiprocessing.shared_memory`` segments, letting worker
+        processes read and write the *same* bytes with zero copying.  The
+        base implementation is a plain ``np.empty``; allocation placement
+        never changes any computed value, only where it lives.
+        """
+        return np.empty(shape)
 
     # -- distance evaluation ---------------------------------------------------
 

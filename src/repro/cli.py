@@ -32,11 +32,11 @@ Audit an existing release (exit code 1 when a declared requirement fails)::
     repro-anonymize audit release.csv --qi age,zip --confidential charge \\
         --require k=5,t=0.15
 
-``anonymize``, ``fit`` and ``apply`` accept ``--backend {serial,threaded}``
-(default: the ``REPRO_BACKEND`` environment variable, else ``serial``;
-the threaded backend sizes its worker pool from ``REPRO_NUM_THREADS``).
-The backend is a pure execution choice — outputs are bit-for-bit
-identical either way.
+``anonymize``, ``fit`` and ``apply`` accept
+``--backend {serial,threaded,process}`` (default: the ``REPRO_BACKEND``
+environment variable, else ``serial``; the parallel backends size their
+worker pools from ``REPRO_NUM_THREADS``).  The backend is a pure
+execution choice — outputs are bit-for-bit identical under every one.
 
 ``python -m repro ...`` is equivalent.
 """

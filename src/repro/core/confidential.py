@@ -206,7 +206,8 @@ class ClusterTrackerSet:
         for tracker, bins in self._trackers:
             scores = tracker.swap_emds(bins[member_records], int(bins[new_record]))
             out = scores if out is None else np.maximum(out, scores)
-        assert out is not None
+        if out is None:
+            raise ValueError("tracker set has no confidential attributes")
         return out
 
     def swap_emds_batch(
@@ -229,7 +230,8 @@ class ClusterTrackerSet:
         for tracker, bins in self._trackers:
             scores = tracker.swap_emds_batch(bins[member_records], bins[new_records])
             out = scores if out is None else np.maximum(out, scores, out=out)
-        assert out is not None
+        if out is None:
+            raise ValueError("tracker set has no confidential attributes")
         return out
 
     def apply_swap(self, removed_record: int, added_record: int) -> None:

@@ -75,7 +75,8 @@ def marginality_centroid(labels: list[str], taxonomy: Taxonomy) -> str:
         cost = sum(taxonomy.leaf_distance(candidate, label) for label in labels)
         if cost < best_cost:
             best_leaf, best_cost = candidate, cost
-    assert best_leaf is not None
+    if best_leaf is None:
+        raise ValueError("taxonomy has no leaves to aggregate onto")
     return best_leaf
 
 

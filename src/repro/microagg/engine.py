@@ -140,22 +140,25 @@ class ClusteringEngine:
             raise ValueError(f"chunk_size must be positive, got {chunk_size}")
         n = X.shape[0]
         self._X = X  # original rows, addressed by record id
-        # Working copy, column-major.  .copy() (not ascontiguousarray) is
-        # load-bearing: for d == 1 the transpose of a C-contiguous array is
-        # already contiguous, and a no-copy view here would let compaction
-        # write through into the caller's data.
-        self._XwT = X.T.copy()
+        self._backend = resolve_backend(backend)
+        # Hot buffers come from the backend's allocator so their bytes can
+        # live where its workers reach them (the process backend hands out
+        # shared-memory views); placement never changes a computed value.
+        # The working copy is column-major and always a *copy* — even for
+        # d == 1, where X.T is already contiguous — so compaction can
+        # never write through into the caller's data.
+        self._XwT = self._backend.empty(X.T.shape)
+        np.copyto(self._XwT, X.T)
         self._ids = np.arange(n, dtype=np.int64)  # window position -> id
         self._pos = np.arange(n, dtype=np.int64)  # record id -> position
         self._alive = np.ones(n, dtype=bool)  # by window position
         self._m = n  # active window length
         self._n_alive = n
         self._sum = X.sum(axis=0)  # coordinate sum of live records
-        self._d2 = np.empty(n)  # distance buffer, window layout
-        self._tmp = np.empty(n)  # per-column difference scratch
+        self._d2 = self._backend.empty(n)  # distance buffer, window layout
+        self._tmp = self._backend.empty(n)  # per-column difference scratch
         self._ratio = compact_ratio
         self._chunk = chunk_size
-        self._backend = resolve_backend(backend)
         self._dead_pos = np.empty(n, dtype=np.int64)  # kills since compaction
         self._n_dead = 0
         self._X_owned = False  # _X may alias caller data until replace_row
@@ -218,6 +221,10 @@ class ClusteringEngine:
     def row(self, record_id: int) -> np.ndarray:
         """The (original) coordinate row of one record, dead or alive."""
         return self._X[record_id]
+
+    def rows(self, record_ids: np.ndarray) -> np.ndarray:
+        """Coordinate rows of the given records (one gathered copy)."""
+        return self._X[record_ids]
 
     def alive_ids(self) -> np.ndarray:
         """Ids of all unassigned records, ascending."""
@@ -522,6 +529,30 @@ class ClusteringEngine:
         self._n_dead += ids.size
         self._n_alive -= ids.size
         self._sum -= self._X[ids].sum(axis=0)
+        if (
+            self._ratio is not None
+            and self._n_alive < self._ratio * self._m
+            and self._m - self._n_alive >= _MIN_COMPACT_GAP
+        ):
+            self._compact()
+
+    def kill_one(self, record_id: int) -> None:
+        """Scalar fast path of :meth:`kill` for a single record.
+
+        Same guards, same compaction trigger, bitwise the same running-sum
+        update (a one-row ``sum(axis=0)`` is the row itself) — minus the
+        array allocation and uniqueness bookkeeping a batch kill pays.
+        The merge loop retires exactly one cluster per commit, so this is
+        its per-merge call.
+        """
+        pos = int(self._pos[record_id])
+        if pos < 0 or not self._alive[pos]:
+            raise ValueError("cannot kill a record that is already assigned")
+        self._alive[pos] = False
+        self._dead_pos[self._n_dead] = pos
+        self._n_dead += 1
+        self._n_alive -= 1
+        self._sum -= self._X[record_id]
         if (
             self._ratio is not None
             and self._n_alive < self._ratio * self._m

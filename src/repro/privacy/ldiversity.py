@@ -66,7 +66,8 @@ def distinct_l_diversity(
         counts = _class_value_counts(data, name, classes)
         attr_level = min(len(c) for c in counts)
         level = attr_level if level is None else min(level, attr_level)
-    assert level is not None
+    if level is None:
+        raise ValueError("no confidential attributes to evaluate")
     return int(level)
 
 
@@ -89,7 +90,8 @@ def entropy_l_diversity(
             entropy = float(-(p * np.log(p)).sum())
             effective = float(np.exp(entropy))
             level = effective if level is None else min(level, effective)
-    assert level is not None
+    if level is None:
+        raise ValueError("no confidential attributes to evaluate")
     return level
 
 

@@ -1,0 +1,168 @@
+"""Differential suite pinning ``_PartnerIndex`` to the flat partner scan.
+
+The block-pruned index (:class:`repro.core.merge._PartnerIndex`) promises
+*bit-for-bit* the partner choices of the reference linear scan
+(:func:`repro.core.merge._nearest_partner`) — same kernel floats, same
+near-tie band expression, same dense re-adjudication.  These tests replay
+full merge cascades through both paths side by side, including the
+adversarial geometries where "almost equal" implementations diverge:
+exact distance ties, duplicate centroids, heavy-tailed spreads, d = 1,
+and index rebuilds mid-cascade.
+"""
+
+import numpy as np
+import pytest
+
+import repro.core.merge as merge_mod
+from repro.core.merge import _nearest_partner, _PartnerIndex, microaggregation_merge
+from repro.data import AttributeRole, Microdata, numeric
+from repro.microagg.engine import ClusteringEngine
+
+
+def _make_engine(X):
+    return ClusteringEngine(np.ascontiguousarray(X, dtype=np.float64))
+
+
+def _merge_cascade(X, n_merges, seed):
+    """Replay ``n_merges`` commits; every query runs both paths and must agree.
+
+    Mirrors the merge loop's commit sequence exactly: query, replace the
+    survivor's centroid with the size-weighted mean, kill the absorbed
+    cluster, notify the index.
+    """
+    rng = np.random.default_rng(seed)
+    eng = _make_engine(X)
+    alive = [True] * len(X)
+    sizes = [1] * len(X)
+    index = _PartnerIndex(eng, alive)
+    live = [g for g in range(len(X)) if alive[g]]
+    for _ in range(n_merges):
+        worst = int(rng.choice(live))
+        flat = _nearest_partner(eng, worst)
+        fast = index.nearest(worst)
+        assert fast == flat
+        sw, sb = sizes[worst], sizes[fast]
+        eng.replace_row(worst, (sw * eng.row(worst) + sb * eng.row(fast)) / (sw + sb))
+        eng.kill_one(fast)
+        index.on_merge(worst, fast)
+        sizes[worst] = sw + sb
+        alive[fast] = False
+        live.remove(fast)
+    return eng, alive, index
+
+
+class TestDifferentialCascades:
+    def test_heavy_tailed_cloud(self):
+        rng = np.random.default_rng(7)
+        X = 30_000.0 * np.exp(0.6 * rng.standard_normal((500, 4)))
+        X = (X - X.mean(axis=0)) / X.std(axis=0)
+        _merge_cascade(X, n_merges=300, seed=11)
+
+    def test_rebuild_mid_cascade(self):
+        # n = 480 rebuilds after max(64, 120) commits; 400 merges force
+        # several rebuilds, each from a shrunken live set.
+        rng = np.random.default_rng(3)
+        X = rng.standard_normal((480, 3))
+        eng, alive, index = _merge_cascade(X, n_merges=400, seed=5)
+        assert sum(alive) == 80
+
+    def test_one_dimensional_centroids(self):
+        rng = np.random.default_rng(9)
+        X = np.sort(rng.standard_normal((300, 1)), axis=0)
+        _merge_cascade(X, n_merges=200, seed=13)
+
+    def test_all_duplicate_centroids(self):
+        # Every distance is exactly 0.0: the whole table sits inside the
+        # near-tie band and the dense re-adjudication must pick the lowest
+        # cluster id — on both paths, at every step.
+        X = np.ones((150, 3)) * 2.5
+        _merge_cascade(X, n_merges=120, seed=1)
+
+    def test_duplicate_centroid_pairs(self):
+        # Tight co-located pairs: the partner is always an exact-tie
+        # decision between at least two candidates at distance ~0.
+        rng = np.random.default_rng(21)
+        half = rng.standard_normal((120, 2)) * 10.0
+        X = np.repeat(half, 2, axis=0)
+        _merge_cascade(X, n_merges=150, seed=2)
+
+    def test_lattice_ties(self):
+        # Integer grid: every point has 2–4 axis neighbours at identical
+        # distance 1.0, so near-tie adjudication fires on most queries.
+        g = np.arange(18, dtype=np.float64)
+        X = np.stack(np.meshgrid(g, g), axis=-1).reshape(-1, 2)
+        _merge_cascade(X, n_merges=200, seed=4)
+
+
+class TestIndexBookkeeping:
+    def test_dead_cluster_never_returned(self):
+        rng = np.random.default_rng(17)
+        X = rng.standard_normal((200, 2))
+        eng = _make_engine(X)
+        alive = [True] * 200
+        index = _PartnerIndex(eng, alive)
+        # Kill the two nearest neighbours of cluster 0 and re-query: the
+        # masked columns must yield +inf, never a dead partner.
+        for _ in range(2):
+            partner = index.nearest(0)
+            assert alive[partner]
+            eng.kill_one(partner)
+            index.on_merge(0, partner)  # no survivor move: row 0 unchanged
+            alive[partner] = False
+        assert alive[index.nearest(0)]
+
+    def test_survivor_radius_grows_with_move(self):
+        # Move a centroid far outside its block's original radius; the
+        # grown covering bound must keep it findable as a partner.
+        X = np.asarray(
+            [[float(i), 0.0] for i in range(100)]
+        )
+        eng = _make_engine(X)
+        alive = [True] * 100
+        index = _PartnerIndex(eng, alive)
+        index.nearest(0)  # force build with original geometry
+        eng.replace_row(99, np.array([0.0, 0.5]))  # jump across the line
+        eng.kill_one(98)
+        alive[98] = False
+        index.on_merge(99, 98)  # survivor 99 moved, absorbed 98
+        assert index.nearest(0) == _nearest_partner(eng, 0)
+
+
+def _merge_dataset(n, seed):
+    rng = np.random.default_rng(seed)
+    cols = {
+        f"q{i}": 30_000.0 * np.exp(0.6 * rng.standard_normal(n)) for i in range(3)
+    }
+    cols["secret"] = rng.permutation(np.arange(float(n)))
+    schema = [
+        numeric(f"q{i}", role=AttributeRole.QUASI_IDENTIFIER) for i in range(3)
+    ] + [numeric("secret", role=AttributeRole.CONFIDENTIAL)]
+    return Microdata(cols, schema)
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("t", [0.12, 0.05])
+    def test_forced_index_matches_forced_flat(self, monkeypatch, t):
+        data = _merge_dataset(900, seed=31)
+        monkeypatch.setattr(merge_mod, "_INDEX_MIN_CLUSTERS", 10**9)
+        ref = microaggregation_merge(data, 3, t)
+        monkeypatch.setattr(merge_mod, "_INDEX_MIN_CLUSTERS", 8)
+        fast = microaggregation_merge(data, 3, t)
+        assert np.array_equal(ref.partition.labels, fast.partition.labels)
+        np.testing.assert_array_equal(ref.cluster_emds, fast.cluster_emds)
+        assert ref.info["n_merges"] == fast.info["n_merges"]
+
+    def test_default_threshold_skips_index_below_crossover(self, monkeypatch):
+        # Below _INDEX_MIN_CLUSTERS the index must never be consulted —
+        # the flat scan is the measured-faster path there.
+        calls = []
+        original = _PartnerIndex.nearest
+
+        def spying(self, worst):
+            calls.append(worst)
+            return original(self, worst)
+
+        monkeypatch.setattr(_PartnerIndex, "nearest", spying)
+        data = _merge_dataset(400, seed=8)
+        microaggregation_merge(data, 3, 0.1)
+        assert calls == []

@@ -1,0 +1,88 @@
+"""Guards against ``python -O`` silently stripping library error paths.
+
+``python -O`` removes every ``assert`` statement at compile time, so a
+bare assert guarding an invariant in library code becomes a silent
+no-op under optimized bytecode — the exact bug class fixed in PR 7
+(``centroids.py`` / ``ldiversity.py`` / ``confidential.py`` carried
+``assert x is not None`` guards on paths that would then return or
+crash nonsensically).  Two layers keep it from returning:
+
+* a static scan that forbids ``assert`` statements anywhere in the
+  installed library source (tests are free to use them), and
+* an end-to-end smoke run of the anonymize lifecycle in a ``python -O``
+  subprocess, proving the library works — and still raises its typed
+  errors — without asserts.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import repro
+
+SRC_ROOT = Path(repro.__file__).resolve().parent
+
+
+def test_library_source_has_no_assert_statements():
+    offenders: list[str] = []
+    for path in sorted(SRC_ROOT.rglob("*.py")):
+        tree = ast.parse(path.read_text(), filename=str(path))
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assert):
+                offenders.append(f"{path.relative_to(SRC_ROOT)}:{node.lineno}")
+    assert not offenders, (
+        "bare assert statements in library code are stripped by `python -O`; "
+        "raise a typed exception instead: " + ", ".join(offenders)
+    )
+
+
+_SMOKE = """
+import sys
+
+if not sys.flags.optimize:
+    raise SystemExit("smoke must run under -O")
+
+from repro import Anonymizer, KAnonymity, TCloseness, anonymize
+from repro.data import load_salary_toy
+from repro.privacy import distinct_l_diversity
+
+data = load_salary_toy()
+release, result = anonymize(data, k=3, t=0.4)
+if not result.satisfies_t:
+    raise SystemExit("release misses t under -O")
+
+model = Anonymizer(KAnonymity(3) & TCloseness(0.4)).fit(data)
+if not model.audit().satisfied:
+    raise SystemExit("audit fails under -O")
+if distinct_l_diversity(model.release_) < 1:
+    raise SystemExit("l-diversity degenerate under -O")
+
+# Typed validation errors must still fire with asserts stripped.
+try:
+    distinct_l_diversity(data, "no-such-attribute")
+except (KeyError, ValueError):
+    pass
+else:
+    raise SystemExit("missing-attribute error path vanished under -O")
+print("optimized-mode smoke ok")
+"""
+
+
+def test_optimized_mode_end_to_end_smoke():
+    env = dict(os.environ)
+    src = str(SRC_ROOT.parent)
+    env["PYTHONPATH"] = src + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    proc = subprocess.run(
+        [sys.executable, "-O", "-c", _SMOKE],
+        capture_output=True,
+        text=True,
+        env=env,
+    )
+    assert proc.returncode == 0, proc.stderr or proc.stdout
+    assert "optimized-mode smoke ok" in proc.stdout
