@@ -2,9 +2,11 @@
 
 Times the partition-layer algorithms (mdav, vmdav, tclose-first,
 kanon-first at two t levels, and the standalone ``merge`` post-process on
-the tight kanon-first partition) plus the fitted-model serving path
-(``transform`` of a 10k-record batch) on synthetic data at
-n ∈ {1 000, 5 000, 20 000} and
+the tight kanon-first partition) plus the fitted-model serving paths
+(``transform`` of a 10k-record batch, and the ``serve``/``serve-cached``
+pair: the same batch pushed through the coalescing micro-batcher by
+concurrent clients with the transform cache off and on) on synthetic
+data at n ∈ {1 000, 5 000, 20 000} and
 writes the results to ``BENCH_engine.json`` at the repository root.  That
 file is the repo's tracked performance trajectory: every PR that touches
 the partition layer reruns this script and must not regress it.  See
@@ -47,6 +49,7 @@ phases and the serving path.
 from __future__ import annotations
 
 import argparse
+import asyncio
 import json
 import os
 import subprocess
@@ -67,6 +70,7 @@ from repro.core.merge import microaggregation_merge  # noqa: E402
 from repro.core.tclose_first import tcloseness_first  # noqa: E402
 from repro.data import AttributeRole, Microdata, numeric  # noqa: E402
 from repro.microagg import mdav, vmdav  # noqa: E402
+from repro.serving import CoalescingBatcher, TransformCache  # noqa: E402
 
 SIZES = (1_000, 5_000, 20_000)
 SMOKE_SIZES = (300,)
@@ -77,6 +81,12 @@ T_KANON_TIGHT = 0.1
 GAMMA = 0.2
 SEED = 20160516  # the paper's conference date, for want of a better nothing
 TRANSFORM_BATCH = 10_000
+#: Serving-throughput workload: this many concurrent client coroutines,
+#: each streaming the 10k-record batch through the coalescing batcher in
+#: SERVE_CHUNK-row requests, for SERVE_ROUNDS passes.
+SERVE_CLIENTS = 8
+SERVE_ROUNDS = 2
+SERVE_CHUNK = 1_250
 #: Default smallest sweep size at which extra threaded and process passes
 #: are recorded.
 THREADED_AT = 20_000
@@ -144,6 +154,39 @@ def timed(fn) -> float:
     return time.perf_counter() - start
 
 
+def serve_throughput(serving_model, encoded: np.ndarray, cache_size: int) -> tuple[float, int]:
+    """Sustained serving workload: SERVE_CLIENTS concurrent clients pushing
+    the encoded batch through one coalescing batcher in SERVE_CHUNK-row
+    requests, SERVE_ROUNDS passes each.  Returns (seconds, total rows).
+
+    With ``cache_size=0`` every row reaches the backend's
+    nearest-representative query (the coalescing-only leg); with the cache
+    sized to hold the batch, the steady-state repeats resolve in the LRU
+    and the backend only sees each distinct row once.
+    """
+    chunks = [
+        encoded[i : i + SERVE_CHUNK] for i in range(0, len(encoded), SERVE_CHUNK)
+    ]
+
+    async def run() -> None:
+        batcher = CoalescingBatcher(
+            serving_model,
+            max_batch_rows=4096,
+            max_wait_ms=0.5,
+            cache=TransformCache(cache_size),
+        )
+
+        async def client() -> None:
+            for _ in range(SERVE_ROUNDS):
+                for chunk in chunks:
+                    await batcher.assign(chunk)
+
+        await asyncio.gather(*(client() for _ in range(SERVE_CLIENTS)))
+
+    seconds = timed(lambda: asyncio.run(run()))
+    return seconds, SERVE_CLIENTS * SERVE_ROUNDS * len(encoded)
+
+
 def make_backend(name: str, threads: int | None):
     if name == "threaded":
         return ThreadedBackend(threads)
@@ -166,31 +209,38 @@ def run_benchmarks(
     batch = synthetic_dataset(TRANSFORM_BATCH, seed=SEED + 77)
 
     def record(
-        algorithm: str, n: int, t: float | None, backend_name: str, seconds: float
+        algorithm: str,
+        n: int,
+        t: float | None,
+        backend_name: str,
+        seconds: float,
+        rows_per_s: float | None = None,
     ) -> None:
         backend_threads = (
             instances[backend_name].num_workers
             if backend_name != "serial"
             else None
         )
-        entries.append(
-            {
-                "algorithm": algorithm,
-                "n": n,
-                "k": K,
-                "t": t,
-                "seconds": round(seconds, 4),
-                "backend": backend_name,
-                "threads": backend_threads,
-                "cpus": cpus,
-                "commit": commit,
-            }
-        )
+        entry = {
+            "algorithm": algorithm,
+            "n": n,
+            "k": K,
+            "t": t,
+            "seconds": round(seconds, 4),
+            "backend": backend_name,
+            "threads": backend_threads,
+            "cpus": cpus,
+            "commit": commit,
+        }
+        if rows_per_s is not None:
+            entry["rows_per_s"] = round(rows_per_s)
+        entries.append(entry)
         t_str = "-" if t is None else f"{t:g}"
         w_str = "" if backend_threads is None else f" x{backend_threads}"
+        r_str = "" if rows_per_s is None else f"  {rows_per_s:>10.0f} rows/s"
         print(
-            f"{algorithm:>13s}  n={n:<6d} k={K} t={t_str:<5s} "
-            f"[{backend_name}{w_str}] {seconds:8.3f}s"
+            f"{algorithm:>14s}  n={n:<6d} k={K} t={t_str:<5s} "
+            f"[{backend_name}{w_str}] {seconds:8.3f}s{r_str}"
         )
 
     for n in sizes:
@@ -241,6 +291,24 @@ def run_benchmarks(
                 "transform", n, T_TCLOSE, backend_name,
                 timed(lambda: model.transform(batch)),
             )
+            # Serving-layer throughput: the same model behind the
+            # coalescing micro-batcher under concurrent clients, with the
+            # transform cache disabled (`serve`: every row reaches the
+            # backend) and sized to the batch (`serve-cached`: repeats
+            # resolve in the LRU).  Rows are encoded once up front so the
+            # pair isolates the assign path the batcher coalesces.
+            encoded_batch = model.transform_model_.encode_batch(batch)
+            for serve_algorithm, cache_size in (
+                ("serve", 0),
+                ("serve-cached", TRANSFORM_BATCH),
+            ):
+                seconds, rows = serve_throughput(
+                    model.transform_model_, encoded_batch, cache_size
+                )
+                record(
+                    serve_algorithm, n, T_TCLOSE, backend_name, seconds,
+                    rows_per_s=rows / seconds,
+                )
             # Checkpoint overhead: the same tight kanon-first fit through
             # the full lifecycle, plain vs checkpointed at the default
             # cadence.  Tracked as a pair so the crash-safety layer's cost
@@ -365,7 +433,7 @@ def main() -> int:
     payload = {
         "benchmark": "engine_scaling",
         "schema": "benchmarks/README.md#bench_enginejson",
-        "schema_version": 3,
+        "schema_version": 4,
         "entries": entries,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

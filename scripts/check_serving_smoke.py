@@ -1,0 +1,160 @@
+"""Serving smoke: a real server process must coalesce, match, and die clean.
+
+End-to-end tripwire for the serving layer, run through the console entry
+point rather than in-process asyncio: fit a model on the salary toy
+table, publish it into a registry with ``repro-anonymize publish``,
+start ``repro-anonymize serve`` as a subprocess on an ephemeral port,
+then require three things of it:
+
+1. **coalescing** — overlapping concurrent ``/v1/assign`` requests are
+   merged into shared backend batches (``max_requests_coalesced > 1``
+   in ``/metrics``);
+2. **fidelity** — every ``/v1/transform`` response is bit-for-bit equal
+   to a direct ``Anonymizer.transform`` in this process;
+3. **clean shutdown** — SIGTERM makes the server print its shutdown
+   line and exit 0 with no traceback on stderr.
+
+    PYTHONPATH=src python scripts/check_serving_smoke.py
+"""
+
+from __future__ import annotations
+
+import signal
+import subprocess
+import sys
+import tempfile
+from concurrent.futures import ThreadPoolExecutor
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro import Anonymizer, KAnonymity, TCloseness  # noqa: E402
+from repro.data import load_salary_toy  # noqa: E402
+from repro.serving import http_json  # noqa: E402
+
+HOST = "127.0.0.1"
+N_CLIENTS = 8
+
+
+def run_cli(*argv: str) -> subprocess.CompletedProcess:
+    return subprocess.run(
+        [sys.executable, "-m", "repro", *argv],
+        capture_output=True,
+        text=True,
+        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+    )
+
+
+def main() -> int:
+    problems: list[str] = []
+    data = load_salary_toy()
+    fitted = Anonymizer(KAnonymity(3) & TCloseness(0.3)).fit(data)
+    direct = fitted.transform(data)
+    records = {
+        name: data.labels(name).tolist() for name in data.attribute_names
+    }
+
+    with tempfile.TemporaryDirectory() as scratch:
+        root = Path(scratch)
+        model_path = root / "salary_model.npz"
+        fitted.save(model_path)
+
+        registry = root / "registry"
+        publish = run_cli(
+            "publish", str(model_path),
+            "--registry", str(registry), "--name", "salary",
+        )
+        if publish.returncode != 0:
+            print(f"FAIL [publish]: exit {publish.returncode}")
+            print(publish.stderr[-2000:])
+            return 1
+        print(f"ok   [publish]: {publish.stdout.strip()}")
+
+        # Generous max-wait so the concurrent burst lands in one batch
+        # even on a slow CI runner.
+        server = subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--registry", str(registry), "--port", "0",
+                "--max-wait-ms", "50",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        )
+        try:
+            announce = server.stdout.readline()
+            if "http://" not in announce:
+                print(f"FAIL [start]: bad announce line {announce!r}")
+                server.kill()
+                print(server.stderr.read()[-2000:])
+                return 1
+            port = int(announce.rsplit(":", 1)[1])
+            print(f"ok   [start]: {announce.strip()}")
+
+            status, health = http_json("GET", HOST, port, "/healthz")
+            if status != 200 or health.get("status") != "ok":
+                problems.append(f"healthz gave {status} {health}")
+
+            # Overlapping concurrent requests: transform fidelity + the
+            # coalescing the batcher exists for.
+            with ThreadPoolExecutor(N_CLIENTS) as pool:
+                replies = list(
+                    pool.map(
+                        lambda _: http_json(
+                            "POST", HOST, port,
+                            "/v1/transform", {"records": records},
+                        ),
+                        range(N_CLIENTS),
+                    )
+                )
+            expected = {
+                name: direct.labels(name).tolist()
+                for name in direct.attribute_names
+            }
+            for status, body in replies:
+                if status != 200:
+                    problems.append(f"transform gave {status}: {body}")
+                elif body["records"] != expected:
+                    problems.append("transform response differs from direct "
+                                    "Anonymizer.transform")
+            if not problems:
+                print(f"ok   [fidelity]: {N_CLIENTS} concurrent responses "
+                      "bit-for-bit equal to direct transform")
+
+            status, metrics = http_json("GET", HOST, port, "/metrics")
+            coalesced = metrics["batches"]["max_requests_coalesced"]
+            if status != 200 or coalesced <= 1:
+                problems.append(
+                    f"no coalescing observed (max_requests_coalesced="
+                    f"{coalesced}, batches={metrics['batches']})"
+                )
+            else:
+                print(f"ok   [coalescing]: up to {coalesced} requests "
+                      f"merged per backend batch")
+
+            server.send_signal(signal.SIGTERM)
+            out, err = server.communicate(timeout=30)
+            if server.returncode != 0:
+                problems.append(f"SIGTERM exit code {server.returncode}")
+            if "serving stopped" not in out:
+                problems.append(f"missing shutdown line in stdout: {out!r}")
+            if "Traceback" in err:
+                problems.append(f"traceback on shutdown: {err[-2000:]}")
+            if not problems:
+                print("ok   [shutdown]: SIGTERM -> exit 0, no traceback")
+        finally:
+            if server.poll() is None:
+                server.kill()
+                server.wait()
+
+    for problem in problems:
+        print(f"FAIL: {problem}")
+    print("serving smoke:", "FAILED" if problems else "PASSED")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -72,6 +72,15 @@ from .runtime import (
     CheckpointStore,
 )
 
+# Serving imports stay last: repro.core must be loaded before repro.serving
+# (core.model closes the core↔serving import cycle).
+from .serving import (
+    AnonymizationService,
+    ModelRegistry,
+    ServingMetrics,
+    TransformModel,
+)
+
 __version__ = "1.1.0"
 
 __all__ = [
@@ -111,5 +120,9 @@ __all__ = [
     "ThreadedBackend",
     "ProcessBackend",
     "BACKENDS",
+    "AnonymizationService",
+    "ModelRegistry",
+    "ServingMetrics",
+    "TransformModel",
     "__version__",
 ]

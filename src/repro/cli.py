@@ -27,6 +27,13 @@ resume from it (bit-for-bit identical to an uninterrupted run)::
     repro-anonymize fit patients.csv model.npz --qi age,zip \\
         --confidential charge --require k=5,t=0.15 --resume ckpt/
 
+Publish fitted models into a versioned registry and serve them over HTTP
+(endpoints ``/v1/transform``, ``/v1/assign``, ``/v1/models``, ``/healthz``,
+``/metrics``; see :mod:`repro.serving`)::
+
+    repro-anonymize publish model.npz --registry registry/ --name patients
+    repro-anonymize serve --registry registry/ --port 8765
+
 Audit an existing release (exit code 1 when a declared requirement fails)::
 
     repro-anonymize audit release.csv --qi age,zip --confidential charge \\
@@ -57,6 +64,7 @@ from .backend import BackendConfigError
 from .privacy.audit import audit, audit_policy
 from .registry import BACKENDS, RegistryError
 from .runtime.atomic import ArtifactError
+from .serving import AnonymizationService, ModelRegistry
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -195,6 +203,62 @@ def build_parser() -> argparse.ArgumentParser:
     apply_.add_argument("output", help="output CSV for the batch release")
     add_backend(apply_)
 
+    publish = sub.add_parser(
+        "publish", help="publish a fitted model into a serving registry"
+    )
+    publish.add_argument("model", help="model path written by `fit`")
+    publish.add_argument(
+        "--registry", required=True, metavar="DIR", help="registry directory"
+    )
+    publish.add_argument(
+        "--name", required=True, help="model name inside the registry"
+    )
+    publish.add_argument(
+        "--version",
+        default=None,
+        help="version label (default: the next v<N>)",
+    )
+    publish.add_argument(
+        "--no-activate",
+        action="store_true",
+        help="publish without making the new version live",
+    )
+
+    serve = sub.add_parser(
+        "serve", help="serve a registry's active models over HTTP"
+    )
+    serve.add_argument(
+        "--registry", required=True, metavar="DIR", help="registry directory"
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port", type=int, default=8765, help="bind port (0 = ephemeral)"
+    )
+    serve.add_argument(
+        "--max-batch-rows",
+        type=int,
+        default=4096,
+        help="flush a coalesced batch at this many pending rows",
+    )
+    serve.add_argument(
+        "--max-wait-ms",
+        type=float,
+        default=2.0,
+        help="flush a coalesced batch after this many milliseconds",
+    )
+    serve.add_argument(
+        "--cache-size",
+        type=int,
+        default=4096,
+        help="per-model transform cache budget in rows (0 disables)",
+    )
+    serve.add_argument(
+        "--no-mmap",
+        action="store_true",
+        help="copy model arrays into private memory instead of mmapping",
+    )
+    add_backend(serve)
+
     return parser
 
 
@@ -298,11 +362,48 @@ def _cmd_apply(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_publish(args: argparse.Namespace) -> int:
+    model = Anonymizer.load(args.model)
+    registry = ModelRegistry(args.registry)
+    version = registry.publish(
+        args.name,
+        model,
+        version=args.version,
+        activate=not args.no_activate,
+    )
+    state = "active" if not args.no_activate else "published (not active)"
+    print(f"published {args.name}/{version} to {args.registry} [{state}]")
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    service = AnonymizationService(
+        args.registry,
+        backend=args.backend,
+        mmap_mode=None if args.no_mmap else "r",
+        max_batch_rows=args.max_batch_rows,
+        max_wait_ms=args.max_wait_ms,
+        cache_size=args.cache_size,
+    )
+    loaded = service.load_models()
+    if not loaded:
+        print(
+            f"error: registry {args.registry} has no active models; "
+            "run `repro-anonymize publish` first",
+            file=sys.stderr,
+        )
+        return 2
+    service.run(args.host, args.port)
+    return 0
+
+
 _COMMANDS = {
     "anonymize": _cmd_anonymize,
     "audit": _cmd_audit,
     "fit": _cmd_fit,
     "apply": _cmd_apply,
+    "publish": _cmd_publish,
+    "serve": _cmd_serve,
 }
 
 

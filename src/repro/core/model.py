@@ -38,21 +38,13 @@ from typing import Mapping
 import numpy as np
 
 from ..backend import ComputeBackend, accepts_backend, resolve_backend
-from ..data.attributes import AttributeRole, AttributeSpec
+from ..data.attributes import AttributeSpec
 from ..data.dataset import Microdata
 from ..distance.records import QIEncoder
 from ..microagg.aggregate import aggregate_partition, cluster_centroids
 from ..microagg.partition import Partition
 from ..registry import METHODS
-from ..runtime.atomic import (
-    ArtifactVersionError,
-    array_checksums,
-    atomic_write_json,
-    atomic_write_npz,
-    read_json,
-    read_npz,
-    verify_array_checksums,
-)
+from ..runtime.atomic import array_checksums, atomic_write_json, atomic_write_npz
 from ..runtime.checkpoint import CheckpointStore, FitProgress, accepts_progress
 from ..runtime.faults import fault_point
 from ..runtime.serialize import (
@@ -64,11 +56,18 @@ from ..runtime.serialize import (
 from .base import TClosenessResult
 from .policy import PrivacyPolicy, as_policy
 from .repair import enforce_policy
-from .validation import BatchSchemaError, validate_fit_data
+from .validation import validate_fit_data
 
-#: On-disk model format version (bump on incompatible layout changes).
-#: Version 2 added content checksums to the sidecar (atomic save/load).
-MODEL_FORMAT_VERSION = 2
+# Imported last, on purpose: repro.serving.model depends only on leaf core
+# modules (policy, validation) — never on this one — so the core↔serving
+# cycle resolves here.  MODEL_FORMAT_VERSION stays importable from this
+# module (it describes Anonymizer.save's artifact, and tests pin it here);
+# its definition moved next to the shared artifact reader.
+from ..serving.model import (
+    MODEL_FORMAT_VERSION,
+    TransformModel,
+    read_model_artifact,
+)
 
 #: Pipeline phases of one fit, in execution order.
 FIT_PHASES = ("cluster", "repair", "aggregate", "verify")
@@ -210,11 +209,7 @@ class Anonymizer:
         self.result_: TClosenessResult | None = None
         self.release_: Microdata | None = None
         self.report_: RunReport | None = None
-        self._schema: tuple[AttributeSpec, ...] | None = None
-        self._qi_names: tuple[str, ...] = ()
-        self._representatives: np.ndarray | None = None
-        self._encoded_representatives: np.ndarray | None = None
-        self._encoder: QIEncoder | None = None
+        self._serving: TransformModel | None = None
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -421,11 +416,6 @@ class Anonymizer:
 
         self.result_ = result_final
         self.release_ = release
-        self._schema = data.schema
-        self._qi_names = qi_names
-        self._representatives = representatives
-        self._encoded_representatives = encoded
-        self._encoder = encoder
         self.report_ = RunReport(
             algorithm=result_final.algorithm,
             policy=self.policy.spec(),
@@ -438,6 +428,18 @@ class Anonymizer:
             achieved=achieved,
             timings=timings,
             details=dict(result_final.info),
+        )
+        self._serving = TransformModel(
+            schema=data.schema,
+            qi_names=qi_names,
+            representatives=representatives,
+            encoder=encoder,
+            policy=self.policy,
+            method=self.method,
+            algorithm=result_final.algorithm,
+            report=self.report_.to_dict(),
+            backend=self.backend,
+            encoded_representatives=encoded,
         )
         self._fitted = True
         return self
@@ -478,6 +480,47 @@ class Anonymizer:
     def is_fitted(self) -> bool:
         return self._fitted
 
+    # -- transform-time state (owned by the serving split) -------------------------
+
+    @property
+    def transform_model_(self) -> TransformModel | None:
+        """The fitted :class:`~repro.serving.TransformModel` (None unfitted).
+
+        The minimal transform-time state — schema, quasi-identifier
+        names, representatives, encoder, policy metadata — split out of
+        this class so the serving layer never holds fit-time engine
+        state.  ``transform``/``assign`` delegate to it, so both paths
+        are one implementation and stay bit-for-bit identical.
+        """
+        return self._serving
+
+    @property
+    def _schema(self) -> tuple[AttributeSpec, ...] | None:
+        """Fitted table schema (read-only view onto the serving split)."""
+        return self._serving.schema if self._serving is not None else None
+
+    @property
+    def _qi_names(self) -> tuple[str, ...]:
+        """Fitted quasi-identifier names (read-only view)."""
+        return self._serving.qi_names if self._serving is not None else ()
+
+    @property
+    def _representatives(self) -> np.ndarray | None:
+        """Per-cluster representative rows (read-only view)."""
+        return self._serving.representatives if self._serving is not None else None
+
+    @property
+    def _encoded_representatives(self) -> np.ndarray | None:
+        """Encoded representatives (read-only view)."""
+        if self._serving is None:
+            return None
+        return self._serving.encoded_representatives
+
+    @property
+    def _encoder(self) -> QIEncoder | None:
+        """Fitted :class:`~repro.distance.records.QIEncoder` (read-only view)."""
+        return self._serving.encoder if self._serving is not None else None
+
     def _require_fitted(self) -> None:
         if not self._fitted:
             raise NotFittedError(
@@ -496,15 +539,13 @@ class Anonymizer:
         in the *fit* data's encoded geometry; exact ties resolve to the
         lowest cluster id).  Confidential and non-confidential columns
         pass through untouched; identifier columns are dropped.
+
+        Delegates to the fitted :class:`~repro.serving.TransformModel`'s
+        staged pipeline: one schema scan, one encoding and one backend
+        query per batch (the pre-split code scanned the schema twice).
         """
         self._require_fitted()
-        self._check_batch_schema(batch)
-        assignment = self.assign(batch)
-        replacements = {
-            name: self._representatives[assignment, j]
-            for j, name in enumerate(self._qi_names)
-        }
-        return batch.with_columns(replacements).drop_identifiers()
+        return self._serving.transform(batch, backend=self.backend)
 
     def assign(self, batch: Microdata) -> np.ndarray:
         """Nearest fitted cluster id for each batch record.
@@ -518,24 +559,11 @@ class Anonymizer:
         backend shards the batch rows across its worker pool.
         """
         self._require_fitted()
-        self._check_batch_schema(batch)
-        encoded = self._encoder.encode(batch.matrix(self._qi_names))
-        return self.backend.assign_nearest(encoded, self._encoded_representatives)
+        return self._serving.assign(batch, backend=self.backend)
 
     def _check_batch_schema(self, batch: Microdata) -> None:
-        by_name = {s.name: s for s in self._schema}
-        for name in self._qi_names:
-            if name not in batch:
-                raise BatchSchemaError(
-                    f"batch is missing quasi-identifier column {name!r}"
-                )
-            fitted, incoming = by_name[name], batch.spec(name)
-            if fitted.kind is not incoming.kind or fitted.categories != incoming.categories:
-                raise BatchSchemaError(
-                    f"batch column {name!r} does not match the fitted schema "
-                    f"(fitted {fitted.kind}/{len(fitted.categories)} categories, "
-                    f"batch {incoming.kind}/{len(incoming.categories)})"
-                )
+        """Validate a serving batch (delegates to the serving split)."""
+        self._serving.check_batch(batch)
 
     def batch_schema(
         self, available: tuple[str, ...] | None = None
@@ -549,18 +577,7 @@ class Anonymizer:
         present — every quasi-identifier must still be among them.
         """
         self._require_fitted()
-        specs = tuple(
-            s for s in self._schema if s.role is not AttributeRole.IDENTIFIER
-        )
-        if available is not None:
-            present = set(available)
-            missing = [n for n in self._qi_names if n not in present]
-            if missing:
-                raise BatchSchemaError(
-                    f"batch is missing quasi-identifier column(s) {missing}"
-                )
-            specs = tuple(s for s in specs if s.name in present)
-        return specs
+        return self._serving.batch_schema(available)
 
     # -- policy audit -------------------------------------------------------------
 
@@ -636,6 +653,7 @@ class Anonymizer:
         path: str | Path,
         *,
         backend: ComputeBackend | str | None = None,
+        mmap_mode: str | None = None,
     ) -> "Anonymizer":
         """Rebuild a fitted model from :meth:`save` output.
 
@@ -647,6 +665,12 @@ class Anonymizer:
         loads and transforms identically under any other — pinned by the
         lifecycle property tests).
 
+        ``mmap_mode="r"`` memory-maps the artifact's arrays read-only in
+        place instead of copying them into private memory, so multiple
+        serving workers loading the same model share one set of
+        page-cache pages (see :func:`repro.runtime.atomic.read_npz`);
+        the loaded state is value-identical either way.
+
         Artifact damage surfaces as typed errors instead of numpy
         tracebacks: a missing file raises
         :class:`~repro.runtime.ArtifactMissingError`, truncation /
@@ -655,23 +679,7 @@ class Anonymizer:
         build cannot read raises
         :class:`~repro.runtime.ArtifactVersionError`.
         """
-        path = Path(path)
-        if path.suffix != ".npz":
-            path = path.with_suffix(path.suffix + ".npz")
-        sidecar = path.with_suffix(".json")
-        payload = read_json(sidecar, kind="model")
-        version = payload.get("format_version")
-        if version != MODEL_FORMAT_VERSION:
-            raise ArtifactVersionError(
-                f"model {sidecar} has format version {version!r}, this build "
-                f"reads version {MODEL_FORMAT_VERSION}; re-save the model "
-                "with a matching library version"
-            )
-        arrays = read_npz(path, kind="model")
-        verify_array_checksums(
-            arrays, payload.get("checksums", {}), source=path, kind="model"
-        )
-
+        payload, arrays, _ = read_model_artifact(path, mmap_mode=mmap_mode)
         model = cls(
             PrivacyPolicy.from_dict(payload["policy"]),
             method=payload["method"],
@@ -685,12 +693,8 @@ class Anonymizer:
             cluster_emds=arrays["cluster_emds"],
             info=dict(payload["info"]),
         )
-        model._schema = tuple(spec_from_dict(d) for d in payload["schema"])
-        model._qi_names = tuple(payload["qi_names"])
-        model._representatives = arrays["representatives"]
-        model._encoder = QIEncoder.from_dict(payload["encoder"])
-        model._encoded_representatives = model._encoder.encode(
-            model._representatives
+        model._serving = TransformModel.from_artifact(
+            payload, arrays, backend=model.backend
         )
         model.report_ = RunReport.from_dict(payload["report"])
         model._fitted = True

@@ -183,25 +183,108 @@ def read_json(path: str | Path, *, kind: str = "artifact") -> dict:
     return payload
 
 
-def read_npz(path: str | Path, *, kind: str = "artifact") -> dict[str, np.ndarray]:
+def read_npz(
+    path: str | Path,
+    *,
+    kind: str = "artifact",
+    mmap_mode: str | None = None,
+) -> dict[str, np.ndarray]:
     """Read an ``.npz`` artifact into a dict with typed errors.
 
     Truncated or bit-flipped archives surface as
     :class:`ArtifactCorruptError` naming the file, instead of the
     ``zipfile``/``ValueError`` internals ``np.load`` raises.
+
+    ``mmap_mode="r"`` memory-maps each array in place instead of copying
+    it into anonymous memory.  ``np.load`` cannot do this for ``.npz``
+    archives, but ``np.savez`` stores its members *uncompressed*
+    (``ZIP_STORED``), so each member's data region is a plain ``.npy``
+    byte range inside the file: the arrays returned here are read-only
+    :class:`numpy.memmap` views onto those ranges.  Every process that
+    maps the same artifact then shares one set of page-cache pages — the
+    point of the serving workers' shared model registry.  A member that
+    is (unexpectedly) compressed falls back to a normal in-memory read.
     """
     path = Path(path)
     if not path.exists():
         raise ArtifactMissingError(f"{kind} file {path} does not exist")
+    if mmap_mode is None:
+        try:
+            with np.load(path, allow_pickle=False) as archive:
+                return {name: archive[name] for name in archive.files}
+        except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError) as exc:
+            raise ArtifactCorruptError(
+                f"{kind} file {path} is unreadable ({exc.__class__.__name__}: "
+                f"{exc}); the file is truncated or corrupted — restore it "
+                "from a backup or recreate the artifact"
+            ) from None
+    if mmap_mode != "r":
+        raise ValueError(
+            f"mmap_mode must be 'r' or None for npz artifacts, got {mmap_mode!r}"
+        )
     try:
-        with np.load(path, allow_pickle=False) as archive:
-            return {name: archive[name] for name in archive.files}
+        out: dict[str, np.ndarray] = {}
+        with zipfile.ZipFile(path) as archive:
+            for info in archive.infolist():
+                name = info.filename
+                if name.endswith(".npy"):
+                    name = name[: -len(".npy")]
+                out[name] = _read_member(path, archive, info)
+        return out
     except (zipfile.BadZipFile, OSError, ValueError, KeyError, EOFError) as exc:
         raise ArtifactCorruptError(
             f"{kind} file {path} is unreadable ({exc.__class__.__name__}: "
             f"{exc}); the file is truncated or corrupted — restore it from a "
             "backup or recreate the artifact"
         ) from None
+
+
+def _read_member(
+    path: Path, archive: zipfile.ZipFile, info: zipfile.ZipInfo
+) -> np.ndarray:
+    """One npz member as a read-only memmap (in-memory fallback if compressed)."""
+    with archive.open(info) as member:
+        version = np.lib.format.read_magic(member)
+        if version == (1, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_1_0(member)
+        elif version == (2, 0):
+            shape, fortran, dtype = np.lib.format.read_array_header_2_0(member)
+        else:  # future .npy header revision: correctness over page sharing
+            member.seek(0)
+            return np.lib.format.read_array(member, allow_pickle=False)
+        if (
+            info.compress_type != zipfile.ZIP_STORED
+            or dtype.hasobject
+            or len(shape) == 0
+            or 0 in shape  # zero-size ranges cannot be mmapped
+        ):
+            member.seek(0)
+            return np.lib.format.read_array(member, allow_pickle=False)
+        header_size = member.tell()
+    # The central directory's name/extra lengths can differ from the local
+    # header's, so the data offset must be read from the local header.
+    with open(path, "rb") as handle:
+        handle.seek(info.header_offset)
+        local = handle.read(30)
+    if len(local) != 30 or local[:4] != b"PK\x03\x04":
+        raise ArtifactCorruptError(
+            f"artifact file {path} has a damaged zip member header for "
+            f"{info.filename!r}"
+        )
+    name_len = int.from_bytes(local[26:28], "little")
+    extra_len = int.from_bytes(local[28:30], "little")
+    offset = info.header_offset + 30 + name_len + extra_len + header_size
+    array = np.memmap(
+        path,
+        dtype=dtype,
+        mode="r",
+        offset=offset,
+        shape=shape,
+        order="F" if fortran else "C",
+    )
+    # np.ndarray view so downstream isinstance/serialization code sees a
+    # plain (read-only, file-backed) array rather than the memmap subclass.
+    return array.view(np.ndarray)
 
 
 def verify_checksum(

@@ -1,0 +1,41 @@
+"""Anonymization-as-a-service: registry, batcher, cache, HTTP, metrics.
+
+The paper's pipeline ends at a fitted release; this package is the layer
+that *serves* one.  A :class:`~repro.serving.registry.ModelRegistry`
+holds versioned, checksum-verified ``Anonymizer.save()`` artifacts with
+an atomically-switched active pointer; a
+:class:`~repro.serving.model.TransformModel` is the minimal
+transform-time state loaded from it (no fit-time engine buffers); a
+:class:`~repro.serving.batcher.CoalescingBatcher` merges concurrent
+requests into single backend queries behind a
+:class:`~repro.serving.cache.TransformCache`; and
+:class:`~repro.serving.service.AnonymizationService` exposes it all over
+a stdlib-only HTTP front end with
+:class:`~repro.serving.metrics.ServingMetrics` observability.
+
+Everything here preserves the library's bit-for-bit contract: a served
+response equals ``Anonymizer.transform`` on the same rows, regardless of
+how requests were coalesced, cached, or which backend executed them.
+"""
+
+from .batcher import CoalescingBatcher
+from .cache import TransformCache
+from .http import HttpError, http_json
+from .metrics import ServingMetrics
+from .model import MODEL_FORMAT_VERSION, TransformModel, read_model_artifact
+from .registry import ModelRegistry, ModelRegistryError
+from .service import AnonymizationService
+
+__all__ = [
+    "AnonymizationService",
+    "CoalescingBatcher",
+    "HttpError",
+    "MODEL_FORMAT_VERSION",
+    "ModelRegistry",
+    "ModelRegistryError",
+    "ServingMetrics",
+    "TransformCache",
+    "TransformModel",
+    "http_json",
+    "read_model_artifact",
+]

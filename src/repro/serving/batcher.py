@@ -1,0 +1,189 @@
+"""Coalescing micro-batcher: many concurrent requests, one backend query.
+
+The backend's ``assign_nearest`` is a vectorized scan whose per-row cost
+*drops* as the batch grows (the representative matrix is loaded once and
+streamed against many rows), so a serving loop that forwards each
+request's handful of rows individually leaves most of the kernel's
+throughput on the table.  :class:`CoalescingBatcher` closes that gap: it
+queues the encoded rows of concurrent ``transform``/``assign`` requests
+and flushes them as **one** stacked ``assign_nearest`` call when either
+the pending batch reaches ``max_batch_rows`` or the oldest queued row has
+waited ``max_wait_ms`` — the classic size-or-deadline policy, so a lone
+request still sees bounded latency while a burst amortizes into a single
+query.
+
+Correctness rests on a property the backend suite already pins:
+``assign_nearest`` is row-independent — each row's nearest cluster does
+not depend on which other rows share the call.  Stacking requests and
+splitting the result therefore returns bit-for-bit what each request
+would have computed alone, and the differential serving tests assert
+exactly that across batching boundaries.
+
+An optional :class:`~repro.serving.cache.TransformCache` fronts the
+queue: rows whose encoded bytes were seen before are answered without
+queueing at all, and only the misses ride to the backend.  All queue
+state is touched only from the owning event loop (no locks needed); the
+backend call itself runs in an executor thread so the loop keeps
+accepting requests mid-query.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from functools import partial
+
+import numpy as np
+
+from .cache import TransformCache
+from .metrics import ServingMetrics
+from .model import TransformModel
+
+
+class _PendingRequest:
+    """One queued request's missing rows and the future that resolves them."""
+
+    __slots__ = ("encoded", "future")
+
+    def __init__(self, encoded: np.ndarray, future: asyncio.Future) -> None:
+        self.encoded = encoded
+        self.future = future
+
+
+class CoalescingBatcher:
+    """Merge concurrent assign queries into stacked backend calls.
+
+    Parameters
+    ----------
+    model:
+        The :class:`~repro.serving.model.TransformModel` whose
+        ``assign_encoded`` answers flushed batches.
+    max_batch_rows:
+        Flush as soon as this many rows are pending (the size half of the
+        size-or-deadline policy).
+    max_wait_ms:
+        Flush this many milliseconds after the first row of a batch was
+        queued, even if the batch is small (the deadline half; bounds a
+        lone request's added latency).
+    cache:
+        Optional :class:`~repro.serving.cache.TransformCache`; hits skip
+        the queue entirely and only misses reach the backend.
+    metrics:
+        Optional :class:`~repro.serving.metrics.ServingMetrics` that
+        records every flush (rows, requests coalesced), cache outcome and
+        queue-depth sample.
+
+    All coordination state lives on the owning asyncio event loop; use
+    :meth:`assign` from coroutines running on that loop only.
+    """
+
+    def __init__(
+        self,
+        model: TransformModel,
+        *,
+        max_batch_rows: int = 4096,
+        max_wait_ms: float = 2.0,
+        cache: TransformCache | None = None,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        if max_batch_rows < 1:
+            raise ValueError("max_batch_rows must be at least 1")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        self.model = model
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_wait_ms = float(max_wait_ms)
+        self.cache = cache
+        self.metrics = metrics
+        self._pending: list[_PendingRequest] = []
+        self._pending_rows = 0
+        self._timer: asyncio.TimerHandle | None = None
+
+    # -- the public query ----------------------------------------------------------
+
+    async def assign(self, encoded: np.ndarray) -> np.ndarray:
+        """Nearest cluster id per encoded row, coalesced with peers.
+
+        Resolves what it can from the cache, queues the rest, and returns
+        once the batch containing this request's rows has flushed.  The
+        result is bit-for-bit identical to
+        ``model.assign_encoded(encoded)`` called alone.
+        """
+        encoded = np.ascontiguousarray(encoded)
+        n = int(encoded.shape[0])
+        if self.cache is not None:
+            assignment, missing = self.cache.lookup_rows(encoded)
+            if self.metrics is not None:
+                self.metrics.record_cache(n - len(missing), len(missing))
+        else:
+            assignment = np.full(n, -1, dtype=np.int64)
+            missing = np.arange(n)
+        if len(missing) == 0:
+            return assignment
+
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append(_PendingRequest(encoded[missing], future))
+        self._pending_rows += len(missing)
+        if self.metrics is not None:
+            self.metrics.record_queue_depth(self._pending_rows)
+        if self._pending_rows >= self.max_batch_rows:
+            self._start_flush(loop)
+        elif self._timer is None:
+            self._timer = loop.call_later(
+                self.max_wait_ms / 1000.0, self._start_flush, loop
+            )
+
+        resolved = await future
+        assignment[missing] = resolved
+        if self.cache is not None:
+            self.cache.store_rows(encoded, assignment, indices=missing)
+        return assignment
+
+    async def flush(self) -> None:
+        """Flush any pending rows now (used on shutdown drains)."""
+        if self._pending:
+            await self._run_flush()
+
+    # -- flush machinery -----------------------------------------------------------
+
+    def _start_flush(self, loop: asyncio.AbstractEventLoop) -> None:
+        """Schedule an immediate flush task (idempotent per batch)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if self._pending:
+            loop.create_task(self._run_flush())
+
+    async def _run_flush(self) -> None:
+        """Stack the snapshot of pending requests into one backend query."""
+        batch, self._pending = self._pending, []
+        rows, self._pending_rows = self._pending_rows, 0
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not batch:
+            return
+        if self.metrics is not None:
+            self.metrics.record_batch(rows, len(batch))
+            self.metrics.record_queue_depth(0)
+        stacked = (
+            batch[0].encoded
+            if len(batch) == 1
+            else np.concatenate([req.encoded for req in batch])
+        )
+        loop = asyncio.get_running_loop()
+        try:
+            assignment = await loop.run_in_executor(
+                None, partial(self.model.assign_encoded, stacked)
+            )
+        except Exception as exc:
+            for req in batch:
+                if not req.future.done():
+                    req.future.set_exception(exc)
+            return
+        offset = 0
+        for req in batch:
+            count = int(req.encoded.shape[0])
+            if not req.future.done():
+                req.future.set_result(assignment[offset : offset + count])
+            offset += count

@@ -1,0 +1,126 @@
+"""LRU transform cache keyed on encoded quasi-identifier rows.
+
+Serving traffic is skewed: hot records (retried requests, duplicated
+upstream events, common QI combinations — ages, zip codes, category
+codes) recur far more often than a uniform draw would suggest.  The
+nearest-representative query is a full scan over every fitted
+representative per row, so memoizing it pays exactly on those repeats.
+
+The cache key is the **encoded** row's raw bytes (``row.tobytes()`` of
+the float64 encoding), not the raw input values: two raw rows that
+encode identically are *defined* to get the same cluster (the distance
+query only ever sees the encoding), so the cache can never change a
+result — a hit returns bit-for-bit what the backend query would have
+computed.  That is the cache's whole correctness argument, and the
+differential serving tests pin it.
+
+Entries are ``encoded-row-bytes → cluster id`` (an int), so memory per
+entry is the key bytes plus a few words; the default budget of a few
+thousand entries is kilobytes, not megabytes.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+
+class TransformCache:
+    """Bounded LRU map from encoded QI rows to fitted cluster ids.
+
+    Parameters
+    ----------
+    max_size:
+        Maximum number of cached rows; least-recently-used entries are
+        evicted past it.  ``0`` (or negative) disables the cache — every
+        lookup misses and stores are dropped — which is how the serving
+        benchmark measures the uncached path with the same code.
+
+    Thread-safe: lookups and stores take an internal lock (the serving
+    loop and benchmark clients may touch one cache from several threads).
+    """
+
+    def __init__(self, max_size: int = 4096) -> None:
+        self.max_size = int(max_size)
+        self._entries: OrderedDict[bytes, int] = OrderedDict()
+        self._lock = threading.Lock()
+        self._hits = 0
+        self._misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        """Whether the cache stores anything at all."""
+        return self.max_size > 0
+
+    @property
+    def hits(self) -> int:
+        """Total lookups answered from the cache."""
+        return self._hits
+
+    @property
+    def misses(self) -> int:
+        """Total lookups that fell through to the backend."""
+        return self._misses
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @staticmethod
+    def key_of(row: np.ndarray) -> bytes:
+        """Cache key of one encoded row (its exact float64 bytes)."""
+        return row.tobytes()
+
+    def lookup_rows(
+        self, encoded: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Resolve a batch against the cache in one pass.
+
+        Returns ``(assignment, missing)``: ``assignment`` is an int64
+        vector with cached cluster ids filled in (unresolved rows hold
+        ``-1``), ``missing`` the indices still needing a backend query.
+        Hit/miss counters update; hits are refreshed in LRU order.
+        """
+        n = encoded.shape[0]
+        assignment = np.full(n, -1, dtype=np.int64)
+        if not self.enabled or n == 0:
+            # A disabled cache is transparent: no counter noise either.
+            return assignment, np.arange(n)
+        missing: list[int] = []
+        with self._lock:
+            for i in range(n):
+                key = encoded[i].tobytes()
+                value = self._entries.get(key)
+                if value is None:
+                    missing.append(i)
+                    self._misses += 1
+                else:
+                    self._entries.move_to_end(key)
+                    assignment[i] = value
+                    self._hits += 1
+        return assignment, np.asarray(missing, dtype=np.int64)
+
+    def store_rows(
+        self,
+        encoded: np.ndarray,
+        assignment: np.ndarray,
+        indices: np.ndarray | None = None,
+    ) -> None:
+        """Remember computed rows (``indices`` selects which, default all)."""
+        if not self.enabled:
+            return
+        if indices is None:
+            indices = range(encoded.shape[0])
+        with self._lock:
+            for i in indices:
+                key = encoded[int(i)].tobytes()
+                self._entries[key] = int(assignment[int(i)])
+                self._entries.move_to_end(key)
+            while len(self._entries) > self.max_size:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop every entry (counters are kept)."""
+        with self._lock:
+            self._entries.clear()

@@ -1,0 +1,205 @@
+"""Minimal HTTP/1.1 plumbing over asyncio streams — no runtime deps.
+
+The repo's posture is numpy-only at runtime, so the serving front end
+cannot lean on aiohttp or another framework.  This module is the small
+amount of HTTP the service actually needs, written against
+``asyncio.start_server`` streams: a request parser
+(:func:`read_request`) covering request line + headers +
+``Content-Length`` bodies, a response writer (:func:`write_response`)
+that always answers ``Connection: close`` JSON, and a blocking
+:func:`http_json` client helper (stdlib ``http.client``) for the CLI,
+examples, tests and the serving benchmark.
+
+Deliberate non-goals, documented so nobody grows them accidentally:
+no chunked transfer encoding, no keep-alive, no TLS, no multipart.  The
+service's requests are small JSON bodies and its deployment story is a
+trusted network behind the caller's own ingress; each omission keeps the
+parser small enough to audit.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+from urllib.parse import parse_qsl, urlsplit
+
+#: Upper bound on one request line or header line, bytes.
+_MAX_LINE = 16 * 1024
+
+#: Upper bound on request bodies, bytes (batches beyond this belong in files).
+MAX_BODY_BYTES = 64 * 1024 * 1024
+
+#: Reason phrases for the statuses the service emits.
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request that must be answered with an HTTP error status.
+
+    Raised by the parser and by endpoint handlers; the connection loop
+    turns it into a JSON error body with the carried ``status``.
+    """
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = int(status)
+        self.message = message
+
+
+class Request:
+    """One parsed HTTP request: method, path, query, headers, body."""
+
+    __slots__ = ("method", "path", "query", "headers", "body")
+
+    def __init__(
+        self,
+        method: str,
+        path: str,
+        query: dict[str, str],
+        headers: dict[str, str],
+        body: bytes,
+    ) -> None:
+        self.method = method
+        self.path = path
+        self.query = query
+        self.headers = headers
+        self.body = body
+
+    def json(self) -> dict:
+        """The body parsed as a JSON object (422 on anything else)."""
+        if not self.body:
+            return {}
+        try:
+            payload = json.loads(self.body)
+        except json.JSONDecodeError as exc:
+            raise HttpError(422, f"request body is not valid JSON ({exc})")
+        if not isinstance(payload, dict):
+            raise HttpError(422, "request body must be a JSON object")
+        return payload
+
+
+async def read_request(reader: asyncio.StreamReader) -> Request | None:
+    """Parse one request from a stream; ``None`` on a cleanly closed peer.
+
+    Malformed requests raise :class:`HttpError` (400/413) for the
+    connection loop to answer.
+    """
+    try:
+        line = await reader.readuntil(b"\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise HttpError(400, "truncated request line")
+    except asyncio.LimitOverrunError:
+        raise HttpError(400, "request line too long")
+    if len(line) > _MAX_LINE:
+        raise HttpError(400, "request line too long")
+    parts = line.decode("latin-1").strip().split()
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line {line!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = dict(parse_qsl(split.query))
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await reader.readuntil(b"\r\n")
+        if len(line) > _MAX_LINE:
+            raise HttpError(400, "header line too long")
+        if line in (b"\r\n", b"\n"):
+            break
+        name, sep, value = line.decode("latin-1").partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, f"bad Content-Length {length!r}")
+        if n < 0:
+            raise HttpError(400, f"bad Content-Length {length!r}")
+        if n > MAX_BODY_BYTES:
+            raise HttpError(
+                413, f"request body of {n} bytes exceeds {MAX_BODY_BYTES}"
+            )
+        if n:
+            try:
+                body = await reader.readexactly(n)
+            except asyncio.IncompleteReadError:
+                raise HttpError(400, "request body shorter than Content-Length")
+    elif headers.get("transfer-encoding"):
+        raise HttpError(400, "chunked request bodies are not supported")
+    return Request(method, split.path, query, headers, body)
+
+
+def render_response(status: int, payload: object) -> bytes:
+    """Serialize one complete ``Connection: close`` JSON response."""
+    body = (json.dumps(payload, sort_keys=True) + "\n").encode("utf-8")
+    reason = _REASONS.get(status, "Unknown")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n"
+        "Connection: close\r\n"
+        "\r\n"
+    ).encode("latin-1")
+    return head + body
+
+
+async def write_response(
+    writer: asyncio.StreamWriter, status: int, payload: object
+) -> None:
+    """Write a JSON response and flush it (connection closes after)."""
+    writer.write(render_response(status, payload))
+    await writer.drain()
+
+
+def http_json(
+    method: str,
+    host: str,
+    port: int,
+    path: str,
+    payload: object | None = None,
+    *,
+    timeout: float = 30.0,
+) -> tuple[int, dict]:
+    """Blocking JSON request against a serving endpoint.
+
+    The client half used by the CLI, the quickstart example, the smoke
+    check and the serving benchmark: one request per connection (matching
+    the server's ``Connection: close``), returning
+    ``(status, decoded body)``.
+    """
+    body = None
+    headers = {"Accept": "application/json"}
+    if payload is not None:
+        body = json.dumps(payload).encode("utf-8")
+        headers["Content-Type"] = "application/json"
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        conn.request(method, path, body=body, headers=headers)
+        response = conn.getresponse()
+        raw = response.read()
+    finally:
+        conn.close()
+    try:
+        decoded = json.loads(raw) if raw else {}
+    except json.JSONDecodeError:
+        decoded = {"raw": raw.decode("utf-8", "replace")}
+    if not isinstance(decoded, dict):
+        decoded = {"value": decoded}
+    return response.status, decoded

@@ -1,0 +1,185 @@
+"""Serving metrics: per-request latency, batch coalescing, cache, queue.
+
+The fit pipeline reports itself through a structured
+:class:`~repro.core.model.RunReport`; this module is the serving-side
+counterpart.  One :class:`ServingMetrics` instance rides along the whole
+request path — the HTTP front end times every request, the coalescing
+batcher records each backend flush (rows and how many concurrent
+requests it merged), the transform cache reports hits and misses, and
+the queue depth is sampled at every enqueue — and :meth:`snapshot`
+renders the accumulated state as one JSON-ready dict (the ``/metrics``
+endpoint's body, and the source of the serving benchmark's derived
+rows/sec).  Counters are cumulative since construction; the snapshot is
+cheap and lock-consistent, so capacity dashboards can poll it.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+
+class _LatencyStat:
+    """Running count/sum/min/max of one endpoint's request latencies."""
+
+    __slots__ = ("count", "errors", "rows", "total_s", "min_s", "max_s")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.errors = 0
+        self.rows = 0
+        self.total_s = 0.0
+        self.min_s = float("inf")
+        self.max_s = 0.0
+
+    def add(self, seconds: float, rows: int, error: bool) -> None:
+        self.count += 1
+        self.rows += rows
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+        if error:
+            self.errors += 1
+
+    def to_dict(self) -> dict:
+        out = {
+            "count": self.count,
+            "errors": self.errors,
+            "rows": self.rows,
+            "latency_s": {
+                "mean": self.total_s / self.count if self.count else 0.0,
+                "min": self.min_s if self.count else 0.0,
+                "max": self.max_s,
+                "total": self.total_s,
+            },
+        }
+        return out
+
+
+class ServingMetrics:
+    """Thread-safe accumulator for the serving path's observable state.
+
+    Four families of signal, matching the knobs a deployment tunes:
+
+    * **requests** — per-endpoint count/error/row totals and latency
+      count-sum-min-max (enough for mean and tail bounds without a
+      histogram dependency);
+    * **batches** — every coalesced backend flush: how many rows it
+      carried, how many concurrent requests it merged (the
+      ``max_requests_coalesced`` field is what the CI smoke asserts
+      ``> 1`` to prove coalescing actually happened);
+    * **cache** — hit/miss totals and the derived hit rate;
+    * **queue** — current and high-water pending row depth.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._started = time.time()
+        self._requests: dict[str, _LatencyStat] = {}
+        self._batches = 0
+        self._batch_rows = 0
+        self._batch_rows_max = 0
+        self._batch_requests = 0
+        self._batch_requests_max = 0
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._queue_depth = 0
+        self._queue_depth_max = 0
+
+    # -- recording ----------------------------------------------------------------
+
+    def record_request(
+        self,
+        endpoint: str,
+        seconds: float,
+        *,
+        rows: int = 0,
+        error: bool = False,
+    ) -> None:
+        """One served request: endpoint label, wall time, rows, outcome."""
+        with self._lock:
+            stat = self._requests.get(endpoint)
+            if stat is None:
+                stat = self._requests[endpoint] = _LatencyStat()
+            stat.add(float(seconds), int(rows), bool(error))
+
+    def record_batch(self, rows: int, requests: int) -> None:
+        """One coalesced backend flush of ``rows`` rows from ``requests`` callers."""
+        with self._lock:
+            self._batches += 1
+            self._batch_rows += int(rows)
+            self._batch_rows_max = max(self._batch_rows_max, int(rows))
+            self._batch_requests += int(requests)
+            self._batch_requests_max = max(self._batch_requests_max, int(requests))
+
+    def record_cache(self, hits: int, misses: int) -> None:
+        """Cache outcomes of one lookup pass (row counts, not batches)."""
+        with self._lock:
+            self._cache_hits += int(hits)
+            self._cache_misses += int(misses)
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Sample the pending-row queue depth (tracks the high-water mark)."""
+        with self._lock:
+            self._queue_depth = int(depth)
+            self._queue_depth_max = max(self._queue_depth_max, int(depth))
+
+    # -- reporting ----------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """JSON-ready state of every counter (the ``/metrics`` body)."""
+        with self._lock:
+            lookups = self._cache_hits + self._cache_misses
+            return {
+                "uptime_s": time.time() - self._started,
+                "requests": {
+                    name: stat.to_dict()
+                    for name, stat in sorted(self._requests.items())
+                },
+                "batches": {
+                    "count": self._batches,
+                    "rows": self._batch_rows,
+                    "rows_max": self._batch_rows_max,
+                    "rows_mean": (
+                        self._batch_rows / self._batches if self._batches else 0.0
+                    ),
+                    "requests_coalesced": self._batch_requests,
+                    "max_requests_coalesced": self._batch_requests_max,
+                },
+                "cache": {
+                    "hits": self._cache_hits,
+                    "misses": self._cache_misses,
+                    "hit_rate": self._cache_hits / lookups if lookups else 0.0,
+                },
+                "queue": {
+                    "depth": self._queue_depth,
+                    "depth_max": self._queue_depth_max,
+                },
+            }
+
+    def format(self) -> str:
+        """Multi-line human-readable rendering of :meth:`snapshot`."""
+        snap = self.snapshot()
+        lines = ["Serving metrics", "---------------"]
+        for name, stat in snap["requests"].items():
+            lat = stat["latency_s"]
+            lines.append(
+                f"{name:<14}: {stat['count']} requests "
+                f"({stat['errors']} errors, {stat['rows']} rows), "
+                f"latency mean {lat['mean'] * 1e3:.2f}ms "
+                f"max {lat['max'] * 1e3:.2f}ms"
+            )
+        b = snap["batches"]
+        lines.append(
+            f"batches       : {b['count']} "
+            f"(mean {b['rows_mean']:.1f} rows, max {b['rows_max']}, "
+            f"max coalesced {b['max_requests_coalesced']} requests)"
+        )
+        c = snap["cache"]
+        lines.append(
+            f"cache         : {c['hits']} hits / {c['misses']} misses "
+            f"(hit rate {c['hit_rate']:.1%})"
+        )
+        q = snap["queue"]
+        lines.append(f"queue depth   : {q['depth']} (max {q['depth_max']})")
+        return "\n".join(lines)

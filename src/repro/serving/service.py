@@ -1,0 +1,378 @@
+"""The anonymization service: registry-backed models behind an HTTP loop.
+
+:class:`AnonymizationService` is the composition root of the serving
+package.  It loads every active model from a
+:class:`~repro.serving.registry.ModelRegistry` (memory-mapped by
+default, so parallel workers share pages), fronts each with its own
+:class:`~repro.serving.cache.TransformCache` and
+:class:`~repro.serving.batcher.CoalescingBatcher`, and exposes the
+result over the stdlib-only HTTP front end in
+:mod:`repro.serving.http`:
+
+========================  ======================================================
+``GET  /healthz``          liveness + loaded model count
+``GET  /metrics``          :class:`~repro.serving.metrics.ServingMetrics` snapshot
+``GET  /v1/models``        registry listing + live model metadata
+``POST /v1/models/<name>/activate``   hot-swap to ``{"version": ...}``
+``POST /v1/models/<name>/rollback``   hot-swap back to the previous version
+``POST /v1/transform``     anonymize ``{"model": ..., "records": {col: [...]}}``
+``POST /v1/assign``        cluster ids only, same request shape
+========================  ======================================================
+
+Transform responses are bit-for-bit identical to calling
+``Anonymizer.transform`` directly on the same rows — coalescing stacks
+row-independent queries and the cache keys on exact encoded bytes, so
+neither can change a result (the differential serving tests and the CI
+smoke assert this end to end).  Activation and rollback swap the live
+model between requests without dropping the listener: in-flight batches
+finish against the model they were queued under.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import signal
+import time
+from pathlib import Path
+
+from ..backend import ComputeBackend
+from ..core.validation import BatchSchemaError
+from ..data.dataset import Microdata, SchemaError
+from ..runtime.atomic import ArtifactError
+from .batcher import CoalescingBatcher
+from .cache import TransformCache
+from .http import HttpError, Request, read_request, write_response
+from .metrics import ServingMetrics
+from .model import TransformModel
+from .registry import ModelRegistry, ModelRegistryError
+
+
+class _LiveModel:
+    """One served model: its version, transform state, cache and batcher."""
+
+    __slots__ = ("name", "version", "model", "cache", "batcher")
+
+    def __init__(
+        self,
+        name: str,
+        version: str,
+        model: TransformModel,
+        cache: TransformCache,
+        batcher: CoalescingBatcher,
+    ) -> None:
+        self.name = name
+        self.version = version
+        self.model = model
+        self.cache = cache
+        self.batcher = batcher
+
+
+class AnonymizationService:
+    """Serve every active model of a registry over HTTP.
+
+    Parameters
+    ----------
+    registry:
+        A :class:`~repro.serving.registry.ModelRegistry` or its root
+        directory.
+    backend:
+        Compute backend for the nearest-representative queries (any
+        ``resolve_backend`` spec); purely an execution choice — responses
+        are bit-for-bit identical under every backend.
+    mmap_mode:
+        Forwarded to the registry loads; the default ``"r"`` maps model
+        arrays read-only so parallel workers share page-cache pages.
+        ``None`` copies them into private memory instead.
+    max_batch_rows, max_wait_ms:
+        The coalescing policy (see
+        :class:`~repro.serving.batcher.CoalescingBatcher`).
+    cache_size:
+        Per-model :class:`~repro.serving.cache.TransformCache` budget in
+        rows; ``0`` disables caching (the serving benchmark's uncached
+        leg).
+    metrics:
+        Optional shared :class:`~repro.serving.metrics.ServingMetrics`;
+        one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | str | Path,
+        *,
+        backend: ComputeBackend | str | None = None,
+        mmap_mode: str | None = "r",
+        max_batch_rows: int = 4096,
+        max_wait_ms: float = 2.0,
+        cache_size: int = 4096,
+        metrics: ServingMetrics | None = None,
+    ) -> None:
+        self.registry = (
+            registry
+            if isinstance(registry, ModelRegistry)
+            else ModelRegistry(registry)
+        )
+        self.backend = backend
+        self.mmap_mode = mmap_mode
+        self.max_batch_rows = int(max_batch_rows)
+        self.max_wait_ms = float(max_wait_ms)
+        self.cache_size = int(cache_size)
+        self.metrics = metrics if metrics is not None else ServingMetrics()
+        self._models: dict[str, _LiveModel] = {}
+
+    # -- model lifecycle -----------------------------------------------------------
+
+    def load_models(self) -> list[str]:
+        """(Re)load every registry model with an active version; return names."""
+        for name in self.registry.names():
+            if self.registry.active_version(name) is not None:
+                self.reload_model(name)
+        return sorted(self._models)
+
+    def reload_model(self, name: str) -> _LiveModel:
+        """Load ``name``'s active version and swap it live.
+
+        The fresh model gets a fresh cache (entries keyed on the old
+        version's encoding must not answer for the new one) and a fresh
+        batcher; the swap is a single dict assignment on the event-loop
+        thread, so requests observe either the old model or the new one,
+        never a mixture.
+        """
+        version = self.registry.active_version(name)
+        if version is None:
+            raise ModelRegistryError(
+                f"model {name!r} has no active version to load"
+            )
+        model = self.registry.load(
+            name, version, backend=self.backend, mmap_mode=self.mmap_mode
+        )
+        cache = TransformCache(max_size=self.cache_size)
+        batcher = CoalescingBatcher(
+            model,
+            max_batch_rows=self.max_batch_rows,
+            max_wait_ms=self.max_wait_ms,
+            cache=cache,
+            metrics=self.metrics,
+        )
+        live = _LiveModel(name, version, model, cache, batcher)
+        self._models[name] = live
+        return live
+
+    def _resolve_model(self, name: str | None) -> _LiveModel:
+        """The live model a request addresses (defaulting when unambiguous)."""
+        if name is None:
+            if len(self._models) == 1:
+                return next(iter(self._models.values()))
+            raise HttpError(
+                422,
+                f"request must name a model (loaded: {sorted(self._models)})",
+            )
+        live = self._models.get(name)
+        if live is None:
+            raise HttpError(
+                404,
+                f"no model {name!r} is loaded (loaded: {sorted(self._models)})",
+            )
+        return live
+
+    # -- request handling ----------------------------------------------------------
+
+    async def handle(self, request: Request) -> tuple[str, int, dict, int]:
+        """Route one request; return ``(endpoint, status, payload, rows)``."""
+        path = request.path.rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                return "healthz", 200, self._healthz(), 0
+            if path == "/metrics":
+                return "metrics", 200, self.metrics.snapshot(), 0
+            if path == "/v1/models":
+                self._require_method(request, "GET")
+                return "models", 200, self._list_models(), 0
+            if path.startswith("/v1/models/"):
+                return self._model_action(request, path)
+            if path == "/v1/transform":
+                self._require_method(request, "POST")
+                payload, rows = await self._transform(request, assign_only=False)
+                return "transform", 200, payload, rows
+            if path == "/v1/assign":
+                self._require_method(request, "POST")
+                payload, rows = await self._transform(request, assign_only=True)
+                return "assign", 200, payload, rows
+            raise HttpError(404, f"no such endpoint {request.path!r}")
+        except (BatchSchemaError, SchemaError) as exc:
+            raise HttpError(422, str(exc))
+        except ModelRegistryError as exc:
+            raise HttpError(404, str(exc))
+        except ArtifactError as exc:
+            raise HttpError(503, str(exc))
+
+    @staticmethod
+    def _require_method(request: Request, method: str) -> None:
+        """405 unless the request uses ``method``."""
+        if request.method != method:
+            raise HttpError(
+                405, f"{request.path} requires {method}, got {request.method}"
+            )
+
+    def _healthz(self) -> dict:
+        """Liveness payload."""
+        return {"status": "ok", "models": sorted(self._models)}
+
+    def _list_models(self) -> dict:
+        """Registry listing enriched with live model metadata."""
+        listing = self.registry.describe()
+        for name, entry in listing.items():
+            live = self._models.get(name)
+            if live is not None:
+                entry["loaded"] = live.version
+                entry["model"] = live.model.describe()
+                entry["cache_size"] = len(live.cache)
+        return {"models": listing}
+
+    def _model_action(
+        self, request: Request, path: str
+    ) -> tuple[str, int, dict, int]:
+        """``/v1/models/<name>/activate`` and ``.../rollback``."""
+        parts = path.split("/")
+        if len(parts) != 5:
+            raise HttpError(404, f"no such endpoint {request.path!r}")
+        _, _, _, name, action = parts
+        self._require_method(request, "POST")
+        if action == "activate":
+            version = request.json().get("version")
+            if not isinstance(version, str):
+                raise HttpError(
+                    422, 'activate requires a JSON body {"version": "<v>"}'
+                )
+            self.registry.activate(name, version)
+        elif action == "rollback":
+            version = self.registry.rollback(name)
+        else:
+            raise HttpError(404, f"no such model action {action!r}")
+        live = self.reload_model(name)
+        return (
+            action,
+            200,
+            {"model": name, "active": live.version},
+            0,
+        )
+
+    async def _transform(
+        self, request: Request, *, assign_only: bool
+    ) -> tuple[dict, int]:
+        """Shared body of ``/v1/transform`` and ``/v1/assign``."""
+        payload = request.json()
+        records = payload.get("records")
+        if not isinstance(records, dict) or not records:
+            raise HttpError(
+                422,
+                'request must carry {"records": {"<column>": [values...]}}',
+            )
+        live = self._resolve_model(payload.get("model"))
+        model = live.model
+        schema = model.batch_schema(available=tuple(records))
+        batch = Microdata({s.name: records[s.name] for s in schema}, schema)
+        encoded = model.encode_batch(batch)
+        assignment = await live.batcher.assign(encoded)
+        n = int(len(batch))
+        out: dict = {
+            "model": live.name,
+            "version": live.version,
+            "n_records": n,
+            "assignments": assignment.tolist(),
+        }
+        if not assign_only:
+            release = model.apply_assignment(batch, assignment)
+            out["records"] = {
+                name: release.labels(name).tolist()
+                for name in release.attribute_names
+            }
+        return out, n
+
+    # -- the connection loop -------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        """Serve one connection: parse, route, answer, close."""
+        started = time.perf_counter()
+        endpoint, status, rows = "other", 500, 0
+        try:
+            try:
+                request = await read_request(reader)
+                if request is None:
+                    return
+                endpoint, status, payload, rows = await self.handle(request)
+            except HttpError as exc:
+                status = exc.status
+                payload = {"error": exc.message}
+            except Exception as exc:  # unexpected: answer 500, keep serving
+                status = 500
+                payload = {"error": f"{exc.__class__.__name__}: {exc}"}
+            await write_response(writer, status, payload)
+        except (ConnectionError, asyncio.CancelledError):
+            pass
+        finally:
+            self.metrics.record_request(
+                endpoint,
+                time.perf_counter() - started,
+                rows=rows,
+                error=status >= 400,
+            )
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover - peer reset
+                pass
+
+    async def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        *,
+        quiet: bool = False,
+    ) -> None:
+        """Run the listener until SIGTERM/SIGINT, then shut down cleanly.
+
+        ``port=0`` binds an ephemeral port; the announcement line (and
+        the smoke harness parsing it) reports the bound one.  Shutdown
+        closes the listener, drains pending batches, and returns — no
+        traceback, which the CI smoke asserts.
+        """
+        if not self._models:
+            self.load_models()
+        server = await asyncio.start_server(self._handle_connection, host, port)
+        bound = server.sockets[0].getsockname()[1]
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        installed: list[signal.Signals] = []
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+                installed.append(sig)
+            except (NotImplementedError, RuntimeError):  # pragma: no cover
+                pass
+        if not quiet:
+            print(
+                f"serving {len(self._models)} model(s) on http://{host}:{bound}",
+                flush=True,
+            )
+        try:
+            await stop.wait()
+        finally:
+            for sig in installed:
+                loop.remove_signal_handler(sig)
+            server.close()
+            await server.wait_closed()
+            for live in self._models.values():
+                await live.batcher.flush()
+        if not quiet:
+            print("serving stopped", flush=True)
+
+    def run(
+        self, host: str = "127.0.0.1", port: int = 8765, *, quiet: bool = False
+    ) -> None:
+        """Blocking wrapper around :meth:`serve` (the CLI entry point)."""
+        try:
+            asyncio.run(self.serve(host, port, quiet=quiet))
+        except KeyboardInterrupt:  # pragma: no cover - ^C without handler
+            pass

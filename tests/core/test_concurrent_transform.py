@@ -1,0 +1,90 @@
+"""Concurrent ``transform`` on one fitted model: the serving thread-safety
+contract.
+
+A serving worker shares a single fitted model between many request
+threads.  ``transform``/``assign`` must therefore be reentrant: the
+transform-time state is read-only after fit, each call passes the
+backend explicitly, and the threaded/process backends' shared kernel
+buffers must not bleed state between overlapping calls.  This suite
+hammers one model from a thread pool under both parallel backends and
+requires every response to be bitwise identical to the serial reference
+— interleaving may change scheduling, never bits.
+"""
+
+from concurrent.futures import ThreadPoolExecutor
+
+import numpy as np
+import pytest
+
+from repro import Anonymizer, KAnonymity, TCloseness
+
+from ..backends import process_for_tests, threaded_for_tests
+from .test_transform_vectorized import make_dataset
+
+N_THREADS = 8
+ROUNDS = 3
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    return Anonymizer(KAnonymity(4) & TCloseness(0.4)).fit(
+        make_dataset(500, 11, grid=True)
+    )
+
+
+@pytest.fixture(scope="module")
+def batches():
+    return [make_dataset(400, seed, grid=True) for seed in range(4)]
+
+
+def share_fitted_state(fitted, backend):
+    """The suite's established pattern: same fitted state, another backend."""
+    model = Anonymizer(fitted.policy, backend=backend)
+    model.__dict__.update(
+        {k: v for k, v in fitted.__dict__.items() if k != "backend"}
+    )
+    return model
+
+
+@pytest.mark.parametrize(
+    "backend_factory",
+    [threaded_for_tests, process_for_tests],
+    ids=["threaded-2", "process-2"],
+)
+class TestConcurrentServing:
+    def test_concurrent_transform_bitwise(self, fitted, batches, backend_factory):
+        model = share_fitted_state(fitted, backend_factory())
+        references = [fitted.transform(b) for b in batches]
+        jobs = [(b, r) for b, r in zip(batches, references)] * ROUNDS
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            futures = [pool.submit(model.transform, batch) for batch, _ in jobs]
+            for (_, reference), future in zip(jobs, futures):
+                released = future.result()
+                for name in reference.attribute_names:
+                    np.testing.assert_array_equal(
+                        reference.values(name), released.values(name)
+                    )
+
+    def test_concurrent_assign_bitwise(self, fitted, batches, backend_factory):
+        model = share_fitted_state(fitted, backend_factory())
+        references = [fitted.assign(b) for b in batches]
+        jobs = [(b, r) for b, r in zip(batches, references)] * ROUNDS
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            futures = [pool.submit(model.assign, batch) for batch, _ in jobs]
+            for (_, reference), future in zip(jobs, futures):
+                np.testing.assert_array_equal(reference, future.result())
+
+    def test_same_batch_from_every_thread(self, fitted, batches, backend_factory):
+        """All threads hammering ONE batch — maximal buffer contention."""
+        model = share_fitted_state(fitted, backend_factory())
+        batch = batches[0]
+        reference = fitted.assign(batch)
+
+        with ThreadPoolExecutor(N_THREADS) as pool:
+            futures = [
+                pool.submit(model.assign, batch) for _ in range(N_THREADS * 2)
+            ]
+            for future in futures:
+                np.testing.assert_array_equal(reference, future.result())

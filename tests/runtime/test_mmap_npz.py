@@ -1,0 +1,90 @@
+"""Memory-mapped npz reads: value-identical, read-only, damage-typed.
+
+``read_npz(mmap_mode="r")`` parses the zip members itself (``np.load``
+cannot mmap ``.npz``), so this suite pins the things that parsing could
+get wrong: every array is value- and dtype-identical to the copying
+read across shapes and dtypes, the views are read-only and file-backed,
+checksum verification works on them, odd members (compressed, empty,
+0-d) fall back to in-memory reads, and damage still surfaces as the
+typed :class:`ArtifactCorruptError` — never a bare numpy traceback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.runtime.atomic import (
+    ArtifactCorruptError,
+    ArtifactMissingError,
+    array_checksums,
+    atomic_write_npz,
+    read_npz,
+    verify_array_checksums,
+)
+
+ARRAYS = {
+    "floats2d": np.arange(24, dtype=np.float64).reshape(6, 4),
+    "ints": np.arange(-5, 5, dtype=np.int64),
+    "bools": np.array([True, False, True]),
+    "f32": np.linspace(0, 1, 7, dtype=np.float32),
+    "scalar0d": np.array(3.5),
+    "empty": np.empty((0, 3), dtype=np.float64),
+}
+
+
+@pytest.fixture()
+def npz_path(tmp_path):
+    return atomic_write_npz(tmp_path / "arrays.npz", ARRAYS)
+
+
+class TestMmapRead:
+    def test_values_identical_to_copy_read(self, npz_path):
+        copied = read_npz(npz_path)
+        mapped = read_npz(npz_path, mmap_mode="r")
+        assert sorted(mapped) == sorted(copied)
+        for name in copied:
+            assert mapped[name].dtype == copied[name].dtype
+            assert mapped[name].shape == copied[name].shape
+            np.testing.assert_array_equal(mapped[name], copied[name])
+
+    def test_mapped_arrays_are_read_only_views(self, npz_path):
+        mapped = read_npz(npz_path, mmap_mode="r")
+        arr = mapped["floats2d"]
+        assert isinstance(arr, np.ndarray)
+        assert not arr.flags.writeable
+        assert not arr.flags.owndata  # file-backed, not a private copy
+        with pytest.raises((ValueError, RuntimeError)):
+            arr[0, 0] = 99.0
+
+    def test_checksums_verify_on_mapped_arrays(self, npz_path):
+        expected = array_checksums(ARRAYS)
+        mapped = read_npz(npz_path, mmap_mode="r")
+        verify_array_checksums(mapped, expected, source=npz_path)
+
+    def test_compressed_archive_falls_back_in_memory(self, tmp_path):
+        path = tmp_path / "compressed.npz"
+        np.savez_compressed(path, **ARRAYS)
+        mapped = read_npz(path, mmap_mode="r")
+        for name, reference in ARRAYS.items():
+            np.testing.assert_array_equal(mapped[name], reference)
+
+    def test_rejects_other_modes(self, npz_path):
+        with pytest.raises(ValueError, match="mmap_mode"):
+            read_npz(npz_path, mmap_mode="r+")
+
+
+class TestMmapDamageContract:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArtifactMissingError):
+            read_npz(tmp_path / "ghost.npz", mmap_mode="r")
+
+    def test_truncated_archive(self, npz_path):
+        data = npz_path.read_bytes()
+        npz_path.write_bytes(data[: len(data) // 2])
+        with pytest.raises(ArtifactCorruptError, match="truncated or corrupted"):
+            read_npz(npz_path, mmap_mode="r")
+
+    def test_not_a_zip(self, tmp_path):
+        path = tmp_path / "junk.npz"
+        path.write_bytes(b"this is not a zip archive")
+        with pytest.raises(ArtifactCorruptError):
+            read_npz(path, mmap_mode="r")

@@ -1,0 +1,1 @@
+"""Test package (enables intra-suite imports like tests.backends)."""

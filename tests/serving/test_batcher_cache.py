@@ -1,0 +1,197 @@
+"""Coalescing batcher + transform cache: bit-for-bit under every backend.
+
+The serving acceptance criterion, pinned directly: responses assembled
+through request coalescing (arbitrary batching boundaries, size- and
+deadline-triggered flushes) and through cache hits/misses are bitwise
+identical to a direct ``assign_encoded`` on the same rows — under the
+serial, threaded and process backends alike.  Plus the LRU cache's own
+unit contract: bounded size, recency eviction, transparent when
+disabled.
+"""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.serving import CoalescingBatcher, ServingMetrics, TransformCache
+
+from ..backends import BACKENDS_UNDER_TEST
+from .conftest import with_backend
+
+
+def gather(*coros):
+    """Run coroutines concurrently on a fresh event loop."""
+
+    async def go():
+        return await asyncio.gather(*coros)
+
+    return asyncio.run(go())
+
+
+def uneven_chunks(encoded):
+    """Split rows into deliberately ragged request-sized chunks."""
+    sizes = [1, 7, 30, 64, 100]
+    chunks, start = [], 0
+    for size in sizes:
+        chunks.append(encoded[start : start + size])
+        start += size
+    chunks.append(encoded[start:])
+    return [c for c in chunks if len(c)]
+
+
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+class TestDifferentialAcrossBackends:
+    def test_coalesced_equals_direct(self, fitted, batch, backend):
+        model = with_backend(fitted, backend)
+        encoded = model.encode_batch(batch)
+        direct = model.assign_encoded(encoded)
+        metrics = ServingMetrics()
+        batcher = CoalescingBatcher(
+            model,
+            max_batch_rows=64,  # several size-triggered flushes mid-run
+            max_wait_ms=5.0,
+            cache=TransformCache(max_size=4096),
+            metrics=metrics,
+        )
+        chunks = uneven_chunks(encoded)
+        offsets = np.cumsum([0] + [len(c) for c in chunks])
+
+        # Cold pass: all misses, mixed flush triggers.
+        cold = gather(*[batcher.assign(c) for c in chunks])
+        for lo, hi, result in zip(offsets, offsets[1:], cold):
+            np.testing.assert_array_equal(result, direct[lo:hi])
+
+        # Hot pass: repeats now resolve from the cache — same bits.
+        hot = gather(*[batcher.assign(c) for c in chunks])
+        for lo, hi, result in zip(offsets, offsets[1:], hot):
+            np.testing.assert_array_equal(result, direct[lo:hi])
+
+        snap = metrics.snapshot()
+        assert snap["batches"]["max_requests_coalesced"] > 1
+        assert snap["cache"]["hits"] > 0
+
+    def test_cache_only_pass_equals_direct(self, fitted, batch, backend):
+        model = with_backend(fitted, backend)
+        encoded = model.encode_batch(batch)
+        direct = model.assign_encoded(encoded)
+        cache = TransformCache(max_size=len(encoded) + 1)
+        batcher = CoalescingBatcher(model, max_wait_ms=1.0, cache=cache)
+        first = gather(batcher.assign(encoded))[0]
+        hits_before = cache.hits
+        second = gather(batcher.assign(encoded))[0]
+        np.testing.assert_array_equal(first, direct)
+        np.testing.assert_array_equal(second, direct)
+        assert cache.hits == hits_before + len(encoded)
+
+
+class TestBatcherMechanics:
+    def test_single_request_deadline_flush(self, fitted, batch):
+        model = fitted.transform_model_
+        encoded = model.encode_batch(batch)[:5]
+        batcher = CoalescingBatcher(model, max_batch_rows=10_000, max_wait_ms=1.0)
+        np.testing.assert_array_equal(
+            gather(batcher.assign(encoded))[0], model.assign_encoded(encoded)
+        )
+
+    def test_size_threshold_flushes_without_deadline(self, fitted, batch):
+        model = fitted.transform_model_
+        encoded = model.encode_batch(batch)
+        metrics = ServingMetrics()
+        # A deadline far beyond the test's patience: only the size
+        # trigger can flush, so completion proves it fired.
+        batcher = CoalescingBatcher(
+            model, max_batch_rows=8, max_wait_ms=60_000.0, metrics=metrics
+        )
+        chunks = [encoded[i : i + 4] for i in range(0, 16, 4)]
+
+        results = gather(*[batcher.assign(c) for c in chunks])
+        direct = model.assign_encoded(encoded[:16])
+        np.testing.assert_array_equal(np.concatenate(results), direct)
+        assert metrics.snapshot()["batches"]["count"] >= 1
+
+    def test_mixed_hit_miss_request(self, fitted, batch):
+        model = fitted.transform_model_
+        encoded = model.encode_batch(batch)
+        cache = TransformCache(max_size=4096)
+        batcher = CoalescingBatcher(model, max_wait_ms=1.0, cache=cache)
+        gather(batcher.assign(encoded[:40]))  # warm the first 40 rows
+        # Overlapping request: rows 20..60 are half hits, half misses.
+        result = gather(batcher.assign(encoded[20:60]))[0]
+        np.testing.assert_array_equal(
+            result, model.assign_encoded(encoded[20:60])
+        )
+        assert cache.hits >= 1
+
+    def test_backend_error_propagates(self, fitted, batch):
+        model = fitted.transform_model_
+        encoded = model.encode_batch(batch)[:4]
+        batcher = CoalescingBatcher(model, max_wait_ms=1.0)
+        boom = RuntimeError("injected")
+
+        def failing(encoded_rows, *, backend=None):
+            raise boom
+
+        batcher.model = type(
+            "FailingModel", (), {"assign_encoded": staticmethod(failing)}
+        )()
+        with pytest.raises(RuntimeError, match="injected"):
+            gather(batcher.assign(encoded))
+
+    def test_invalid_policy_rejected(self, fitted):
+        model = fitted.transform_model_
+        with pytest.raises(ValueError, match="max_batch_rows"):
+            CoalescingBatcher(model, max_batch_rows=0)
+        with pytest.raises(ValueError, match="max_wait_ms"):
+            CoalescingBatcher(model, max_wait_ms=-1.0)
+
+
+class TestTransformCacheUnit:
+    def rows(self, n, start=0):
+        return np.arange(start, start + 2 * n, dtype=np.float64).reshape(n, 2)
+
+    def test_store_then_lookup(self):
+        cache = TransformCache(max_size=8)
+        rows = self.rows(3)
+        cache.store_rows(rows, np.array([5, 6, 7]))
+        assignment, missing = cache.lookup_rows(rows)
+        np.testing.assert_array_equal(assignment, [5, 6, 7])
+        assert missing.size == 0
+        assert cache.hits == 3 and cache.misses == 0
+
+    def test_lru_eviction_order(self):
+        cache = TransformCache(max_size=2)
+        rows = self.rows(3)
+        cache.store_rows(rows[:2], np.array([0, 1]))
+        cache.lookup_rows(rows[:1])  # refresh row 0: row 1 is now LRU
+        cache.store_rows(rows[2:], np.array([2]))
+        assignment, missing = cache.lookup_rows(rows)
+        np.testing.assert_array_equal(assignment, [0, -1, 2])
+        np.testing.assert_array_equal(missing, [1])
+
+    def test_partial_store_via_indices(self):
+        cache = TransformCache(max_size=8)
+        rows = self.rows(4)
+        cache.store_rows(rows, np.array([9, 9, 3, 9]), indices=np.array([2]))
+        assignment, missing = cache.lookup_rows(rows)
+        np.testing.assert_array_equal(assignment, [-1, -1, 3, -1])
+        assert len(cache) == 1
+
+    def test_disabled_cache_is_transparent(self):
+        cache = TransformCache(max_size=0)
+        rows = self.rows(3)
+        cache.store_rows(rows, np.array([1, 2, 3]))
+        assignment, missing = cache.lookup_rows(rows)
+        assert not cache.enabled
+        np.testing.assert_array_equal(assignment, [-1, -1, -1])
+        np.testing.assert_array_equal(missing, [0, 1, 2])
+        assert len(cache) == 0
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_clear_keeps_counters(self):
+        cache = TransformCache(max_size=8)
+        rows = self.rows(2)
+        cache.store_rows(rows, np.array([1, 2]))
+        cache.lookup_rows(rows)
+        cache.clear()
+        assert len(cache) == 0 and cache.hits == 2

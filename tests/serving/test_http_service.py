@@ -1,0 +1,303 @@
+"""HTTP front end + service routing: parser, endpoints, hot swap, errors.
+
+Exercises the stdlib-only HTTP/1.1 parser against well-formed and
+malformed byte streams, then drives :class:`AnonymizationService` over
+real loopback sockets: transform/assign responses bitwise equal to the
+direct ``Anonymizer.transform`` path, registry listing, activation and
+rollback hot swaps, metrics exposure, and the 4xx error contract.
+"""
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.serving import AnonymizationService, ModelRegistry
+from repro.serving.http import (
+    HttpError,
+    read_request,
+    render_response,
+)
+
+
+def parse(raw: bytes):
+    """Run the request parser over a canned byte stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+class TestRequestParser:
+    def test_get_with_query(self):
+        request = parse(b"GET /v1/models?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert request.method == "GET"
+        assert request.path == "/v1/models"
+        assert request.query == {"verbose": "1"}
+        assert request.headers["host"] == "x"
+        assert request.json() == {}
+
+    def test_post_with_body(self):
+        body = b'{"records": {"qi0": [1.0]}}'
+        raw = (
+            b"POST /v1/transform HTTP/1.1\r\n"
+            b"Content-Type: application/json\r\n"
+            + f"Content-Length: {len(body)}\r\n\r\n".encode()
+            + body
+        )
+        request = parse(raw)
+        assert request.method == "POST"
+        assert request.json() == {"records": {"qi0": [1.0]}}
+
+    def test_clean_eof_is_none(self):
+        assert parse(b"") is None
+
+    @pytest.mark.parametrize(
+        "raw, match",
+        [
+            (b"NOT-HTTP\r\n\r\n", "malformed request line"),
+            (b"GET /x\r\n\r\n", "malformed request line"),
+            (b"GET / HTTP/1.1\r\nBadHeader\r\n\r\n", "malformed header"),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: oops\r\n\r\n",
+                "bad Content-Length",
+            ),
+            (
+                b"POST / HTTP/1.1\r\nContent-Length: 99\r\n\r\nshort",
+                "shorter than Content-Length",
+            ),
+            (
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+                "chunked",
+            ),
+        ],
+    )
+    def test_malformed_requests_rejected(self, raw, match):
+        with pytest.raises(HttpError, match=match):
+            parse(raw)
+
+    def test_oversized_body_rejected(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 999999999999\r\n\r\n"
+        with pytest.raises(HttpError) as err:
+            parse(raw)
+        assert err.value.status == 413
+
+    def test_bad_json_body_is_422(self):
+        raw = b"POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nnope"
+        with pytest.raises(HttpError) as err:
+            parse(raw).json()
+        assert err.value.status == 422
+
+    def test_render_response_shape(self):
+        raw = render_response(200, {"ok": True})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Type: application/json" in head
+        assert json.loads(body) == {"ok": True}
+
+
+async def http(port, method, path, payload=None):
+    """One raw-socket request against the service under test."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    body = b"" if payload is None else json.dumps(payload).encode()
+    writer.write(
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n".encode() + body
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    return int(head.split()[1]), json.loads(payload)
+
+
+def serve(service, interact):
+    """Run ``interact(port)`` against a live listener for ``service``."""
+
+    async def go():
+        server = await asyncio.start_server(
+            service._handle_connection, "127.0.0.1", 0
+        )
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await interact(port)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(go())
+
+
+@pytest.fixture()
+def registry(tmp_path, fitted):
+    registry = ModelRegistry(tmp_path / "registry")
+    registry.publish("salary", fitted)
+    return registry
+
+
+@pytest.fixture()
+def service(registry):
+    svc = AnonymizationService(registry, max_wait_ms=1.0)
+    svc.load_models()
+    return svc
+
+
+def records_of(batch):
+    """A batch as the JSON column mapping the endpoints accept."""
+    return {
+        name: batch.labels(name).tolist() for name in batch.attribute_names
+    }
+
+
+class TestEndpoints:
+    def test_healthz(self, service):
+        status, body = serve(service, lambda p: http(p, "GET", "/healthz"))
+        assert status == 200
+        assert body == {"status": "ok", "models": ["salary"]}
+
+    def test_transform_bitwise_equals_direct(self, service, fitted, batch):
+        status, body = serve(
+            service,
+            lambda p: http(p, "POST", "/v1/transform", {"records": records_of(batch)}),
+        )
+        assert status == 200
+        assert body["model"] == "salary" and body["version"] == "v1"
+        direct = fitted.transform(batch)
+        for name in direct.attribute_names:
+            assert body["records"][name] == direct.labels(name).tolist()
+
+    def test_assign_matches_direct(self, service, fitted, batch):
+        status, body = serve(
+            service,
+            lambda p: http(p, "POST", "/v1/assign", {"records": records_of(batch)}),
+        )
+        assert status == 200
+        assert "records" not in body
+        np.testing.assert_array_equal(body["assignments"], fitted.assign(batch))
+
+    def test_models_listing(self, service):
+        status, body = serve(service, lambda p: http(p, "GET", "/v1/models"))
+        assert status == 200
+        entry = body["models"]["salary"]
+        assert entry["active"] == entry["loaded"] == "v1"
+        assert entry["model"]["policy"] == "k=4,t=0.4"
+
+    def test_metrics_expose_request_counts(self, service, batch):
+        async def interact(port):
+            await http(port, "POST", "/v1/transform", {"records": records_of(batch)})
+            return await http(port, "GET", "/metrics")
+
+        status, body = serve(service, interact)
+        assert status == 200
+        assert body["requests"]["transform"]["count"] == 1
+        assert body["requests"]["transform"]["rows"] == len(batch)
+        assert body["batches"]["count"] >= 1
+
+    def test_concurrent_requests_coalesce(self, registry, batch):
+        service = AnonymizationService(registry, max_wait_ms=50.0)
+        service.load_models()
+        records = records_of(batch)
+
+        async def interact(port):
+            results = await asyncio.gather(
+                *[
+                    http(port, "POST", "/v1/assign", {"records": records})
+                    for _ in range(5)
+                ]
+            )
+            return results, await http(port, "GET", "/metrics")
+
+        results, (_, metrics) = serve(service, interact)
+        first = results[0][1]["assignments"]
+        assert all(status == 200 for status, _ in results)
+        assert all(body["assignments"] == first for _, body in results)
+        assert metrics["batches"]["max_requests_coalesced"] > 1
+
+
+class TestHotSwap:
+    def test_activate_swaps_live_version(self, registry, fitted, service, batch):
+        registry.publish("salary", fitted, activate=False)
+
+        async def interact(port):
+            swap = await http(
+                port, "POST", "/v1/models/salary/activate", {"version": "v2"}
+            )
+            served = await http(
+                port, "POST", "/v1/transform", {"records": records_of(batch)}
+            )
+            return swap, served
+
+        (sw_status, sw_body), (status, body) = serve(service, interact)
+        assert sw_status == 200 and sw_body == {"model": "salary", "active": "v2"}
+        assert status == 200 and body["version"] == "v2"
+
+    def test_rollback_endpoint(self, registry, fitted, service):
+        registry.publish("salary", fitted)
+        service.reload_model("salary")
+
+        status, body = serve(
+            service, lambda p: http(p, "POST", "/v1/models/salary/rollback")
+        )
+        assert status == 200
+        assert body == {"model": "salary", "active": "v1"}
+        assert service._models["salary"].version == "v1"
+
+
+class TestErrorContract:
+    def test_unknown_endpoint_404(self, service):
+        status, body = serve(service, lambda p: http(p, "GET", "/nope"))
+        assert status == 404 and "error" in body
+
+    def test_wrong_method_405(self, service):
+        status, _ = serve(service, lambda p: http(p, "GET", "/v1/transform"))
+        assert status == 405
+
+    def test_missing_records_422(self, service):
+        status, body = serve(
+            service, lambda p: http(p, "POST", "/v1/transform", {"rows": []})
+        )
+        assert status == 422 and "records" in body["error"]
+
+    def test_unknown_model_404(self, service, batch):
+        status, _ = serve(
+            service,
+            lambda p: http(
+                p,
+                "POST",
+                "/v1/transform",
+                {"model": "ghost", "records": records_of(batch)},
+            ),
+        )
+        assert status == 404
+
+    def test_schema_mismatch_422(self, service, batch):
+        records = records_of(batch)
+        records.pop("qi1")
+        status, body = serve(
+            service,
+            lambda p: http(p, "POST", "/v1/transform", {"records": records}),
+        )
+        assert status == 422 and "qi1" in body["error"]
+
+    def test_activate_unknown_version_404(self, service):
+        status, _ = serve(
+            service,
+            lambda p: http(
+                p, "POST", "/v1/models/salary/activate", {"version": "v9"}
+            ),
+        )
+        assert status == 404
+
+    def test_errors_counted_in_metrics(self, service):
+        async def interact(port):
+            await http(port, "GET", "/nope")
+            return await http(port, "GET", "/metrics")
+
+        _, body = serve(service, interact)
+        assert body["requests"]["other"]["errors"] == 1

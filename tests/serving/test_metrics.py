@@ -1,0 +1,105 @@
+"""ServingMetrics: counter semantics, snapshot shape, rendering.
+
+The metrics object is the serving layer's only observability surface
+(``/metrics`` and the serving benchmark both read it), so its counter
+semantics are pinned: per-endpoint latency count/sum/min/max, coalesced
+batch accounting, cache hit rate, queue high-water mark — and a
+lock-consistent snapshot under concurrent writers.
+"""
+
+import json
+import threading
+
+from repro.serving import ServingMetrics
+
+
+class TestRequestAccounting:
+    def test_latency_stats(self):
+        metrics = ServingMetrics()
+        metrics.record_request("transform", 0.010, rows=5)
+        metrics.record_request("transform", 0.030, rows=7, error=True)
+        stat = metrics.snapshot()["requests"]["transform"]
+        assert stat["count"] == 2
+        assert stat["errors"] == 1
+        assert stat["rows"] == 12
+        lat = stat["latency_s"]
+        assert lat["min"] == 0.010 and lat["max"] == 0.030
+        assert abs(lat["mean"] - 0.020) < 1e-12
+
+    def test_endpoints_tracked_separately(self):
+        metrics = ServingMetrics()
+        metrics.record_request("transform", 0.01)
+        metrics.record_request("healthz", 0.001)
+        snap = metrics.snapshot()
+        assert sorted(snap["requests"]) == ["healthz", "transform"]
+
+
+class TestBatchCacheQueue:
+    def test_batch_accounting(self):
+        metrics = ServingMetrics()
+        metrics.record_batch(rows=10, requests=1)
+        metrics.record_batch(rows=30, requests=4)
+        batches = metrics.snapshot()["batches"]
+        assert batches["count"] == 2
+        assert batches["rows"] == 40
+        assert batches["rows_max"] == 30
+        assert batches["rows_mean"] == 20.0
+        assert batches["max_requests_coalesced"] == 4
+
+    def test_cache_hit_rate(self):
+        metrics = ServingMetrics()
+        metrics.record_cache(hits=3, misses=1)
+        cache = metrics.snapshot()["cache"]
+        assert cache["hits"] == 3 and cache["misses"] == 1
+        assert cache["hit_rate"] == 0.75
+
+    def test_queue_high_water_mark(self):
+        metrics = ServingMetrics()
+        for depth in (5, 12, 0):
+            metrics.record_queue_depth(depth)
+        queue = metrics.snapshot()["queue"]
+        assert queue["depth"] == 0 and queue["depth_max"] == 12
+
+    def test_empty_snapshot_has_no_nans(self):
+        snap = ServingMetrics().snapshot()
+        assert snap["batches"]["rows_mean"] == 0.0
+        assert snap["cache"]["hit_rate"] == 0.0
+        json.dumps(snap)  # JSON-ready with zero traffic
+
+
+class TestRendering:
+    def test_format_mentions_every_family(self):
+        metrics = ServingMetrics()
+        metrics.record_request("transform", 0.01, rows=3)
+        metrics.record_batch(rows=3, requests=2)
+        metrics.record_cache(hits=1, misses=2)
+        metrics.record_queue_depth(3)
+        text = metrics.format()
+        for token in ("transform", "batches", "cache", "queue depth"):
+            assert token in text
+
+    def test_snapshot_is_json_ready(self):
+        metrics = ServingMetrics()
+        metrics.record_request("assign", 0.002, rows=1)
+        json.dumps(metrics.snapshot())
+
+
+class TestThreadSafety:
+    def test_concurrent_writers_lose_nothing(self):
+        metrics = ServingMetrics()
+
+        def hammer():
+            for _ in range(500):
+                metrics.record_request("transform", 0.001, rows=1)
+                metrics.record_batch(rows=2, requests=1)
+                metrics.record_cache(hits=1, misses=1)
+
+        threads = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        snap = metrics.snapshot()
+        assert snap["requests"]["transform"]["count"] == 2000
+        assert snap["batches"]["rows"] == 4000
+        assert snap["cache"]["hits"] == 2000

@@ -1,0 +1,131 @@
+"""Model registry: immutable versions, atomic activation, rollback.
+
+The registry's promises: published versions are immutable (re-publishing
+a taken version is refused), the ACTIVE pointer always names a published
+version, activation/rollback are pure pointer moves, and every load is
+the same checksum-verified artifact read as ``Anonymizer.load`` — so a
+registry-served model transforms bit-for-bit like its source.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import ModelRegistry, ModelRegistryError, TransformModel
+
+
+@pytest.fixture()
+def registry(tmp_path):
+    return ModelRegistry(tmp_path / "registry")
+
+
+class TestPublish:
+    def test_versions_auto_increment(self, registry, fitted):
+        assert registry.publish("salary", fitted) == "v1"
+        assert registry.publish("salary", fitted) == "v2"
+        assert registry.versions("salary") == ["v1", "v2"]
+        assert registry.active_version("salary") == "v2"
+
+    def test_explicit_version_label(self, registry, fitted):
+        assert registry.publish("salary", fitted, version="rc-1") == "rc-1"
+        assert registry.active_version("salary") == "rc-1"
+
+    def test_versions_are_immutable(self, registry, fitted):
+        registry.publish("salary", fitted, version="v1")
+        with pytest.raises(ModelRegistryError, match="immutable"):
+            registry.publish("salary", fitted, version="v1")
+
+    def test_publish_without_activation(self, registry, fitted):
+        registry.publish("salary", fitted)
+        registry.publish("salary", fitted, activate=False)
+        assert registry.versions("salary") == ["v1", "v2"]
+        assert registry.active_version("salary") == "v1"
+
+    def test_numeric_version_ordering(self, registry, fitted):
+        for _ in range(11):
+            registry.publish("salary", fitted)
+        assert registry.versions("salary")[-2:] == ["v10", "v11"]
+
+    def test_listing(self, registry, fitted):
+        registry.publish("b-model", fitted)
+        registry.publish("a-model", fitted)
+        assert registry.names() == ["a-model", "b-model"]
+        described = registry.describe()
+        assert described["a-model"] == {"versions": ["v1"], "active": "v1"}
+
+    def test_empty_registry_lists_nothing(self, registry):
+        assert registry.names() == []
+        assert registry.describe() == {}
+        assert registry.versions("ghost") == []
+        assert registry.active_version("ghost") is None
+
+
+class TestActivateRollback:
+    def test_activate_unknown_version_refused(self, registry, fitted):
+        registry.publish("salary", fitted)
+        with pytest.raises(ModelRegistryError, match="v9"):
+            registry.activate("salary", "v9")
+        assert registry.active_version("salary") == "v1"
+
+    def test_rollback_restores_previous(self, registry, fitted):
+        registry.publish("salary", fitted)
+        registry.publish("salary", fitted)
+        assert registry.active_version("salary") == "v2"
+        assert registry.rollback("salary") == "v1"
+        assert registry.active_version("salary") == "v1"
+
+    def test_rollback_without_history_refused(self, registry, fitted):
+        with pytest.raises(ModelRegistryError, match="no active version"):
+            registry.rollback("salary")
+        registry.publish("salary", fitted)
+        with pytest.raises(ModelRegistryError, match="no previous"):
+            registry.rollback("salary")
+
+    def test_rollback_is_itself_reversible(self, registry, fitted):
+        registry.publish("salary", fitted)
+        registry.publish("salary", fitted)
+        registry.rollback("salary")
+        assert registry.rollback("salary") == "v2"
+
+
+class TestLayoutHygiene:
+    @pytest.mark.parametrize(
+        "bad", ["", "a/b", "..", ".hidden", "ACTIVE"]
+    )
+    def test_path_escaping_names_refused(self, registry, bad):
+        with pytest.raises(ModelRegistryError, match="invalid"):
+            registry.model_dir(bad)
+
+    def test_bad_version_refused_on_publish(self, registry, fitted):
+        with pytest.raises(ModelRegistryError, match="invalid"):
+            registry.publish("salary", fitted, version="../escape")
+
+
+class TestLoad:
+    def test_load_active_transforms_like_source(self, registry, fitted, batch):
+        registry.publish("salary", fitted)
+        for mmap_mode in (None, "r"):
+            loaded = registry.load("salary", mmap_mode=mmap_mode)
+            assert isinstance(loaded, TransformModel)
+            direct = fitted.transform(batch)
+            served = loaded.transform(batch)
+            for name in direct.attribute_names:
+                np.testing.assert_array_equal(
+                    direct.values(name), served.values(name)
+                )
+
+    def test_load_explicit_version(self, registry, fitted):
+        registry.publish("salary", fitted)
+        registry.publish("salary", fitted)
+        assert registry.load("salary", "v1").n_clusters == (
+            fitted.result_.partition.n_clusters
+        )
+
+    def test_load_without_active_version_refused(self, registry, fitted):
+        registry.publish("salary", fitted, activate=False)
+        with pytest.raises(ModelRegistryError, match="no active version"):
+            registry.load("salary")
+
+    def test_load_unknown_version_refused(self, registry, fitted):
+        registry.publish("salary", fitted)
+        with pytest.raises(ModelRegistryError, match="v7"):
+            registry.load("salary", "v7")
