@@ -3,9 +3,13 @@
 Times the partition-layer algorithms (mdav, vmdav, tclose-first,
 kanon-first at two t levels, and the standalone ``merge`` post-process on
 the tight kanon-first partition) plus the fitted-model serving paths
-(``transform`` of a 10k-record batch, and the ``serve``/``serve-cached``
-pair: the same batch pushed through the coalescing micro-batcher by
-concurrent clients with the transform cache off and on) on synthetic
+(``transform`` of a 10k-record batch; the ``serve``/``serve-cached``
+pair: the same batch pushed through the coalescing micro-batcher
+in-process by concurrent clients with the transform cache off and on;
+and the ``serve-keepalive``/``serve-mp`` pair: the same workload pushed
+through the real HTTP front end of a ``repro serve`` subprocess over
+persistent pipelined connections, single-worker and 2-worker
+``SO_REUSEPORT`` respectively) on synthetic
 data at n ∈ {1 000, 5 000, 20 000} and
 writes the results to ``BENCH_engine.json`` at the repository root.  That
 file is the repo's tracked performance trajectory: every PR that touches
@@ -52,6 +56,7 @@ import argparse
 import asyncio
 import json
 import os
+import signal
 import subprocess
 import sys
 import tempfile
@@ -70,7 +75,12 @@ from repro.core.merge import microaggregation_merge  # noqa: E402
 from repro.core.tclose_first import tcloseness_first  # noqa: E402
 from repro.data import AttributeRole, Microdata, numeric  # noqa: E402
 from repro.microagg import mdav, vmdav  # noqa: E402
-from repro.serving import CoalescingBatcher, TransformCache  # noqa: E402
+from repro.serving import (  # noqa: E402
+    CoalescingBatcher,
+    HttpClient,
+    ModelRegistry,
+    TransformCache,
+)
 
 SIZES = (1_000, 5_000, 20_000)
 SMOKE_SIZES = (300,)
@@ -87,6 +97,12 @@ TRANSFORM_BATCH = 10_000
 SERVE_CLIENTS = 8
 SERVE_ROUNDS = 2
 SERVE_CHUNK = 1_250
+#: Parsed-ahead requests each HTTP bench client keeps in flight on its
+#: persistent connection (the pipelining half of the serve-keepalive and
+#: serve-mp legs; the server's default pipeline_depth is deeper).
+SERVE_PIPELINE_DEPTH = 4
+#: Worker-process count of the serve-mp leg.
+SERVE_MP_WORKERS = 2
 #: Default smallest sweep size at which extra threaded and process passes
 #: are recorded.
 THREADED_AT = 20_000
@@ -187,6 +203,98 @@ def serve_throughput(serving_model, encoded: np.ndarray, cache_size: int) -> tup
     return seconds, SERVE_CLIENTS * SERVE_ROUNDS * len(encoded)
 
 
+def spawn_serve(
+    registry_dir: Path,
+    workers: int,
+    backend_name: str,
+    threads: int | None,
+) -> tuple[subprocess.Popen, int]:
+    """Boot a ``repro serve`` subprocess; return (process, bound port).
+
+    Cache disabled and a 0.5 ms coalescing deadline, matching the
+    in-process ``serve`` leg so the keep-alive/multi-process rows are
+    comparable: the delta is purely the HTTP front end and topology.
+    """
+    argv = [
+        sys.executable, "-m", "repro", "serve",
+        "--registry", str(registry_dir),
+        "--port", "0",
+        "--cache-size", "0",
+        "--max-wait-ms", "0.5",
+    ]
+    if workers > 1:
+        argv += ["--workers", str(workers)]
+    if backend_name != "serial":
+        argv += ["--backend", backend_name]
+    env = dict(
+        os.environ, PYTHONPATH=str(REPO_ROOT / "src"), PYTHONUNBUFFERED="1"
+    )
+    if threads is not None:
+        env["REPRO_NUM_THREADS"] = str(threads)
+    proc = subprocess.Popen(
+        argv,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+    )
+    while True:
+        line = proc.stdout.readline()
+        if not line:
+            raise RuntimeError(
+                f"bench server exited before announcing (rc={proc.wait()})"
+            )
+        if "model(s) on http://" in line:
+            return proc, int(line.strip().rsplit(":", 1)[1])
+
+
+async def _read_http_response(reader: asyncio.StreamReader) -> bytes:
+    """One Content-Length-framed response body off a persistent stream."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    if head.split(b" ", 2)[1] != b"200":
+        raise RuntimeError(f"bench request failed: {head!r}")
+    return await reader.readexactly(length)
+
+
+def serve_http_throughput(
+    port: int, requests_raw: list[bytes], clients: int
+) -> float:
+    """Drive pre-serialized requests over persistent pipelined connections.
+
+    Each of ``clients`` concurrent connections sends every raw request,
+    keeping up to ``SERVE_PIPELINE_DEPTH`` in flight; request bytes are
+    built outside the timed loop so the measurement is the server's HTTP
+    + batcher + kernel path, not client-side JSON serialization (the
+    in-process ``serve`` leg pre-encodes its rows for the same reason).
+    Returns elapsed seconds.
+    """
+
+    async def one_client() -> None:
+        reader, writer = await asyncio.open_connection("127.0.0.1", port)
+        pending = 0
+        for raw in requests_raw:
+            writer.write(raw)
+            pending += 1
+            if pending >= SERVE_PIPELINE_DEPTH:
+                await _read_http_response(reader)
+                pending -= 1
+        await writer.drain()
+        while pending:
+            await _read_http_response(reader)
+            pending -= 1
+        writer.close()
+        await writer.wait_closed()
+
+    async def run() -> None:
+        await asyncio.gather(*(one_client() for _ in range(clients)))
+
+    return timed(lambda: asyncio.run(run()))
+
+
 def make_backend(name: str, threads: int | None):
     if name == "threaded":
         return ThreadedBackend(threads)
@@ -215,6 +323,7 @@ def run_benchmarks(
         backend_name: str,
         seconds: float,
         rows_per_s: float | None = None,
+        workers: int | None = None,
     ) -> None:
         backend_threads = (
             instances[backend_name].num_workers
@@ -234,9 +343,13 @@ def run_benchmarks(
         }
         if rows_per_s is not None:
             entry["rows_per_s"] = round(rows_per_s)
+        if workers is not None:
+            entry["workers"] = workers
         entries.append(entry)
         t_str = "-" if t is None else f"{t:g}"
         w_str = "" if backend_threads is None else f" x{backend_threads}"
+        if workers is not None:
+            w_str += f" w{workers}"
         r_str = "" if rows_per_s is None else f"  {rows_per_s:>10.0f} rows/s"
         print(
             f"{algorithm:>14s}  n={n:<6d} k={K} t={t_str:<5s} "
@@ -309,6 +422,76 @@ def run_benchmarks(
                     serve_algorithm, n, T_TCLOSE, backend_name, seconds,
                     rows_per_s=rows / seconds,
                 )
+            # End-to-end HTTP serving throughput: the same workload over
+            # the real front end of a `repro serve` subprocess — raw
+            # request bytes pre-serialized, SERVE_CLIENTS persistent
+            # connections pipelining SERVE_PIPELINE_DEPTH requests each.
+            # `serve-keepalive` is one worker; `serve-mp` pre-forks
+            # SERVE_MP_WORKERS sharing the port via SO_REUSEPORT (on a
+            # single-CPU container the extra worker just adds scheduling
+            # overhead — the cpus field keeps that honest).
+            qi_labels = {
+                f"qi{i}": batch.labels(f"qi{i}") for i in range(4)
+            }
+            requests_raw = []
+            for start in range(0, len(batch), SERVE_CHUNK):
+                body = json.dumps(
+                    {
+                        "records": {
+                            name: col[start : start + SERVE_CHUNK].tolist()
+                            for name, col in qi_labels.items()
+                        }
+                    }
+                ).encode()
+                requests_raw.append(
+                    b"POST /v1/assign HTTP/1.1\r\nHost: bench\r\n"
+                    b"Content-Type: application/json\r\n"
+                    + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                    + body
+                )
+            requests_raw *= SERVE_ROUNDS
+            total_rows = SERVE_CLIENTS * SERVE_ROUNDS * len(batch)
+            direct_head = model.transform_model_.assign_encoded(
+                encoded_batch[:SERVE_CHUNK]
+            )
+            with tempfile.TemporaryDirectory() as scratch:
+                registry_dir = Path(scratch) / "registry"
+                ModelRegistry(registry_dir).publish("bench", model)
+                for serve_algorithm, n_workers in (
+                    ("serve-keepalive", 1),
+                    ("serve-mp", SERVE_MP_WORKERS),
+                ):
+                    proc, port = spawn_serve(
+                        registry_dir, n_workers, backend_name, threads
+                    )
+                    try:
+                        # Fidelity gate outside the timed loop: the HTTP
+                        # answer must match the direct kernel query.
+                        with HttpClient("127.0.0.1", port) as probe:
+                            status, reply = probe.request(
+                                "POST",
+                                "/v1/assign",
+                                json.loads(requests_raw[0].split(
+                                    b"\r\n\r\n", 1
+                                )[1]),
+                            )
+                        if status != 200 or reply["assignments"] != list(
+                            map(int, direct_head)
+                        ):
+                            raise RuntimeError(
+                                f"served assignments diverge ({status})"
+                            )
+                        seconds = serve_http_throughput(
+                            port, requests_raw, SERVE_CLIENTS
+                        )
+                    finally:
+                        proc.send_signal(signal.SIGTERM)
+                        proc.communicate(timeout=60)
+                    record(
+                        serve_algorithm, n, T_TCLOSE, backend_name, seconds,
+                        rows_per_s=total_rows / seconds,
+                        workers=n_workers,
+                    )
             # Checkpoint overhead: the same tight kanon-first fit through
             # the full lifecycle, plain vs checkpointed at the default
             # cadence.  Tracked as a pair so the crash-safety layer's cost
@@ -433,7 +616,7 @@ def main() -> int:
     payload = {
         "benchmark": "engine_scaling",
         "schema": "benchmarks/README.md#bench_enginejson",
-        "schema_version": 4,
+        "schema_version": 5,
         "entries": entries,
     }
     args.out.write_text(json.dumps(payload, indent=2) + "\n")

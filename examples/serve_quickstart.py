@@ -10,10 +10,12 @@ end, on the salary toy table:
 3. **serve** the registry with :class:`~repro.serving.AnonymizationService`
    on an ephemeral localhost port — memory-mapped model load, coalescing
    micro-batcher, LRU transform cache;
-4. **query** it with concurrent ``/v1/transform`` requests via the stdlib
-   client helper, verify the responses equal a direct
-   ``model.transform``, and read ``/metrics`` to see the coalesced batch
-   sizes and cache hit rate the burst produced.
+4. **query** it with concurrent ``/v1/transform`` requests via the
+   pooled keep-alive :class:`~repro.serving.HttpClient` (each client
+   thread reuses one TCP connection across its requests), verify the
+   responses equal a direct ``model.transform``, and read ``/metrics``
+   to see the coalesced batch sizes and cache hit rate the burst
+   produced.
 
 The server runs in a background thread here so the example is a single
 process; in production you would run ``repro-anonymize serve --registry
@@ -30,7 +32,7 @@ from pathlib import Path
 
 from repro import Anonymizer, KAnonymity, TCloseness
 from repro.data.toy import load_salary_toy
-from repro.serving import AnonymizationService, ModelRegistry, http_json
+from repro.serving import AnonymizationService, HttpClient, ModelRegistry
 
 HOST = "127.0.0.1"
 
@@ -65,6 +67,14 @@ def main() -> None:
         started.set()
         async with server:
             await stop.wait()
+        # Persistent connections outlive their last response: give the
+        # open handlers a moment to observe client EOF and finish before
+        # the loop closes (the real ``serve()`` command drains for us).
+        pending = [
+            t for t in asyncio.all_tasks() if t is not asyncio.current_task()
+        ]
+        if pending:
+            await asyncio.wait(pending, timeout=2.0)
 
     thread = threading.Thread(
         target=lambda: loop.run_until_complete(run_server()), daemon=True
@@ -73,39 +83,45 @@ def main() -> None:
     started.wait()
     port = port_box[0]
     print(f"serving on http://{HOST}:{port}")
-    print(http_json("GET", HOST, port, "/healthz")[1])
 
     # -- concurrent clients: the batcher coalesces the burst --------------
+    # One HttpClient per thread: keep-alive makes every request after a
+    # client's first ride the same TCP connection.
     records = {
         name: data.labels(name).tolist() for name in data.attribute_names
     }
-    with ThreadPoolExecutor(6) as pool:
-        replies = list(
-            pool.map(
-                lambda _: http_json(
-                    "POST", HOST, port, "/v1/transform", {"records": records}
-                ),
-                range(6),
+
+    def burst_request(_):
+        with HttpClient(HOST, port) as client:
+            status, body = client.request(
+                "POST", "/v1/transform", {"records": records}
             )
-        )
+            return status, body, client.connections_opened
+
+    with ThreadPoolExecutor(6) as pool:
+        replies = list(pool.map(burst_request, range(6)))
     direct = model.transform(data)
-    for status, body in replies:
+    for status, body, _ in replies:
         assert status == 200
         for name in direct.attribute_names:
             assert body["records"][name] == direct.labels(name).tolist()
     print(f"{len(replies)} concurrent requests served, every response "
           "bit-for-bit equal to model.transform")
 
-    # A repeat request after the burst: every row is now in the cache.
-    http_json("POST", HOST, port, "/v1/transform", {"records": records})
-
-    _, metrics = http_json("GET", HOST, port, "/metrics")
-    batches = metrics["batches"]
-    cache = metrics["cache"]
-    print(f"coalescing: {batches['count']} backend batches, "
-          f"max {batches['max_requests_coalesced']} requests merged")
-    print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
-          f"(hit rate {cache['hit_rate']:.0%})")
+    # The rest of the session shares one pooled connection: health probe,
+    # a repeat transform (now fully cached), and the metrics read.
+    with HttpClient(HOST, port) as client:
+        print(client.request("GET", "/healthz")[1])
+        client.request("POST", "/v1/transform", {"records": records})
+        _, metrics = client.request("GET", "/metrics")
+        batches = metrics["batches"]
+        cache = metrics["cache"]
+        print(f"coalescing: {batches['count']} backend batches, "
+              f"max {batches['max_requests_coalesced']} requests merged")
+        print(f"cache: {cache['hits']} hits / {cache['misses']} misses "
+              f"(hit rate {cache['hit_rate']:.0%})")
+        print(f"keep-alive: {client.requests_sent} requests over "
+              f"{client.connections_opened} TCP connection(s)")
 
     loop.call_soon_threadsafe(stop_box[0].set)
     thread.join()

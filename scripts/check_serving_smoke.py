@@ -2,16 +2,25 @@
 
 End-to-end tripwire for the serving layer, run through the console entry
 point rather than in-process asyncio: fit a model on the salary toy
-table, publish it into a registry with ``repro-anonymize publish``,
-start ``repro-anonymize serve`` as a subprocess on an ephemeral port,
-then require three things of it:
+table, publish it into a registry with ``repro-anonymize publish``, then
+boot three server configurations on ephemeral ports and require:
 
 1. **coalescing** — overlapping concurrent ``/v1/assign`` requests are
    merged into shared backend batches (``max_requests_coalesced > 1``
    in ``/metrics``);
 2. **fidelity** — every ``/v1/transform`` response is bit-for-bit equal
    to a direct ``Anonymizer.transform`` in this process;
-3. **clean shutdown** — SIGTERM makes the server print its shutdown
+3. **keep-alive** — a pooled :class:`~repro.serving.HttpClient` issues
+   many requests over *one* TCP connection (``connections_opened <
+   requests_sent``), i.e. the persistent-connection default actually
+   persists;
+4. **multi-worker** — ``serve --workers 2`` answers with the same bits
+   and ``/metrics`` reports the fleet (``workers == 2``);
+5. **backpressure** — with a tiny ``--max-queue-rows`` bound, a second
+   concurrent request is rejected as a typed 429 carrying a
+   ``Retry-After`` header, and honoring it converges to a 200 with the
+   same bits;
+6. **clean shutdown** — SIGTERM makes every server print its shutdown
    line and exit 0 with no traceback on stderr.
 
     PYTHONPATH=src python scripts/check_serving_smoke.py
@@ -19,10 +28,13 @@ then require three things of it:
 
 from __future__ import annotations
 
+import http.client
 import signal
 import subprocess
 import sys
 import tempfile
+import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 from pathlib import Path
 
@@ -31,10 +43,11 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import Anonymizer, KAnonymity, TCloseness  # noqa: E402
 from repro.data import load_salary_toy  # noqa: E402
-from repro.serving import http_json  # noqa: E402
+from repro.serving import HttpClient, http_json  # noqa: E402
 
 HOST = "127.0.0.1"
 N_CLIENTS = 8
+CLI_ENV = {"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"}
 
 
 def run_cli(*argv: str) -> subprocess.CompletedProcess:
@@ -42,8 +55,43 @@ def run_cli(*argv: str) -> subprocess.CompletedProcess:
         [sys.executable, "-m", "repro", *argv],
         capture_output=True,
         text=True,
-        env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        env=CLI_ENV,
     )
+
+
+def start_server(*extra: str) -> tuple[subprocess.Popen, int]:
+    """Spawn ``repro serve`` on an ephemeral port; return (proc, port)."""
+    server = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0", *extra],
+        stdout=subprocess.PIPE,
+        stderr=subprocess.PIPE,
+        text=True,
+        env=CLI_ENV,
+    )
+    announce = ""
+    while True:
+        line = server.stdout.readline()
+        if not line:
+            err = server.stderr.read()
+            raise AssertionError(
+                f"server exited before announcing "
+                f"(rc={server.wait()}): {err[-2000:]}"
+            )
+        if "http://" in line:
+            announce = line.strip()
+            break
+    return server, int(announce.rsplit(":", 1)[1])
+
+
+def stop_server(server: subprocess.Popen, problems: list[str], leg: str) -> None:
+    server.send_signal(signal.SIGTERM)
+    out, err = server.communicate(timeout=30)
+    if server.returncode != 0:
+        problems.append(f"[{leg}] SIGTERM exit code {server.returncode}")
+    if "serving stopped" not in out:
+        problems.append(f"[{leg}] missing shutdown line in stdout: {out!r}")
+    if "Traceback" in err:
+        problems.append(f"[{leg}] traceback on shutdown: {err[-2000:]}")
 
 
 def main() -> int:
@@ -53,6 +101,9 @@ def main() -> int:
     direct = fitted.transform(data)
     records = {
         name: data.labels(name).tolist() for name in data.attribute_names
+    }
+    expected = {
+        name: direct.labels(name).tolist() for name in direct.attribute_names
     }
 
     with tempfile.TemporaryDirectory() as scratch:
@@ -71,29 +122,14 @@ def main() -> int:
             return 1
         print(f"ok   [publish]: {publish.stdout.strip()}")
 
+        # ---- leg 1: single worker — fidelity, coalescing, keep-alive ----
         # Generous max-wait so the concurrent burst lands in one batch
         # even on a slow CI runner.
-        server = subprocess.Popen(
-            [
-                sys.executable, "-m", "repro", "serve",
-                "--registry", str(registry), "--port", "0",
-                "--max-wait-ms", "50",
-            ],
-            stdout=subprocess.PIPE,
-            stderr=subprocess.PIPE,
-            text=True,
-            env={"PYTHONPATH": str(REPO_ROOT / "src"), "PATH": "/usr/bin:/bin"},
+        server, port = start_server(
+            "--registry", str(registry), "--max-wait-ms", "50"
         )
         try:
-            announce = server.stdout.readline()
-            if "http://" not in announce:
-                print(f"FAIL [start]: bad announce line {announce!r}")
-                server.kill()
-                print(server.stderr.read()[-2000:])
-                return 1
-            port = int(announce.rsplit(":", 1)[1])
-            print(f"ok   [start]: {announce.strip()}")
-
+            print(f"ok   [start]: single worker on port {port}")
             status, health = http_json("GET", HOST, port, "/healthz")
             if status != 200 or health.get("status") != "ok":
                 problems.append(f"healthz gave {status} {health}")
@@ -110,10 +146,6 @@ def main() -> int:
                         range(N_CLIENTS),
                     )
                 )
-            expected = {
-                name: direct.labels(name).tolist()
-                for name in direct.attribute_names
-            }
             for status, body in replies:
                 if status != 200:
                     problems.append(f"transform gave {status}: {body}")
@@ -123,6 +155,30 @@ def main() -> int:
             if not problems:
                 print(f"ok   [fidelity]: {N_CLIENTS} concurrent responses "
                       "bit-for-bit equal to direct transform")
+
+            # Keep-alive reuse: many requests, one TCP connection.
+            with HttpClient(HOST, port) as client:
+                for _ in range(5):
+                    status, body = client.request(
+                        "POST", "/v1/transform", {"records": records}
+                    )
+                    if status != 200 or body["records"] != expected:
+                        problems.append(
+                            f"keep-alive transform gave {status}"
+                        )
+                client.request("GET", "/metrics")
+                if client.connections_opened >= client.requests_sent:
+                    problems.append(
+                        f"no connection reuse: {client.connections_opened} "
+                        f"connects for {client.requests_sent} requests"
+                    )
+                elif client.connections_opened == 1:
+                    print(f"ok   [keep-alive]: {client.requests_sent} "
+                          "requests over 1 TCP connection")
+                else:
+                    print(f"ok   [keep-alive]: {client.requests_sent} "
+                          f"requests over {client.connections_opened} "
+                          "connections (reuse observed)")
 
             status, metrics = http_json("GET", HOST, port, "/metrics")
             coalesced = metrics["batches"]["max_requests_coalesced"]
@@ -134,19 +190,116 @@ def main() -> int:
             else:
                 print(f"ok   [coalescing]: up to {coalesced} requests "
                       f"merged per backend batch")
-
-            server.send_signal(signal.SIGTERM)
-            out, err = server.communicate(timeout=30)
-            if server.returncode != 0:
-                problems.append(f"SIGTERM exit code {server.returncode}")
-            if "serving stopped" not in out:
-                problems.append(f"missing shutdown line in stdout: {out!r}")
-            if "Traceback" in err:
-                problems.append(f"traceback on shutdown: {err[-2000:]}")
-            if not problems:
-                print("ok   [shutdown]: SIGTERM -> exit 0, no traceback")
         finally:
-            if server.poll() is None:
+            stop_server(server, problems, "shutdown")
+            if server.poll() is None:  # pragma: no cover - hung server
+                server.kill()
+                server.wait()
+        if not problems:
+            print("ok   [shutdown]: SIGTERM -> exit 0, no traceback")
+
+        # ---- leg 2: two workers sharing the port ------------------------
+        server, port = start_server(
+            "--registry", str(registry), "--workers", "2"
+        )
+        try:
+            status, body = http_json(
+                "POST", HOST, port, "/v1/transform", {"records": records},
+                timeout=60.0,
+            )
+            if status != 200 or body["records"] != expected:
+                problems.append(
+                    f"2-worker transform gave {status} or wrong bits"
+                )
+            status, metrics = http_json("GET", HOST, port, "/metrics")
+            if metrics.get("workers") != 2:
+                problems.append(
+                    f"2-worker /metrics reported workers="
+                    f"{metrics.get('workers')}"
+                )
+            if not problems:
+                print("ok   [multi-worker]: 2-worker fleet answered "
+                      "bit-for-bit, /metrics aggregated both workers")
+        finally:
+            stop_server(server, problems, "multi-worker shutdown")
+            if server.poll() is None:  # pragma: no cover - hung server
+                server.kill()
+                server.wait()
+
+        # ---- leg 3: forced overload — typed 429 + Retry-After -----------
+        # Queue bound below two requests' rows (9 each), long batch wait:
+        # the first request parks in the batcher window, the second must
+        # be rejected with retry guidance, and honoring it must converge.
+        server, port = start_server(
+            "--registry", str(registry),
+            "--max-queue-rows", "10",
+            "--max-wait-ms", "500",
+            "--cache-size", "0",
+        )
+        try:
+            first_reply: list = []
+
+            def first_request():
+                first_reply.append(
+                    http_json(
+                        "POST", HOST, port,
+                        "/v1/assign", {"records": records},
+                        timeout=60.0,
+                    )
+                )
+
+            holder = threading.Thread(target=first_request)
+            holder.start()
+            time.sleep(0.15)  # let request #1 enter the batch window
+            conn = http.client.HTTPConnection(HOST, port, timeout=30.0)
+            import json as _json
+
+            payload = _json.dumps({"records": records})
+            conn.request(
+                "POST", "/v1/assign", body=payload,
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            raw = response.read()
+            retry_after = response.getheader("Retry-After")
+            conn.close()
+            holder.join(timeout=60.0)
+            overload = _json.loads(raw)
+            if response.status != 429:
+                problems.append(
+                    f"overload gave {response.status}, wanted 429: {raw!r}"
+                )
+            elif overload.get("type") != "overloaded":
+                problems.append(f"429 body not typed: {overload}")
+            elif not retry_after or int(retry_after) < 1:
+                problems.append(f"429 missing Retry-After: {retry_after!r}")
+            elif first_reply and first_reply[0][0] != 200:
+                problems.append(
+                    f"queued request failed: {first_reply[0]}"
+                )
+            else:
+                with HttpClient(HOST, port, timeout=60.0) as client:
+                    status, body = client.request_with_retry(
+                        "POST", "/v1/assign", {"records": records}
+                    )
+                if status != 200:
+                    problems.append(
+                        f"retry after 429 never converged: {status} {body}"
+                    )
+                else:
+                    print("ok   [backpressure]: 429 typed + Retry-After="
+                          f"{retry_after}s, honored retry reached 200")
+            status, metrics = http_json("GET", HOST, port, "/metrics")
+            if metrics["queue"]["rejected_requests"] < 1:
+                problems.append("metrics did not count the rejection")
+            if metrics["queue"]["depth_max"] > 10:
+                problems.append(
+                    f"queue depth {metrics['queue']['depth_max']} exceeded "
+                    "the configured bound"
+                )
+        finally:
+            stop_server(server, problems, "overload shutdown")
+            if server.poll() is None:  # pragma: no cover - hung server
                 server.kill()
                 server.wait()
 

@@ -1,0 +1,210 @@
+"""Optional compiled fast path for the nearest-representative scan.
+
+The serving hot loop (:func:`repro.backend.kernels.nearest_block`) spends
+its time streaming ``n_rows x n_reps`` squared distances through numpy
+ufunc temporaries.  On hosts that ship a C compiler this module builds a
+small shared library computing *the same arithmetic in the same order* —
+for each (row, representative) pair::
+
+    t = x[0] - rep[0];  acc  = t * t;
+    t = x[j] - rep[j];  acc += t * t;     # columns left to right
+
+which is exactly the column-sequential elementwise accumulation the
+canonical kernel performs, just without per-column array temporaries.
+Compiled with ``-ffp-contract=off`` every multiply and add rounds as an
+individual IEEE-754 double operation (no FMA contraction), so the native
+distances are bitwise identical to the numpy path, and the strictly-
+smaller scan in ascending representative order preserves the exact-tie
+rule (lowest representative id wins).
+
+The build is best-effort and cached:
+
+* no compiler, a failed compile, or ``REPRO_NO_NATIVE=1`` → ``load()``
+  returns ``None`` and callers keep the numpy path;
+* the shared object is cached under the system temp directory keyed by a
+  hash of the source and toolchain, so forked serving workers and repeat
+  processes reuse one artifact (built via a unique temp name and
+  ``os.replace`` — concurrent builders race benignly);
+* after loading, a differential self-check runs the native scan against
+  the numpy kernel on a small tie-heavy fixture and rejects the library
+  on any bit difference, so a misbehaving toolchain degrades to the
+  (slow, correct) fallback instead of corrupting assignments.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+_SOURCE = r"""
+#include <stddef.h>
+
+#define BLOCK 256
+
+/* rows:     n x d, row-major (one record per row)
+ * repcols:  d x n_reps, row-major (one column of the rep matrix per row)
+ * assignment / best_d2: length n, running best id / squared distance.
+ *
+ * Arithmetic contract (must match repro.backend.kernels exactly):
+ * squared distances accumulate column-sequentially, left to right, one
+ * rounded multiply and one rounded add per column -- compile with
+ * -ffp-contract=off so no FMA contraction merges them.  The final scan
+ * updates on strictly-smaller only, in ascending representative order,
+ * so exact ties keep the lowest representative id.
+ */
+void repro_nearest(const double *restrict rows, long long n, long long d,
+                   const double *restrict repcols, long long n_reps,
+                   long long *restrict assignment,
+                   double *restrict best_d2)
+{
+    double buf[BLOCK];
+    for (long long i = 0; i < n; ++i) {
+        const double *x = rows + i * d;
+        double best = best_d2[i];
+        long long best_id = assignment[i];
+        for (long long g0 = 0; g0 < n_reps; g0 += BLOCK) {
+            long long m = n_reps - g0;
+            if (m > BLOCK)
+                m = BLOCK;
+            const double *c0 = repcols + g0;
+            for (long long r = 0; r < m; ++r) {
+                double t = x[0] - c0[r];
+                buf[r] = t * t;
+            }
+            for (long long j = 1; j < d; ++j) {
+                const double *cj = repcols + j * n_reps + g0;
+                double xj = x[j];
+                for (long long r = 0; r < m; ++r) {
+                    double t = xj - cj[r];
+                    buf[r] += t * t;
+                }
+            }
+            for (long long r = 0; r < m; ++r) {
+                if (buf[r] < best) {
+                    best = buf[r];
+                    best_id = g0 + r;
+                }
+            }
+        }
+        best_d2[i] = best;
+        assignment[i] = best_id;
+    }
+}
+"""
+
+_BASE_FLAGS = ["-O3", "-ffp-contract=off", "-fno-math-errno", "-shared", "-fPIC"]
+
+_UNSET = object()
+_cached: object = _UNSET
+
+
+def _cache_dir() -> Path:
+    return Path(tempfile.gettempdir()) / f"repro-native-{os.getuid()}"
+
+
+def _compile(cc: str) -> Path | None:
+    tag = f"{_SOURCE}|{cc}|{sys.version_info[:2]}|v1"
+    key = hashlib.sha256(tag.encode()).hexdigest()[:16]
+    cache = _cache_dir()
+    so_path = cache / f"nearest-{key}.so"
+    if so_path.exists():
+        return so_path
+    cache.mkdir(parents=True, exist_ok=True)
+    with tempfile.TemporaryDirectory(dir=cache) as build:
+        src = Path(build) / "nearest.c"
+        src.write_text(_SOURCE)
+        out = Path(build) / "nearest.so"
+        for flags in (["-march=native", *_BASE_FLAGS], _BASE_FLAGS):
+            proc = subprocess.run(
+                [cc, *flags, str(src), "-o", str(out)],
+                capture_output=True,
+                timeout=120,
+            )
+            if proc.returncode == 0:
+                os.replace(out, so_path)  # atomic vs concurrent builders
+                return so_path
+    return None
+
+
+def _self_check(fn) -> bool:
+    """Native scan must be bit-for-bit the numpy kernel on tie-heavy data."""
+    from . import kernels
+
+    rng = np.random.default_rng(0)
+    # Half-integer grid data makes exact cross-representative ties common.
+    X = np.round(rng.standard_normal((64, 3)) * 2.0) / 2.0
+    reps = np.round(rng.standard_normal((17, 3)) * 2.0) / 2.0
+    n = len(X)
+    a_ref = np.zeros(n, dtype=np.int64)
+    b_ref = np.full(n, np.inf)
+    kernels._nearest_block_numpy(
+        X.T, reps, a_ref, b_ref, np.empty(n), np.empty(n), 0, n
+    )
+    a_nat = np.zeros(n, dtype=np.int64)
+    b_nat = np.full(n, np.inf)
+    fn(
+        np.ascontiguousarray(X),
+        n,
+        X.shape[1],
+        np.ascontiguousarray(reps.T),
+        len(reps),
+        a_nat,
+        b_nat,
+    )
+    return np.array_equal(a_ref, a_nat) and np.array_equal(b_ref, b_nat)
+
+
+def load():
+    """Return the compiled nearest-scan entry point, or ``None``.
+
+    The result (including failure) is memoized for the process lifetime.
+    The returned callable has the raw C signature
+    ``(rows, n, d, repcols, n_reps, assignment, best_d2)`` with numpy
+    arrays passed directly (ctypes ndpointer argtypes enforce dtype and
+    contiguity).
+    """
+    global _cached
+    if _cached is not _UNSET:
+        return _cached
+    _cached = None
+    if os.environ.get("REPRO_NO_NATIVE"):
+        return None
+    cc = shutil.which("cc") or shutil.which("gcc") or shutil.which("clang")
+    if cc is None:
+        return None
+    try:
+        so_path = _compile(cc)
+        if so_path is None:
+            return None
+        lib = ctypes.CDLL(str(so_path))
+        fn = lib.repro_nearest
+        c_double_p = np.ctypeslib.ndpointer(
+            dtype=np.float64, flags="C_CONTIGUOUS"
+        )
+        c_int64_p = np.ctypeslib.ndpointer(
+            dtype=np.int64, flags="C_CONTIGUOUS"
+        )
+        fn.argtypes = [
+            c_double_p,
+            ctypes.c_longlong,
+            ctypes.c_longlong,
+            c_double_p,
+            ctypes.c_longlong,
+            c_int64_p,
+            c_double_p,
+        ]
+        fn.restype = None
+        if not _self_check(fn):
+            return None
+        _cached = fn
+    except Exception:
+        _cached = None
+    return _cached

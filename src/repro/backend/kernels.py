@@ -24,8 +24,12 @@ particular numpy build would have.  The golden fixtures were generated on
 this kernel (see ``scripts/generate_engine_golden.py``), so everything
 downstream is pinned to it.
 
-This module deliberately imports nothing from the rest of the library:
-the distance layer and the compute backends both sit on top of it.
+This module deliberately imports nothing from the rest of the library
+(the distance layer and the compute backends both sit on top of it) —
+the one exception is its private sibling :mod:`repro.backend._native`,
+an optional compiled build of the nearest-representative scan that is
+admitted only after a load-time differential self-check proves it
+bitwise equal to the numpy arithmetic defined here.
 """
 
 from __future__ import annotations
@@ -33,6 +37,8 @@ from __future__ import annotations
 from typing import Iterator
 
 import numpy as np
+
+from . import _native
 
 
 def iter_blocks(n: int, block_size: int | None) -> Iterator[tuple[int, int]]:
@@ -104,6 +110,59 @@ def nearest_block(
     representative).  ``assignment``/``best_d2`` are the full-length
     output arrays; only their ``start:stop`` rows are touched, so row
     blocks can be evaluated in any order or in parallel.
+
+    When a host C compiler is available the scan dispatches to the
+    compiled body in :mod:`repro.backend._native`, which performs the
+    identical column-sequential accumulation without per-column array
+    temporaries.  It is built with FP contraction disabled, so its
+    distances — and therefore assignments, tie resolution included — are
+    bitwise equal to this numpy path (a load-time self-check enforces
+    that before the fast path is ever used; set ``REPRO_NO_NATIVE=1`` to
+    pin the numpy path).
+    """
+    if stop > start and reps.shape[0] and reps.shape[1]:
+        fn = _native.load()
+        if fn is not None:
+            a_seg = assignment[start:stop]
+            b_seg = best_d2[start:stop]
+            if (
+                a_seg.dtype == np.int64
+                and b_seg.dtype == np.float64
+                and a_seg.flags.c_contiguous
+                and b_seg.flags.c_contiguous
+            ):
+                rows = np.ascontiguousarray(
+                    cols.T[start:stop], dtype=np.float64
+                )
+                repcols = np.ascontiguousarray(reps.T, dtype=np.float64)
+                fn(
+                    rows,
+                    stop - start,
+                    reps.shape[1],
+                    repcols,
+                    reps.shape[0],
+                    a_seg,
+                    b_seg,
+                )
+                return
+    _nearest_block_numpy(cols, reps, assignment, best_d2, d2, tmp, start, stop)
+
+
+def _nearest_block_numpy(
+    cols: np.ndarray,
+    reps: np.ndarray,
+    assignment: np.ndarray,
+    best_d2: np.ndarray,
+    d2: np.ndarray,
+    tmp: np.ndarray,
+    start: int,
+    stop: int,
+) -> None:
+    """The canonical (pure-numpy) nearest scan — the arithmetic spec.
+
+    :func:`nearest_block` delegates here when no native build is usable;
+    the native body must match this bit for bit (see the differential
+    suite and the load-time self-check).
     """
     seg = slice(start, stop)
     for g in range(reps.shape[0]):

@@ -253,6 +253,38 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-model transform cache budget in rows (0 disables)",
     )
     serve.add_argument(
+        "--max-queue-rows",
+        type=int,
+        default=0,
+        help=(
+            "admission bound: answer 429 + Retry-After once this many "
+            "rows are pending (0 = unbounded)"
+        ),
+    )
+    serve.add_argument(
+        "--idle-timeout",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="close keep-alive connections idle this long (0 disables)",
+    )
+    serve.add_argument(
+        "--max-requests-per-connection",
+        type=int,
+        default=0,
+        help="rotate keep-alive connections after this many requests "
+        "(0 = unlimited)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help=(
+            "serving processes sharing the port (SO_REUSEPORT, or an "
+            "inherited listener where unavailable); 1 = in-process"
+        ),
+    )
+    serve.add_argument(
         "--no-mmap",
         action="store_true",
         help="copy model arrays into private memory instead of mmapping",
@@ -377,14 +409,40 @@ def _cmd_publish(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
-    service = AnonymizationService(
-        args.registry,
+    if args.workers < 1:
+        print("error: --workers must be at least 1", file=sys.stderr)
+        return 2
+    service_kwargs = dict(
         backend=args.backend,
         mmap_mode=None if args.no_mmap else "r",
         max_batch_rows=args.max_batch_rows,
         max_wait_ms=args.max_wait_ms,
+        max_queue_rows=args.max_queue_rows,
         cache_size=args.cache_size,
+        idle_timeout_s=args.idle_timeout,
+        max_requests_per_connection=args.max_requests_per_connection,
     )
+    if args.workers > 1:
+        from .serving.workers import serve_workers
+
+        registry = ModelRegistry(args.registry)
+        if not any(
+            registry.active_version(name) for name in registry.names()
+        ):
+            print(
+                f"error: registry {args.registry} has no active models; "
+                "run `repro-anonymize publish` first",
+                file=sys.stderr,
+            )
+            return 2
+        return serve_workers(
+            args.registry,
+            args.host,
+            args.port,
+            args.workers,
+            service_kwargs=service_kwargs,
+        )
+    service = AnonymizationService(args.registry, **service_kwargs)
     loaded = service.load_models()
     if not loaded:
         print(

@@ -13,29 +13,42 @@ requests into single backend queries behind a
 a stdlib-only HTTP front end with
 :class:`~repro.serving.metrics.ServingMetrics` observability.
 
+The HTTP front end speaks persistent-connection HTTP/1.1 (keep-alive,
+pipelining, bounded admission with typed 429 backpressure), and
+:mod:`repro.serving.workers` scales it across pre-forked
+``SO_REUSEPORT`` processes sharing one port.
+
 Everything here preserves the library's bit-for-bit contract: a served
 response equals ``Anonymizer.transform`` on the same rows, regardless of
-how requests were coalesced, cached, or which backend executed them.
+how requests were coalesced, cached, which backend executed them, or
+how many worker processes shared the port.
 """
 
-from .batcher import CoalescingBatcher
+from .batcher import CoalescingBatcher, OverloadedError
 from .cache import TransformCache
-from .http import HttpError, http_json
-from .metrics import ServingMetrics
+from .http import ConnectionLimits, HttpClient, HttpError, http_json
+from .metrics import ServingMetrics, merge_snapshots
 from .model import MODEL_FORMAT_VERSION, TransformModel, read_model_artifact
 from .registry import ModelRegistry, ModelRegistryError
 from .service import AnonymizationService
+from .workers import WorkerSupervisor, serve_workers
 
 __all__ = [
     "AnonymizationService",
     "CoalescingBatcher",
+    "ConnectionLimits",
+    "HttpClient",
     "HttpError",
     "MODEL_FORMAT_VERSION",
     "ModelRegistry",
     "ModelRegistryError",
+    "OverloadedError",
     "ServingMetrics",
     "TransformCache",
     "TransformModel",
+    "WorkerSupervisor",
     "http_json",
+    "merge_snapshots",
     "read_model_artifact",
+    "serve_workers",
 ]

@@ -25,11 +25,20 @@ queueing at all, and only the misses ride to the backend.  All queue
 state is touched only from the owning event loop (no locks needed); the
 backend call itself runs in an executor thread so the loop keeps
 accepting requests mid-query.
+
+Overload is bounded, not absorbed: ``max_queue_rows`` caps the pending
+backlog, and a request that would push past it is refused with a typed
+:class:`OverloadedError` carrying a drain-time estimate — the HTTP front
+end turns that into a ``429`` with ``Retry-After``.  Without the bound,
+a sustained arrival rate above the backend's throughput would grow the
+queue (and every request's latency) without limit; with it, the queue
+depth high-water mark stays provably at or below the configured cap.
 """
 
 from __future__ import annotations
 
 import asyncio
+import math
 from functools import partial
 
 import numpy as np
@@ -37,6 +46,27 @@ import numpy as np
 from .cache import TransformCache
 from .metrics import ServingMetrics
 from .model import TransformModel
+
+
+class OverloadedError(Exception):
+    """The admission queue is full; retry after ``retry_after_s``.
+
+    Deliberately *not* an :class:`HttpError` — the batcher knows nothing
+    about HTTP — but carries everything the front end needs for the 429:
+    the backlog at rejection time, the rows refused, and a heuristic
+    drain-time estimate (whole pending batches times the flush deadline).
+    """
+
+    def __init__(
+        self, pending_rows: int, rejected_rows: int, retry_after_s: float
+    ) -> None:
+        super().__init__(
+            f"admission queue full ({pending_rows} rows pending, "
+            f"{rejected_rows} refused); retry in {retry_after_s:.2f}s"
+        )
+        self.pending_rows = int(pending_rows)
+        self.rejected_rows = int(rejected_rows)
+        self.retry_after_s = float(retry_after_s)
 
 
 class _PendingRequest:
@@ -64,6 +94,13 @@ class CoalescingBatcher:
         Flush this many milliseconds after the first row of a batch was
         queued, even if the batch is small (the deadline half; bounds a
         lone request's added latency).
+    max_queue_rows:
+        Admission bound: refuse (with :class:`OverloadedError`) any
+        request whose miss rows would push the pending backlog past this
+        many rows.  ``0`` (the default) keeps the historical unbounded
+        behavior.  A request arriving at an *empty* queue is always
+        admitted — the HTTP body cap bounds its size — so a bound
+        smaller than one request's rows cannot deadlock retries.
     cache:
         Optional :class:`~repro.serving.cache.TransformCache`; hits skip
         the queue entirely and only misses reach the backend.
@@ -82,6 +119,7 @@ class CoalescingBatcher:
         *,
         max_batch_rows: int = 4096,
         max_wait_ms: float = 2.0,
+        max_queue_rows: int = 0,
         cache: TransformCache | None = None,
         metrics: ServingMetrics | None = None,
     ) -> None:
@@ -89,9 +127,12 @@ class CoalescingBatcher:
             raise ValueError("max_batch_rows must be at least 1")
         if max_wait_ms < 0:
             raise ValueError("max_wait_ms must be non-negative")
+        if max_queue_rows < 0:
+            raise ValueError("max_queue_rows must be non-negative")
         self.model = model
         self.max_batch_rows = int(max_batch_rows)
         self.max_wait_ms = float(max_wait_ms)
+        self.max_queue_rows = int(max_queue_rows)
         self.cache = cache
         self.metrics = metrics
         self._pending: list[_PendingRequest] = []
@@ -119,6 +160,15 @@ class CoalescingBatcher:
             missing = np.arange(n)
         if len(missing) == 0:
             return assignment
+        if (
+            self.max_queue_rows
+            and self._pending
+            and self._pending_rows + len(missing) > self.max_queue_rows
+        ):
+            retry_after = self._retry_after_estimate()
+            if self.metrics is not None:
+                self.metrics.record_rejected(len(missing))
+            raise OverloadedError(self._pending_rows, len(missing), retry_after)
 
         loop = asyncio.get_running_loop()
         future: asyncio.Future = loop.create_future()
@@ -143,6 +193,17 @@ class CoalescingBatcher:
         """Flush any pending rows now (used on shutdown drains)."""
         if self._pending:
             await self._run_flush()
+
+    def _retry_after_estimate(self) -> float:
+        """Seconds until the current backlog has plausibly drained.
+
+        A heuristic, not a promise: the backlog flushes in
+        ``ceil(pending / max_batch_rows)`` batches, each gated by the
+        ``max_wait_ms`` deadline at worst — floored at 50 ms so clients
+        never busy-spin on a sub-millisecond flush policy.
+        """
+        batches = max(1, math.ceil(self._pending_rows / self.max_batch_rows))
+        return max(0.05, batches * self.max_wait_ms / 1000.0)
 
     # -- flush machinery -----------------------------------------------------------
 

@@ -120,6 +120,19 @@ class TransformCache:
             while len(self._entries) > self.max_size:
                 self._entries.popitem(last=False)
 
+    def hottest(self, k: int) -> list[bytes]:
+        """The up-to-``k`` most-recently-used encoded-row keys, MRU first.
+
+        The hot-swap warm-up hook: these keys are the rows most likely
+        to recur, so replaying them through a *new* model's assign query
+        (and storing those fresh results) pre-heats its cache without
+        ever reusing an old model's answers.
+        """
+        if k <= 0:
+            return []
+        with self._lock:
+            return [key for key in reversed(self._entries)][: int(k)]
+
     def clear(self) -> None:
         """Drop every entry (counters are kept)."""
         with self._lock:

@@ -3,20 +3,31 @@
 The fit pipeline reports itself through a structured
 :class:`~repro.core.model.RunReport`; this module is the serving-side
 counterpart.  One :class:`ServingMetrics` instance rides along the whole
-request path — the HTTP front end times every request, the coalescing
-batcher records each backend flush (rows and how many concurrent
-requests it merged), the transform cache reports hits and misses, and
-the queue depth is sampled at every enqueue — and :meth:`snapshot`
-renders the accumulated state as one JSON-ready dict (the ``/metrics``
-endpoint's body, and the source of the serving benchmark's derived
-rows/sec).  Counters are cumulative since construction; the snapshot is
-cheap and lock-consistent, so capacity dashboards can poll it.
+request path — the HTTP front end times every request and counts every
+accepted connection, the coalescing batcher records each backend flush
+(rows and how many concurrent requests it merged) plus every admission
+rejection, the transform cache reports hits and misses, and the queue
+depth is sampled at every enqueue — and :meth:`snapshot` renders the
+accumulated state as one JSON-ready dict (the ``/metrics`` endpoint's
+body, and the source of the serving benchmark's derived rows/sec).
+Counters are cumulative since construction; the snapshot is cheap and
+lock-consistent, so capacity dashboards can poll it.
+
+Multi-worker topologies aggregate at scrape time: each worker
+:meth:`persist`\\ s its own snapshot to a small per-worker JSON file
+(atomic ``os.replace``, so a scraper never reads a torn write), and the
+worker answering ``/metrics`` merges every peer's file with
+:func:`merge_snapshots` — counters sum, high-water marks take the
+per-worker max, and latency min/max fold across workers.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
+from pathlib import Path
 
 
 class _LatencyStat:
@@ -76,6 +87,7 @@ class ServingMetrics:
         self._lock = threading.Lock()
         self._started = time.time()
         self._requests: dict[str, _LatencyStat] = {}
+        self._connections = 0
         self._batches = 0
         self._batch_rows = 0
         self._batch_rows_max = 0
@@ -85,6 +97,8 @@ class ServingMetrics:
         self._cache_misses = 0
         self._queue_depth = 0
         self._queue_depth_max = 0
+        self._rejected_requests = 0
+        self._rejected_rows = 0
 
     # -- recording ----------------------------------------------------------------
 
@@ -102,6 +116,17 @@ class ServingMetrics:
             if stat is None:
                 stat = self._requests[endpoint] = _LatencyStat()
             stat.add(float(seconds), int(rows), bool(error))
+
+    def record_connection(self) -> None:
+        """One accepted TCP connection (keep-alive reuse keeps this flat)."""
+        with self._lock:
+            self._connections += 1
+
+    def record_rejected(self, rows: int) -> None:
+        """One request refused by the admission queue (a served 429)."""
+        with self._lock:
+            self._rejected_requests += 1
+            self._rejected_rows += int(rows)
 
     def record_batch(self, rows: int, requests: int) -> None:
         """One coalesced backend flush of ``rows`` rows from ``requests`` callers."""
@@ -132,6 +157,7 @@ class ServingMetrics:
             lookups = self._cache_hits + self._cache_misses
             return {
                 "uptime_s": time.time() - self._started,
+                "connections": self._connections,
                 "requests": {
                     name: stat.to_dict()
                     for name, stat in sorted(self._requests.items())
@@ -154,8 +180,25 @@ class ServingMetrics:
                 "queue": {
                     "depth": self._queue_depth,
                     "depth_max": self._queue_depth_max,
+                    "rejected_requests": self._rejected_requests,
+                    "rejected_rows": self._rejected_rows,
                 },
             }
+
+    def persist(self, path: str | Path) -> None:
+        """Write :meth:`snapshot` to ``path`` atomically (temp + replace).
+
+        The per-worker half of multi-process ``/metrics``: each worker
+        owns one snapshot file, so there are no cross-process writers to
+        coordinate, and the atomic replace means a concurrent scrape
+        reads either the previous complete snapshot or this one — never
+        a torn write.
+        """
+        path = Path(path)
+        payload = json.dumps(self.snapshot(), sort_keys=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(payload + "\n")
+        os.replace(tmp, path)
 
     def format(self) -> str:
         """Multi-line human-readable rendering of :meth:`snapshot`."""
@@ -181,5 +224,99 @@ class ServingMetrics:
             f"(hit rate {c['hit_rate']:.1%})"
         )
         q = snap["queue"]
-        lines.append(f"queue depth   : {q['depth']} (max {q['depth_max']})")
+        lines.append(
+            f"queue depth   : {q['depth']} (max {q['depth_max']}, "
+            f"{q['rejected_requests']} rejected)"
+        )
         return "\n".join(lines)
+
+
+def merge_snapshots(snapshots: list[dict]) -> dict:
+    """Fold per-worker :meth:`ServingMetrics.snapshot` dicts into one view.
+
+    The scrape-time aggregation behind multi-worker ``/metrics``:
+    counters (requests, rows, errors, batches, cache, rejections,
+    connections) **sum** across workers, high-water marks
+    (``rows_max``, ``max_requests_coalesced``, ``depth_max``) take the
+    per-worker **max** — each worker's queue is independently bounded,
+    so the fleet-wide guarantee is the per-worker bound, not the sum —
+    latency min/max fold, means are recomputed from the summed
+    count/total, and ``workers`` reports how many snapshots merged.
+    An empty list merges to an all-zero snapshot.
+    """
+    merged_requests: dict[str, dict] = {}
+    out = {
+        "uptime_s": 0.0,
+        "workers": len(snapshots),
+        "connections": 0,
+        "requests": merged_requests,
+        "batches": {
+            "count": 0,
+            "rows": 0,
+            "rows_max": 0,
+            "rows_mean": 0.0,
+            "requests_coalesced": 0,
+            "max_requests_coalesced": 0,
+        },
+        "cache": {"hits": 0, "misses": 0, "hit_rate": 0.0},
+        "queue": {
+            "depth": 0,
+            "depth_max": 0,
+            "rejected_requests": 0,
+            "rejected_rows": 0,
+        },
+    }
+    for snap in snapshots:
+        out["uptime_s"] = max(out["uptime_s"], float(snap.get("uptime_s", 0.0)))
+        out["connections"] += int(snap.get("connections", 0))
+        for name, stat in snap.get("requests", {}).items():
+            into = merged_requests.setdefault(
+                name,
+                {
+                    "count": 0,
+                    "errors": 0,
+                    "rows": 0,
+                    "latency_s": {
+                        "mean": 0.0,
+                        "min": float("inf"),
+                        "max": 0.0,
+                        "total": 0.0,
+                    },
+                },
+            )
+            into["count"] += int(stat["count"])
+            into["errors"] += int(stat["errors"])
+            into["rows"] += int(stat["rows"])
+            lat, src = into["latency_s"], stat["latency_s"]
+            lat["total"] += float(src["total"])
+            lat["max"] = max(lat["max"], float(src["max"]))
+            if int(stat["count"]):
+                lat["min"] = min(lat["min"], float(src["min"]))
+        b, sb = out["batches"], snap.get("batches", {})
+        b["count"] += int(sb.get("count", 0))
+        b["rows"] += int(sb.get("rows", 0))
+        b["rows_max"] = max(b["rows_max"], int(sb.get("rows_max", 0)))
+        b["requests_coalesced"] += int(sb.get("requests_coalesced", 0))
+        b["max_requests_coalesced"] = max(
+            b["max_requests_coalesced"], int(sb.get("max_requests_coalesced", 0))
+        )
+        c, sc = out["cache"], snap.get("cache", {})
+        c["hits"] += int(sc.get("hits", 0))
+        c["misses"] += int(sc.get("misses", 0))
+        q, sq = out["queue"], snap.get("queue", {})
+        q["depth"] += int(sq.get("depth", 0))
+        q["depth_max"] = max(q["depth_max"], int(sq.get("depth_max", 0)))
+        q["rejected_requests"] += int(sq.get("rejected_requests", 0))
+        q["rejected_rows"] += int(sq.get("rejected_rows", 0))
+    for stat in merged_requests.values():
+        lat = stat["latency_s"]
+        lat["mean"] = lat["total"] / stat["count"] if stat["count"] else 0.0
+        if lat["min"] == float("inf"):
+            lat["min"] = 0.0
+    b = out["batches"]
+    b["rows_mean"] = b["rows"] / b["count"] if b["count"] else 0.0
+    c = out["cache"]
+    lookups = c["hits"] + c["misses"]
+    c["hit_rate"] = c["hits"] / lookups if lookups else 0.0
+    out["requests"] = dict(sorted(merged_requests.items()))
+    return out

@@ -1,0 +1,383 @@
+"""Pre-forked multi-worker serving topology on one shared port.
+
+One Python process tops out at one core of useful work for the serving
+path (the GIL serializes the JSON/HTTP layer even when the numpy kernel
+releases it), so horizontal scale on a single host means **processes**.
+:class:`WorkerSupervisor` pre-forks ``N`` workers, each running its own
+:class:`~repro.serving.service.AnonymizationService` event loop on the
+*same* ``host:port``:
+
+* **SO_REUSEPORT** (the default where the platform offers it): every
+  worker binds its own listening socket with ``SO_REUSEPORT`` and the
+  kernel load-balances incoming connections across them — no accept
+  lock, no parent in the data path.  When the requested port is ``0``
+  the parent first binds a placeholder ``SO_REUSEPORT`` socket to
+  resolve a concrete ephemeral port, and keeps it *bound but never
+  listening* for the supervisor's lifetime so the port cannot be
+  reassigned between forks (a bound-only TCP socket receives no
+  connections — Linux only balances across *listening* sockets).
+* **inherited-FD fallback**: platforms without usable ``SO_REUSEPORT``
+  get the classic pre-fork shape — the parent binds one listening
+  socket and every forked worker accepts on the inherited FD.
+
+Workers inherit nothing mutable: each builds its own service after the
+fork, loading the ACTIVE models with ``mmap_mode="r"`` so the big
+representative arrays land in shared page cache rather than N private
+copies.  Readiness is a pipe handshake (each worker reports its loaded
+models once its listener is up; the parent prints the announce line
+only when the whole fleet accepts), shutdown is signal fan-out (SIGTERM
+or SIGINT to the parent forwards to every worker, which drains its
+keep-alive connections and exits 0), and the supervisor's exit code is
+0 only if every worker's was.
+
+Cross-worker coherence uses the registry and the filesystem, not shared
+memory: every worker polls the registry's ACTIVE pointers
+(``watch_registry_s``) so an activate/rollback served by one worker
+propagates to all, and every worker persists per-PID metrics snapshots
+into a shared ``metrics_dir`` that any worker's ``/metrics`` merges at
+scrape time (see :func:`~repro.serving.metrics.merge_snapshots`).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import signal
+import socket
+import sys
+import tempfile
+from pathlib import Path
+
+from .registry import ModelRegistry
+
+#: How long (seconds) the parent waits for each worker's readiness
+#: handshake before declaring the fleet failed.
+READY_TIMEOUT_S = 60.0
+
+
+def reuseport_available() -> bool:
+    """Whether this platform supports ``SO_REUSEPORT`` load balancing.
+
+    The attribute existing is not enough (some kernels expose the
+    constant but reject the option), so probe with a real bind.
+    """
+    if not hasattr(socket, "SO_REUSEPORT"):
+        return False
+    try:
+        with socket.socket(socket.AF_INET, socket.SOCK_STREAM) as probe:
+            probe.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+            probe.bind(("127.0.0.1", 0))
+    except OSError:
+        return False
+    return True
+
+
+def _reuseport_listener(host: str, port: int) -> socket.socket:
+    """A fresh listening socket on ``host:port`` with ``SO_REUSEPORT``."""
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        sock.bind((host, port))
+        sock.listen(128)
+        sock.setblocking(False)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(
+    registry_root: str,
+    host: str,
+    port: int,
+    inherited: socket.socket | None,
+    service_kwargs: dict,
+    conn,
+) -> None:
+    """Entry point of one forked worker: build a service, serve, exit 0.
+
+    Runs *after* the fork, so the service (event loop, mmapped models,
+    caches) is built fresh in this process.  ``inherited`` is the
+    parent-bound listener in fallback mode; in ``SO_REUSEPORT`` mode the
+    worker binds its own.  The first (and only) pipe message reports
+    either readiness (with the loaded model names) or the startup error.
+    """
+    from .service import AnonymizationService
+
+    try:
+        sock = (
+            inherited
+            if inherited is not None
+            else _reuseport_listener(host, port)
+        )
+        service = AnonymizationService(registry_root, **service_kwargs)
+
+        def ready(bound: int, models: list[str]) -> None:
+            conn.send(
+                {
+                    "ready": True,
+                    "pid": os.getpid(),
+                    "port": bound,
+                    "models": models,
+                }
+            )
+            conn.close()
+
+        service.run(host, port, sock=sock, quiet=True, ready_callback=ready)
+    except BaseException as exc:  # noqa: BLE001 - report, then re-raise
+        try:
+            conn.send(
+                {"ready": False, "error": f"{type(exc).__name__}: {exc}"}
+            )
+            conn.close()
+        except OSError:
+            pass
+        raise
+
+
+class WorkerSupervisor:
+    """Fork, watch and drain ``workers`` serving processes on one port.
+
+    Parameters
+    ----------
+    registry:
+        Registry root path (or :class:`ModelRegistry`; only its root is
+        shipped to workers — each opens its own handle after the fork).
+    host, port:
+        Listening address shared by the fleet; ``port=0`` resolves to a
+        concrete ephemeral port before the first fork.
+    workers:
+        Number of serving processes (at least 1; the CLI uses the
+        in-process single path for 1 and this supervisor for 2+).
+    service_kwargs:
+        Forwarded to each worker's
+        :class:`~repro.serving.service.AnonymizationService`.  The
+        supervisor fills in ``metrics_dir`` (a fresh temp dir unless the
+        caller chose one) and a default ``watch_registry_s`` of 0.25 s
+        so hot swaps propagate across the fleet.
+    reuseport:
+        ``None`` probes the platform; ``False`` forces the inherited-FD
+        fallback (exercised by the multi-worker tests so the fallback
+        path does not rot on Linux CI).
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry | str | Path,
+        host: str = "127.0.0.1",
+        port: int = 8765,
+        workers: int = 2,
+        *,
+        service_kwargs: dict | None = None,
+        reuseport: bool | None = None,
+        quiet: bool = False,
+    ) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        root = (
+            registry.root if isinstance(registry, ModelRegistry) else registry
+        )
+        self.registry_root = str(root)
+        self.host = host
+        self.port = int(port)
+        self.workers = int(workers)
+        self.quiet = quiet
+        self.reuseport = (
+            reuseport_available() if reuseport is None else bool(reuseport)
+        )
+        kwargs = dict(service_kwargs or {})
+        self._owns_metrics_dir = kwargs.get("metrics_dir") is None
+        if self._owns_metrics_dir:
+            kwargs["metrics_dir"] = None  # filled per-run
+        kwargs.setdefault("watch_registry_s", 0.25)
+        self.service_kwargs = kwargs
+        self._procs: list[multiprocessing.Process] = []
+
+    def run(self) -> int:
+        """Fork the fleet, print the announce, wait; return the exit code."""
+        ctx = multiprocessing.get_context("fork")
+        kwargs = dict(self.service_kwargs)
+        metrics_tmp: tempfile.TemporaryDirectory | None = None
+        if self._owns_metrics_dir:
+            metrics_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-serving-metrics-"
+            )
+            kwargs["metrics_dir"] = metrics_tmp.name
+
+        placeholder: socket.socket | None = None
+        shared: socket.socket | None = None
+        try:
+            if self.reuseport:
+                # Resolve the port before forking and hold it (bound,
+                # never listening) so no other process can claim it
+                # between worker binds.
+                placeholder = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                placeholder.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEADDR, 1
+                )
+                placeholder.setsockopt(
+                    socket.SOL_SOCKET, socket.SO_REUSEPORT, 1
+                )
+                placeholder.bind((self.host, self.port))
+                port = placeholder.getsockname()[1]
+            else:
+                shared = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+                shared.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+                shared.bind((self.host, self.port))
+                shared.listen(128)
+                shared.setblocking(False)
+                port = shared.getsockname()[1]
+
+            pipes = []
+            for _ in range(self.workers):
+                parent_conn, child_conn = ctx.Pipe(duplex=False)
+                proc = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        self.registry_root,
+                        self.host,
+                        port,
+                        shared,
+                        kwargs,
+                        child_conn,
+                    ),
+                )
+                proc.start()
+                child_conn.close()
+                self._procs.append(proc)
+                pipes.append(parent_conn)
+            if shared is not None:
+                # The children's inherited copies keep the listener
+                # alive; the parent stays out of the accept path.
+                shared.close()
+                shared = None
+
+            models = self._await_ready(pipes)
+            if models is None:
+                self._terminate_all()
+                self._join_all()
+                return 2
+
+            if not self.quiet:
+                mode = "reuseport" if self.reuseport else "inherited-fd"
+                print(
+                    f"serving {len(models)} model(s) on "
+                    f"http://{self.host}:{port}",
+                    flush=True,
+                )
+                print(
+                    f"workers: {self.workers} ({mode}), pids "
+                    f"{[proc.pid for proc in self._procs]}",
+                    flush=True,
+                )
+
+            self._install_forwarding()
+            code = self._join_all()
+            if not self.quiet:
+                print("serving stopped", flush=True)
+            return code
+        finally:
+            if placeholder is not None:
+                placeholder.close()
+            if shared is not None:
+                shared.close()
+            if metrics_tmp is not None:
+                metrics_tmp.cleanup()
+
+    # -- internals -------------------------------------------------------------------
+
+    def _await_ready(self, pipes) -> list[str] | None:
+        """Collect every worker's handshake; model names, or None on failure."""
+        models: list[str] | None = None
+        for proc, conn in zip(self._procs, pipes):
+            try:
+                if not conn.poll(READY_TIMEOUT_S):
+                    print(
+                        f"worker {proc.pid} did not become ready within "
+                        f"{READY_TIMEOUT_S:.0f}s",
+                        file=sys.stderr,
+                        flush=True,
+                    )
+                    return None
+                message = conn.recv()
+            except (EOFError, OSError):
+                print(
+                    f"worker {proc.pid} exited before becoming ready",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return None
+            finally:
+                conn.close()
+            if not message.get("ready"):
+                print(
+                    f"worker {proc.pid} failed to start: "
+                    f"{message.get('error', 'unknown error')}",
+                    file=sys.stderr,
+                    flush=True,
+                )
+                return None
+            models = message["models"]
+        return models if models is not None else []
+
+    def _install_forwarding(self) -> None:
+        """Forward SIGTERM/SIGINT to every worker (idempotent per signal)."""
+
+        def forward(signum, frame):  # noqa: ARG001 - signal signature
+            for proc in self._procs:
+                if proc.is_alive() and proc.pid:
+                    try:
+                        os.kill(proc.pid, signum)
+                    except ProcessLookupError:
+                        pass
+
+        for sig in (signal.SIGTERM, signal.SIGINT):
+            signal.signal(sig, forward)
+
+    def _terminate_all(self) -> None:
+        for proc in self._procs:
+            if proc.is_alive():
+                proc.terminate()
+
+    def _join_all(self) -> int:
+        """Join every worker; the fleet's exit code is the worst worker's."""
+        code = 0
+        for proc in self._procs:
+            while True:
+                try:
+                    proc.join()
+                    break
+                except KeyboardInterrupt:
+                    # The forwarding handler already relayed the signal;
+                    # keep waiting for the drain to finish.
+                    continue
+            worker_code = proc.exitcode or 0
+            if worker_code in (-signal.SIGTERM, -signal.SIGINT):
+                # Died to the very signal we forwarded before its
+                # handler was up: treat as a clean stop.
+                worker_code = 0
+            code = max(code, abs(worker_code))
+        return code
+
+
+def serve_workers(
+    registry: ModelRegistry | str | Path,
+    host: str = "127.0.0.1",
+    port: int = 8765,
+    workers: int = 2,
+    *,
+    service_kwargs: dict | None = None,
+    reuseport: bool | None = None,
+    quiet: bool = False,
+) -> int:
+    """Run a :class:`WorkerSupervisor` to completion (the CLI entry point)."""
+    return WorkerSupervisor(
+        registry,
+        host,
+        port,
+        workers,
+        service_kwargs=service_kwargs,
+        reuseport=reuseport,
+        quiet=quiet,
+    ).run()

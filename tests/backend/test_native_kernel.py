@@ -1,0 +1,148 @@
+"""Compiled nearest-scan fast path == canonical numpy kernel, bitwise.
+
+``repro.backend._native`` builds a C version of the nearest-representative
+scan with FP contraction disabled; its whole value rests on producing
+*exactly* the assignments and squared distances of the pure-numpy kernel
+(``kernels._nearest_block_numpy``), ties included, under any row
+blocking.  This suite is the differential proof — and it also pins the
+degrade paths: the env kill-switch, and the dtype/contiguity guards that
+route unusual buffers back to the numpy body.
+
+When the host has no usable compiler the fast-path tests skip (the
+fallback behaviour tests still run): the library must work identically,
+just slower.
+"""
+
+import numpy as np
+import pytest
+
+from repro.backend import _native, kernels
+
+
+def run_numpy(X, reps, *, block=None):
+    n = len(X)
+    assignment = np.zeros(n, dtype=np.int64)
+    best_d2 = np.full(n, np.inf)
+    d2, tmp = np.empty(n), np.empty(n)
+    for start, stop in kernels.iter_blocks(n, block):
+        kernels._nearest_block_numpy(
+            X.T, reps, assignment, best_d2, d2, tmp, start, stop
+        )
+    return assignment, best_d2
+
+
+def run_dispatch(X, reps, *, block=None):
+    n = len(X)
+    assignment = np.zeros(n, dtype=np.int64)
+    best_d2 = np.full(n, np.inf)
+    d2, tmp = np.empty(n), np.empty(n)
+    for start, stop in kernels.iter_blocks(n, block):
+        kernels.nearest_block(
+            X.T, reps, assignment, best_d2, d2, tmp, start, stop
+        )
+    return assignment, best_d2
+
+
+native_only = pytest.mark.skipif(
+    _native.load() is None, reason="no usable C toolchain on this host"
+)
+
+
+@native_only
+class TestBitwiseEquivalence:
+    @pytest.mark.parametrize("block", [None, 1, 7, 64])
+    def test_random_continuous(self, block):
+        rng = np.random.default_rng(11)
+        X = rng.standard_normal((257, 4))
+        reps = rng.standard_normal((31, 4))
+        a_ref, b_ref = run_numpy(X, reps)
+        a, b = run_dispatch(X, reps, block=block)
+        np.testing.assert_array_equal(a_ref, a)
+        np.testing.assert_array_equal(b_ref, b)
+
+    def test_tie_heavy_grid_data(self):
+        # Half-integer grids make exact cross-representative ties common;
+        # both paths must pick the lowest representative id every time.
+        rng = np.random.default_rng(12)
+        X = np.round(rng.standard_normal((400, 3)) * 2.0) / 2.0
+        reps = np.round(rng.standard_normal((40, 3)) * 2.0) / 2.0
+        reps[17] = reps[4]  # duplicated representative
+        a_ref, b_ref = run_numpy(X, reps)
+        a, b = run_dispatch(X, reps)
+        np.testing.assert_array_equal(a_ref, a)
+        np.testing.assert_array_equal(b_ref, b)
+        assert not (a == 17).any()  # the duplicate never wins a tie
+
+    def test_single_column_and_single_rep(self):
+        rng = np.random.default_rng(13)
+        X = rng.standard_normal((50, 1))
+        for reps in (rng.standard_normal((1, 1)), rng.standard_normal((5, 1))):
+            a_ref, b_ref = run_numpy(X, reps)
+            a, b = run_dispatch(X, reps)
+            np.testing.assert_array_equal(a_ref, a)
+            np.testing.assert_array_equal(b_ref, b)
+
+    def test_noncontiguous_input_columns(self):
+        # cols arrives as X.T (a strided view); the native path must
+        # produce the same bits after its contiguous staging copy.
+        rng = np.random.default_rng(14)
+        X_wide = rng.standard_normal((100, 8))
+        X = X_wide[:, ::2]  # non-contiguous 4-column view
+        reps = rng.standard_normal((9, 4))
+        a_ref, b_ref = run_numpy(np.ascontiguousarray(X), reps)
+        n = len(X)
+        a = np.zeros(n, dtype=np.int64)
+        b = np.full(n, np.inf)
+        kernels.nearest_block(
+            X.T, reps, a, b, np.empty(n), np.empty(n), 0, n
+        )
+        np.testing.assert_array_equal(a_ref, a)
+        np.testing.assert_array_equal(b_ref, b)
+
+
+class TestFallbackPaths:
+    def test_kill_switch_pins_numpy_path(self, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_NATIVE", "1")
+        monkeypatch.setattr(_native, "_cached", _native._UNSET)
+        assert _native.load() is None
+        # Dispatch still answers correctly through the numpy body.
+        rng = np.random.default_rng(15)
+        X = rng.standard_normal((64, 2))
+        reps = rng.standard_normal((6, 2))
+        a_ref, b_ref = run_numpy(X, reps)
+        a, b = run_dispatch(X, reps)
+        np.testing.assert_array_equal(a_ref, a)
+        np.testing.assert_array_equal(b_ref, b)
+
+    def test_unusual_output_dtype_falls_back(self):
+        # int32 assignment buffers fail the native guard but must still
+        # be filled correctly by the numpy body.
+        rng = np.random.default_rng(16)
+        X = rng.standard_normal((30, 3))
+        reps = rng.standard_normal((4, 3))
+        a_ref, _ = run_numpy(X, reps)
+        n = len(X)
+        a = np.zeros(n, dtype=np.int32)
+        b = np.full(n, np.inf)
+        kernels.nearest_block(
+            X.T, reps, a, b, np.empty(n), np.empty(n), 0, n
+        )
+        np.testing.assert_array_equal(a_ref.astype(np.int32), a)
+
+    def test_empty_block_is_a_no_op(self):
+        reps = np.zeros((3, 2))
+        a = np.full(5, -1, dtype=np.int64)
+        b = np.full(5, np.inf)
+        kernels.nearest_block(
+            np.zeros((2, 5)), reps, a, b, np.empty(5), np.empty(5), 2, 2
+        )
+        assert (a == -1).all()
+
+
+@native_only
+class TestSelfCheck:
+    def test_load_is_memoized(self):
+        assert _native.load() is _native.load()
+
+    def test_self_check_accepts_real_library(self):
+        assert _native._self_check(_native.load())

@@ -195,3 +195,119 @@ class TestTransformCacheUnit:
         cache.lookup_rows(rows)
         cache.clear()
         assert len(cache) == 0 and cache.hits == 2
+
+
+class TestOverloadAdmission:
+    def test_empty_queue_always_admits(self, fitted, batch):
+        """A lone request bigger than the bound still runs (no deadlock)."""
+        model = with_backend(fitted, "serial")
+        encoded = model.encode_batch(batch)
+        batcher = CoalescingBatcher(
+            model, max_wait_ms=1.0, max_queue_rows=10
+        )
+        direct = model.assign_encoded(encoded)
+        (result,) = gather(batcher.assign(encoded))
+        np.testing.assert_array_equal(result, direct)
+
+    def test_overflow_raises_typed_error(self, fitted, batch):
+        from repro.serving import OverloadedError
+
+        model = with_backend(fitted, "serial")
+        encoded = model.encode_batch(batch)
+        metrics = ServingMetrics()
+        # A huge deadline so the first request is still pending when the
+        # second arrives; the bound leaves no room for the second.
+        batcher = CoalescingBatcher(
+            model,
+            max_batch_rows=100_000,
+            max_wait_ms=50.0,
+            max_queue_rows=len(encoded) + 1,
+            metrics=metrics,
+        )
+
+        async def go():
+            first = asyncio.ensure_future(batcher.assign(encoded))
+            await asyncio.sleep(0)  # first request queues
+            with pytest.raises(OverloadedError) as err:
+                await batcher.assign(encoded)
+            await batcher.flush()
+            await first
+            return err.value
+
+        err = asyncio.run(go())
+        assert err.pending_rows == len(encoded)
+        assert err.rejected_rows == len(encoded)
+        assert err.retry_after_s >= 0.05
+        snap = metrics.snapshot()
+        assert snap["queue"]["rejected_requests"] == 1
+        assert snap["queue"]["rejected_rows"] == len(encoded)
+        # The admitted backlog never exceeded the configured bound.
+        assert snap["queue"]["depth_max"] <= len(encoded) + 1
+
+    def test_rejected_request_succeeds_on_retry(self, fitted, batch):
+        from repro.serving import OverloadedError
+
+        model = with_backend(fitted, "serial")
+        encoded = model.encode_batch(batch)
+        direct = model.assign_encoded(encoded)
+        batcher = CoalescingBatcher(
+            model,
+            max_batch_rows=100_000,
+            max_wait_ms=20.0,
+            max_queue_rows=len(encoded) + 1,
+        )
+
+        async def go():
+            first = asyncio.ensure_future(batcher.assign(encoded))
+            await asyncio.sleep(0)
+            try:
+                await batcher.assign(encoded)
+                raise AssertionError("expected OverloadedError")
+            except OverloadedError as exc:
+                await asyncio.sleep(min(exc.retry_after_s, 0.1))
+            # Backlog flushed by the deadline; the retry is admitted and
+            # returns exactly the direct answer.
+            retried = await batcher.assign(encoded)
+            return await first, retried
+
+        first, retried = asyncio.run(go())
+        np.testing.assert_array_equal(first, direct)
+        np.testing.assert_array_equal(retried, direct)
+
+    def test_unbounded_by_default(self, fitted, batch):
+        model = with_backend(fitted, "serial")
+        encoded = model.encode_batch(batch)
+        batcher = CoalescingBatcher(
+            model, max_batch_rows=100_000, max_wait_ms=5.0
+        )
+        results = gather(
+            *[batcher.assign(chunk) for chunk in uneven_chunks(encoded)]
+        )
+        direct = model.assign_encoded(encoded)
+        stitched = np.concatenate(results)
+        np.testing.assert_array_equal(stitched, direct)
+
+    def test_negative_bound_rejected(self, fitted):
+        model = with_backend(fitted, "serial")
+        with pytest.raises(ValueError, match="max_queue_rows"):
+            CoalescingBatcher(model, max_queue_rows=-1)
+
+
+class TestCacheHottest:
+    def rows(self, n, start=0):
+        return np.arange(start, start + 2 * n, dtype=np.float64).reshape(n, 2)
+
+    def test_hottest_returns_mru_first(self):
+        cache = TransformCache(max_size=8)
+        rows = self.rows(4)
+        cache.store_rows(rows, np.arange(4))
+        cache.lookup_rows(rows[:1])  # refresh row 0 to most-recent
+        hottest = cache.hottest(2)
+        assert hottest == [rows[0].tobytes(), rows[3].tobytes()]
+
+    def test_hottest_caps_at_cache_size(self):
+        cache = TransformCache(max_size=8)
+        rows = self.rows(3)
+        cache.store_rows(rows, np.arange(3))
+        assert len(cache.hottest(100)) == 3
+        assert cache.hottest(0) == []

@@ -1,0 +1,414 @@
+"""Parser and connection-loop torture: the byte streams real clients send.
+
+The keep-alive front end must survive everything a hostile or merely
+sloppy peer can put on a socket: requests split at arbitrary byte
+boundaries, several pipelined requests arriving in one segment,
+trailing garbage after a final request, oversized header blocks, idle
+connections that never send a second request, and peers that half-close
+mid-session.  These tests drive :func:`run_connection` over real
+loopback sockets (and the pure parser over canned streams) and pin the
+typed error contract: 400 for framing damage, 408-free (idle closes are
+silent), 411 for body methods without a length, 413 from the header
+alone.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.serving.http import (
+    MAX_BODY_BYTES,
+    ConnectionLimits,
+    HttpError,
+    read_request,
+    run_connection,
+)
+
+
+def parse(raw: bytes):
+    """Run the request parser over a canned byte stream."""
+
+    async def go():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(go())
+
+
+async def echo_respond(request):
+    """Tiny app: echoes method/path/body so responses are attributable."""
+    return (
+        200,
+        {
+            "method": request.method,
+            "path": request.path,
+            "body": request.body.decode("utf-8", "replace"),
+        },
+        None,
+    )
+
+
+def run_loop(interact, *, limits=None, respond=echo_respond):
+    """Serve ``respond`` on an ephemeral port and run ``interact(port)``."""
+
+    async def handle(reader, writer):
+        try:
+            await run_connection(reader, writer, respond, limits)
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def go():
+        server = await asyncio.start_server(handle, "127.0.0.1", 0)
+        port = server.sockets[0].getsockname()[1]
+        try:
+            return await interact(port)
+        finally:
+            server.close()
+            await server.wait_closed()
+
+    return asyncio.run(go())
+
+
+def request_bytes(
+    method="GET", path="/", body=b"", extra="", version="HTTP/1.1"
+):
+    head = f"{method} {path} {version}\r\nHost: t\r\n{extra}"
+    if body or method in ("POST", "PUT", "PATCH"):
+        head += f"Content-Length: {len(body)}\r\n"
+    return head.encode() + b"\r\n" + body
+
+
+async def read_one_response(reader):
+    """Read exactly one Content-Length-framed response from the stream."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n"):
+        if line.lower().startswith(b"content-length:"):
+            length = int(line.split(b":", 1)[1])
+    body = await reader.readexactly(length)
+    status = int(head.split()[1])
+    return status, json.loads(body), head
+
+
+class TestByteBoundarySplits:
+    def test_request_split_at_every_boundary(self):
+        raw = request_bytes("POST", "/split", body=b'{"x": 1}')
+
+        async def interact(port):
+            results = []
+            for cut in range(1, len(raw)):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", port
+                )
+                writer.write(raw[:cut])
+                await writer.drain()
+                await asyncio.sleep(0)  # let the server read a partial
+                writer.write(raw[cut:])
+                await writer.drain()
+                results.append(await read_one_response(reader))
+                writer.close()
+                await writer.wait_closed()
+            return results
+
+        for status, body, _ in run_loop(interact):
+            assert status == 200
+            assert body == {
+                "method": "POST",
+                "path": "/split",
+                "body": '{"x": 1}',
+            }
+
+    def test_byte_at_a_time_dribble(self):
+        raw = request_bytes("GET", "/dribble")
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            for i in range(len(raw)):
+                writer.write(raw[i : i + 1])
+                await writer.drain()
+            out = await read_one_response(reader)
+            writer.close()
+            await writer.wait_closed()
+            return out
+
+        status, body, _ = run_loop(interact)
+        assert status == 200 and body["path"] == "/dribble"
+
+
+class TestPipelining:
+    def test_pipelined_requests_in_one_segment_answered_in_order(self):
+        burst = b"".join(
+            request_bytes("GET", f"/req/{i}") for i in range(5)
+        ) + request_bytes("GET", "/last", extra="Connection: close\r\n")
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(burst)
+            await writer.drain()
+            out = [await read_one_response(reader) for _ in range(6)]
+            writer.close()
+            await writer.wait_closed()
+            return out
+
+        results = run_loop(interact)
+        assert [body["path"] for _, body, _ in results] == [
+            "/req/0",
+            "/req/1",
+            "/req/2",
+            "/req/3",
+            "/req/4",
+            "/last",
+        ]
+        # Every response but the final one advertises keep-alive.
+        for _, _, head in results[:-1]:
+            assert b"Connection: keep-alive" in head
+        assert b"Connection: close" in results[-1][2]
+
+    def test_pipelined_responses_in_order_under_reordered_completion(self):
+        # The first request sleeps longer than the second computes, so
+        # only ordered writing can pass this.
+        async def respond(request):
+            delay = 0.05 if request.path == "/slow" else 0.0
+            await asyncio.sleep(delay)
+            return 200, {"path": request.path}, None
+
+        burst = request_bytes("GET", "/slow") + request_bytes(
+            "GET", "/fast", extra="Connection: close\r\n"
+        )
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(burst)
+            await writer.drain()
+            out = [await read_one_response(reader) for _ in range(2)]
+            writer.close()
+            await writer.wait_closed()
+            return out
+
+        results = run_loop(interact, respond=respond)
+        assert [body["path"] for _, body, _ in results] == ["/slow", "/fast"]
+
+    def test_trailing_garbage_after_close_request_is_ignored(self):
+        raw = request_bytes(
+            "GET", "/bye", extra="Connection: close\r\n"
+        ) + b"\x00\xff GARBAGE NOT HTTP \xde\xad"
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(raw)
+            await writer.drain()
+            out = await read_one_response(reader)
+            rest = await reader.read()  # server closes; no second response
+            writer.close()
+            await writer.wait_closed()
+            return out, rest
+
+        (status, body, _), rest = run_loop(interact)
+        assert status == 200 and body["path"] == "/bye"
+        assert rest == b""
+
+    def test_garbage_after_keepalive_request_answers_then_400s(self):
+        raw = request_bytes("GET", "/ok") + b"NOT-HTTP-AT-ALL\r\n\r\n"
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(raw)
+            await writer.drain()
+            first = await read_one_response(reader)
+            second = await read_one_response(reader)
+            writer.close()
+            await writer.wait_closed()
+            return first, second
+
+        (s1, b1, _), (s2, b2, head2) = run_loop(interact)
+        assert s1 == 200 and b1["path"] == "/ok"
+        assert s2 == 400 and "malformed request line" in b2["error"]
+        assert b"Connection: close" in head2
+
+
+class TestLimits:
+    def test_oversized_header_line_400(self):
+        raw = (
+            b"GET / HTTP/1.1\r\nX-Huge: " + b"a" * (17 * 1024) + b"\r\n\r\n"
+        )
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(raw)
+            await writer.drain()
+            out = await read_one_response(reader)
+            writer.close()
+            await writer.wait_closed()
+            return out
+
+        status, body, _ = run_loop(interact)
+        assert status == 400 and "too long" in body["error"]
+
+    def test_too_many_header_lines_400(self):
+        headers = "".join(f"X-H{i}: v\r\n" for i in range(200))
+        with pytest.raises(HttpError, match="too many header lines"):
+            parse(f"GET / HTTP/1.1\r\n{headers}\r\n".encode())
+
+    def test_post_without_content_length_is_411(self):
+        with pytest.raises(HttpError) as err:
+            parse(b"POST /v1/transform HTTP/1.1\r\nHost: t\r\n\r\n")
+        assert err.value.status == 411
+        assert err.value.error_type == "length_required"
+
+    def test_get_without_content_length_is_fine(self):
+        request = parse(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+        assert request.method == "GET" and request.body == b""
+
+    def test_body_cap_enforced_from_header_alone(self):
+        # Declares 1 byte over the cap but sends nothing: the 413 must
+        # come from the declaration, before any body byte is buffered.
+        with pytest.raises(HttpError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES + 1}\r\n\r\n".encode()
+            )
+        assert err.value.status == 413
+        assert err.value.error_type == "payload_too_large"
+
+    def test_body_exactly_at_cap_would_be_read(self):
+        # At the cap the parser proceeds to read the body (and then
+        # reports the short stream, not a 413).
+        with pytest.raises(HttpError, match="shorter than Content-Length"):
+            parse(
+                b"POST / HTTP/1.1\r\n"
+                + f"Content-Length: {MAX_BODY_BYTES}\r\n\r\n".encode()
+            )
+
+    def test_max_requests_per_connection_closes(self):
+        limits = ConnectionLimits(max_requests=2)
+        burst = b"".join(request_bytes("GET", f"/{i}") for i in range(4))
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(burst)
+            await writer.drain()
+            first = await read_one_response(reader)
+            second = await read_one_response(reader)
+            rest = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return first, second, rest
+
+        (s1, _, h1), (s2, _, h2), rest = run_loop(interact, limits=limits)
+        assert s1 == s2 == 200
+        assert b"Connection: keep-alive" in h1
+        assert b"Connection: close" in h2
+        assert rest == b""  # requests beyond the cap are never answered
+
+
+class TestIdleAndHalfClose:
+    def test_idle_timeout_closes_silently(self):
+        limits = ConnectionLimits(idle_timeout_s=0.1)
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(request_bytes("GET", "/one"))
+            await writer.drain()
+            first = await read_one_response(reader)
+            # ... then go idle: the server must close without writing
+            # anything more (no fabricated error response).
+            rest = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            await writer.wait_closed()
+            return first, rest
+
+        (status, body, _), rest = run_loop(interact, limits=limits)
+        assert status == 200 and body["path"] == "/one"
+        assert rest == b""
+
+    def test_idle_timeout_mid_request_closes(self):
+        limits = ConnectionLimits(idle_timeout_s=0.1)
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(b"GET /half HTTP/1.1\r\nHos")  # stalls forever
+            await writer.drain()
+            rest = await asyncio.wait_for(reader.read(), timeout=5.0)
+            writer.close()
+            await writer.wait_closed()
+            return rest
+
+        assert run_loop(interact, limits=limits) == b""
+
+    def test_half_closed_peer_gets_remaining_responses(self):
+        # Client sends two pipelined requests then shuts down its write
+        # side; both responses must still arrive.
+        burst = request_bytes("GET", "/a") + request_bytes("GET", "/b")
+
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(burst)
+            await writer.drain()
+            writer.write_eof()
+            first = await read_one_response(reader)
+            second = await read_one_response(reader)
+            rest = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            return first, second, rest
+
+        (s1, b1, _), (s2, b2, _), rest = run_loop(interact)
+        assert (s1, b1["path"]) == (200, "/a")
+        assert (s2, b2["path"]) == (200, "/b")
+        assert rest == b""
+
+    def test_peer_reset_mid_response_does_not_raise(self):
+        # Abruptly closing after sending must not blow up the server
+        # (the next request on a fresh connection still works).
+        async def interact(port):
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(request_bytes("GET", "/doomed"))
+            await writer.drain()
+            writer.close()  # do not read the response at all
+            await writer.wait_closed()
+            await asyncio.sleep(0.05)
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            writer.write(
+                request_bytes("GET", "/alive", extra="Connection: close\r\n")
+            )
+            await writer.drain()
+            out = await read_one_response(reader)
+            writer.close()
+            await writer.wait_closed()
+            return out
+
+        status, body, _ = run_loop(interact)
+        assert status == 200 and body["path"] == "/alive"
+
+
+class TestProtocolVersions:
+    def test_http10_defaults_to_close(self):
+        request = parse(b"GET / HTTP/1.0\r\nHost: t\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_http10_keepalive_opt_in(self):
+        request = parse(
+            b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+        )
+        assert request.keep_alive is True
+
+    def test_http11_defaults_to_keepalive(self):
+        request = parse(b"GET / HTTP/1.1\r\nHost: t\r\n\r\n")
+        assert request.keep_alive is True
+
+    def test_http11_close_honored_case_insensitively(self):
+        request = parse(b"GET / HTTP/1.1\r\nConnection: CLOSE\r\n\r\n")
+        assert request.keep_alive is False
+
+    def test_connection_header_token_list(self):
+        request = parse(
+            b"GET / HTTP/1.1\r\nConnection: keep-alive, close\r\n\r\n"
+        )
+        assert request.keep_alive is False

@@ -102,11 +102,17 @@ class TestRequestParser:
 
 
 async def http(port, method, path, payload=None):
-    """One raw-socket request against the service under test."""
+    """One raw-socket request against the service under test.
+
+    Sends ``Connection: close`` so the (keep-alive by default) server
+    ends the session after this response and the read-to-EOF below
+    terminates; the keep-alive path itself is pinned by the parser
+    torture and multi-worker suites.
+    """
     reader, writer = await asyncio.open_connection("127.0.0.1", port)
     body = b"" if payload is None else json.dumps(payload).encode()
     writer.write(
-        f"{method} {path} HTTP/1.1\r\nHost: t\r\n"
+        f"{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\n"
         f"Content-Length: {len(body)}\r\n\r\n".encode() + body
     )
     await writer.drain()
@@ -159,7 +165,9 @@ class TestEndpoints:
     def test_healthz(self, service):
         status, body = serve(service, lambda p: http(p, "GET", "/healthz"))
         assert status == 200
-        assert body == {"status": "ok", "models": ["salary"]}
+        assert body["status"] == "ok"
+        assert body["models"] == ["salary"]
+        assert isinstance(body["pid"], int)
 
     def test_transform_bitwise_equals_direct(self, service, fitted, batch):
         status, body = serve(
@@ -301,3 +309,80 @@ class TestErrorContract:
 
         _, body = serve(service, interact)
         assert body["requests"]["other"]["errors"] == 1
+
+
+class TestBackpressure:
+    def test_overload_answers_429_with_retry_after(self, registry, batch):
+        service = AnonymizationService(
+            registry,
+            max_wait_ms=200.0,
+            max_batch_rows=100_000,
+            max_queue_rows=len(batch) + 1,
+            cache_size=0,
+        )
+        service.load_models()
+        records = records_of(batch)
+
+        async def interact(port):
+            first = asyncio.ensure_future(
+                http(port, "POST", "/v1/assign", {"records": records})
+            )
+            await asyncio.sleep(0.05)  # let the first request queue
+            # Raw second request so the Retry-After *header* is visible.
+            reader, writer = await asyncio.open_connection("127.0.0.1", port)
+            body = json.dumps({"records": records}).encode()
+            writer.write(
+                b"POST /v1/assign HTTP/1.1\r\nHost: t\r\n"
+                b"Connection: close\r\n"
+                + f"Content-Length: {len(body)}\r\n\r\n".encode()
+                + body
+            )
+            await writer.drain()
+            raw = await reader.read()
+            writer.close()
+            await writer.wait_closed()
+            head, _, payload = raw.partition(b"\r\n\r\n")
+            return await first, (int(head.split()[1]), json.loads(payload), head)
+
+        (s1, _), (s2, b2, head) = serve(service, interact)
+        assert s1 == 200  # the admitted request is unaffected
+        assert s2 == 429
+        assert b2["type"] == "overloaded"
+        assert b2["retry_after_s"] > 0
+        assert b"Retry-After:" in head
+        snap = service.metrics.snapshot()
+        assert snap["queue"]["rejected_requests"] == 1
+        assert snap["queue"]["depth_max"] <= len(batch) + 1
+
+
+class TestWarmupOnSwap:
+    def test_activate_warms_new_cache(self, registry, fitted, service, batch):
+        registry.publish("salary", fitted, activate=False)
+
+        async def interact(port):
+            await http(port, "POST", "/v1/assign", {"records": records_of(batch)})
+            before = len(service._models["salary"].cache)
+            swap = await http(
+                port, "POST", "/v1/models/salary/activate", {"version": "v2"}
+            )
+            return before, len(service._models["salary"].cache), swap
+
+        before, after, (status, _) = serve(service, interact)
+        assert status == 200
+        assert before > 0
+        # Every hot key was replayed through the new model's assign.
+        assert after == before
+
+    def test_warmup_disabled_leaves_cache_cold(self, registry, fitted, batch):
+        service = AnonymizationService(registry, max_wait_ms=1.0, warmup_rows=0)
+        service.load_models()
+        registry.publish("salary", fitted, activate=False)
+
+        async def interact(port):
+            await http(port, "POST", "/v1/assign", {"records": records_of(batch)})
+            await http(
+                port, "POST", "/v1/models/salary/activate", {"version": "v2"}
+            )
+            return len(service._models["salary"].cache)
+
+        assert serve(service, interact) == 0

@@ -10,6 +10,8 @@ lock-consistent snapshot under concurrent writers.
 import json
 import threading
 
+import pytest
+
 from repro.serving import ServingMetrics
 
 
@@ -103,3 +105,91 @@ class TestThreadSafety:
         assert snap["requests"]["transform"]["count"] == 2000
         assert snap["batches"]["rows"] == 4000
         assert snap["cache"]["hits"] == 2000
+
+
+class TestNewCounters:
+    def test_connections_and_rejections_tracked(self):
+        metrics = ServingMetrics()
+        metrics.record_connection()
+        metrics.record_connection()
+        metrics.record_rejected(rows=40)
+        snap = metrics.snapshot()
+        assert snap["connections"] == 2
+        assert snap["queue"]["rejected_requests"] == 1
+        assert snap["queue"]["rejected_rows"] == 40
+        assert "rejected" in metrics.format()
+
+
+class TestPersistence:
+    def test_persist_is_atomic_and_readable(self, tmp_path):
+        metrics = ServingMetrics()
+        metrics.record_request("assign", 0.002, rows=9)
+        path = tmp_path / "metrics-123.json"
+        metrics.persist(path)
+        loaded = json.loads(path.read_text())
+        assert loaded["requests"]["assign"]["rows"] == 9
+        assert not (tmp_path / "metrics-123.json.tmp").exists()
+        # Re-persisting replaces in place (no stale tmp, fresh content).
+        metrics.record_request("assign", 0.002, rows=1)
+        metrics.persist(path)
+        assert json.loads(path.read_text())["requests"]["assign"]["rows"] == 10
+
+
+class TestMergeSnapshots:
+    def worker(self, requests, *, depth_max, hits=0, misses=0):
+        metrics = ServingMetrics()
+        metrics.record_connection()
+        for endpoint, seconds, rows in requests:
+            metrics.record_request(endpoint, seconds, rows=rows)
+        metrics.record_batch(rows=sum(r for _, _, r in requests), requests=1)
+        metrics.record_cache(hits, misses)
+        metrics.record_queue_depth(depth_max)
+        return metrics.snapshot()
+
+    def test_counters_sum_and_high_waters_max(self):
+        from repro.serving import merge_snapshots
+
+        a = self.worker(
+            [("assign", 0.010, 100), ("assign", 0.030, 50)],
+            depth_max=80,
+            hits=10,
+            misses=30,
+        )
+        b = self.worker(
+            [("assign", 0.002, 25)], depth_max=120, hits=5, misses=5
+        )
+        merged = merge_snapshots([a, b])
+        assert merged["workers"] == 2
+        assert merged["connections"] == 2
+        assign = merged["requests"]["assign"]
+        assert assign["count"] == 3
+        assert assign["rows"] == 175
+        lat = assign["latency_s"]
+        assert lat["min"] == pytest.approx(0.002)
+        assert lat["max"] == pytest.approx(0.030)
+        assert lat["mean"] == pytest.approx(0.042 / 3)
+        assert merged["batches"]["rows"] == 175
+        assert merged["queue"]["depth_max"] == 120  # max, not sum
+        cache = merged["cache"]
+        assert cache["hits"] == 15 and cache["misses"] == 35
+        assert cache["hit_rate"] == pytest.approx(15 / 50)
+
+    def test_merge_empty_and_single(self):
+        from repro.serving import merge_snapshots
+
+        empty = merge_snapshots([])
+        assert empty["workers"] == 0
+        assert empty["requests"] == {}
+        assert empty["cache"]["hit_rate"] == 0.0
+        one = self.worker([("healthz", 0.001, 0)], depth_max=0)
+        merged = merge_snapshots([one])
+        assert merged["workers"] == 1
+        assert merged["requests"]["healthz"]["count"] == 1
+
+    def test_merged_snapshot_is_json_ready(self):
+        from repro.serving import merge_snapshots
+
+        merged = merge_snapshots(
+            [self.worker([("assign", 0.01, 5)], depth_max=5)]
+        )
+        json.dumps(merged)  # must not raise (no inf/nan leftovers)
